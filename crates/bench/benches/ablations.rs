@@ -1,0 +1,89 @@
+//! Ablation benches for the design choices called out in DESIGN.md:
+//! crossbar tile size, blocked vs naive GEMM, and im2col vs direct
+//! convolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsnc_memristor::{DeviceConfig, TiledMatrix};
+use qsnc_tensor::{conv2d, conv2d_direct, init, matmul, matmul_naive, Conv2dSpec, TensorRng};
+
+fn bench_tile_size_ablation(c: &mut Criterion) {
+    // The paper fixes t = 32; how does the choice affect simulated MAC
+    // throughput for a LeNet-fc1-shaped matrix?
+    let mut group = c.benchmark_group("tile_size_400x84");
+    let (in_dim, out_dim) = (400usize, 84usize);
+    let mut rng = TensorRng::seed(0);
+    let codes: Vec<i32> = (0..in_dim * out_dim).map(|_| rng.index(17) as i32 - 8).collect();
+    let x: Vec<f32> = (0..in_dim).map(|_| rng.index(16) as f32).collect();
+    for &t in &[8usize, 16, 32, 64, 128] {
+        let tm = TiledMatrix::from_codes(&codes, in_dim, out_dim, t, DeviceConfig::paper(4), None);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| tm.matvec_code_units(std::hint::black_box(&x), None))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gemm_blocked_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_128");
+    let mut rng = TensorRng::seed(1);
+    let a = init::uniform([128, 128], -1.0, 1.0, &mut rng);
+    let b_m = init::uniform([128, 128], -1.0, 1.0, &mut rng);
+    group.bench_function("blocked", |b| {
+        b.iter(|| matmul(std::hint::black_box(&a), std::hint::black_box(&b_m)))
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| matmul_naive(std::hint::black_box(&a), std::hint::black_box(&b_m)))
+    });
+    group.finish();
+}
+
+fn bench_conv_lowering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_16x16x8_to_16");
+    let mut rng = TensorRng::seed(2);
+    let x = init::uniform([4, 8, 16, 16], -1.0, 1.0, &mut rng);
+    let w = init::he_normal([16, 8, 3, 3], 72, &mut rng);
+    let spec = Conv2dSpec::new(3, 1, 1);
+    group.bench_function("im2col_gemm", |b| {
+        b.iter(|| conv2d(std::hint::black_box(&x), &w, None, spec))
+    });
+    group.bench_function("direct", |b| {
+        b.iter(|| conv2d_direct(std::hint::black_box(&x), &w, None, spec))
+    });
+    group.finish();
+}
+
+fn bench_sparse_input_skipping(c: &mut Criterion) {
+    // The crossbar skips silent wordlines (event-driven). Neuron
+    // Convergence makes signals sparse — measure the payoff.
+    let mut group = c.benchmark_group("crossbar_sparsity");
+    let (in_dim, out_dim) = (512usize, 128usize);
+    let mut rng = TensorRng::seed(3);
+    let codes: Vec<i32> = (0..in_dim * out_dim).map(|_| rng.index(17) as i32 - 8).collect();
+    let tm = TiledMatrix::from_codes(&codes, in_dim, out_dim, 32, DeviceConfig::paper(4), None);
+    for &density in &[1.0f32, 0.5, 0.25, 0.1] {
+        let x: Vec<f32> = (0..in_dim)
+            .map(|_| {
+                if rng.chance(density) {
+                    rng.index(16) as f32
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("density_{density}")),
+            &density,
+            |b, _| b.iter(|| tm.matvec_code_units(std::hint::black_box(&x), None)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tile_size_ablation,
+    bench_gemm_blocked_vs_naive,
+    bench_conv_lowering,
+    bench_sparse_input_skipping
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Crossbar MAC throughput: single arrays and Eq. 1 tiled matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsnc_memristor::{Crossbar, DeviceConfig, TiledMatrix};
+use qsnc_tensor::TensorRng;
+
+fn bench_single_crossbar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossbar_matvec");
+    for &size in &[8usize, 16, 32, 64] {
+        let mut rng = TensorRng::seed(size as u64);
+        let codes: Vec<i32> = (0..size * size).map(|_| rng.index(17) as i32 - 8).collect();
+        let xb = Crossbar::from_codes(&codes, size, size, DeviceConfig::paper(4), None);
+        let x: Vec<f32> = (0..size).map(|_| rng.index(16) as f32).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| xb.matvec_code_units(std::hint::black_box(&x), None))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tiled_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiled_matvec");
+    // LeNet fc1 geometry (400×84) and a larger FC layer.
+    for &(in_dim, out_dim) in &[(400usize, 84usize), (1024, 256)] {
+        let mut rng = TensorRng::seed(7);
+        let codes: Vec<i32> = (0..in_dim * out_dim).map(|_| rng.index(17) as i32 - 8).collect();
+        let tm = TiledMatrix::from_codes(&codes, in_dim, out_dim, 32, DeviceConfig::paper(4), None);
+        let x: Vec<f32> = (0..in_dim).map(|_| rng.index(16) as f32).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{in_dim}x{out_dim}")),
+            &in_dim,
+            |b, _| b.iter(|| tm.matvec_code_units(std::hint::black_box(&x), None)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_noisy_reads(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(3);
+    let codes: Vec<i32> = (0..32 * 32).map(|_| rng.index(17) as i32 - 8).collect();
+    let cfg = DeviceConfig::paper(4).with_noise(0.0, 0.05);
+    let xb = Crossbar::from_codes(&codes, 32, 32, cfg, None);
+    let x: Vec<f32> = (0..32).map(|_| rng.index(16) as f32).collect();
+    let mut read_rng = TensorRng::seed(4);
+    c.bench_function("crossbar_matvec_noisy_32", |b| {
+        b.iter(|| xb.matvec_code_units(std::hint::black_box(&x), Some(&mut read_rng)))
+    });
+}
+
+criterion_group!(benches, bench_single_crossbar, bench_tiled_matrix, bench_noisy_reads);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Quantizer throughput: Weight Clustering (Eq. 6) vs direct fixed point
+//! vs dynamic fixed point, and the activation quantizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsnc_quant::{
+    cluster_weights, direct_fixed_point, dynamic_fixed_quantize, ActivationQuantizer,
+};
+use qsnc_tensor::{init, TensorRng};
+
+fn bench_weight_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weight_quantization");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let mut rng = TensorRng::seed(n as u64);
+        let w = init::normal([n], 0.0, 0.2, &mut rng);
+        group.bench_with_input(BenchmarkId::new("clustered", n), &n, |b, _| {
+            b.iter(|| cluster_weights(std::hint::black_box(&w), 4))
+        });
+        group.bench_with_input(BenchmarkId::new("direct", n), &n, |b, _| {
+            b.iter(|| direct_fixed_point(std::hint::black_box(&w), 4))
+        });
+        group.bench_with_input(BenchmarkId::new("dynamic_fixed", n), &n, |b, _| {
+            b.iter(|| dynamic_fixed_quantize(std::hint::black_box(&w), 8))
+        });
+    }
+    group.finish();
+}
+
+fn bench_activation_quantizer(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(1);
+    let x = init::uniform([100_000], 0.0, 16.0, &mut rng);
+    let q = ActivationQuantizer::new(4);
+    c.bench_function("activation_quantize_100k", |b| {
+        b.iter(|| q.quantize(std::hint::black_box(&x)))
+    });
+}
+
+fn bench_clustering_bit_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering_bits");
+    let mut rng = TensorRng::seed(2);
+    let w = init::normal([10_000], 0.0, 0.2, &mut rng);
+    for bits in [2u32, 4, 6, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| cluster_weights(std::hint::black_box(&w), bits))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_weight_methods,
+    bench_activation_quantizer,
+    bench_clustering_bit_sweep
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Spike coding throughput: rate encoding, IFC conversion (closed-form vs
+//! cycle-level), and window scaling with bit width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qsnc_memristor::{Ifc, SpikeEncoder};
+use qsnc_quant::ActivationQuantizer;
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let enc = SpikeEncoder::new(ActivationQuantizer::new(4));
+    c.bench_function("spike_encode_decode", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for i in 0..1000 {
+                let v = i as f32 * 0.015;
+                acc += enc.decode(enc.encode(std::hint::black_box(v)));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_ifc_closed_form_vs_simulation(c: &mut Criterion) {
+    let ifc = Ifc::new(1.0, 255);
+    c.bench_function("ifc_convert_closed_form", |b| {
+        b.iter(|| {
+            let mut total = 0u32;
+            for i in 0..1000 {
+                total += ifc.convert(std::hint::black_box(i as f32 * 0.2));
+            }
+            total
+        })
+    });
+    let mut group = c.benchmark_group("ifc_simulate_window");
+    for m in [3u32, 4, 8] {
+        let slots = 1usize << m;
+        let charges = vec![0.7f32; slots];
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| ifc.simulate(std::hint::black_box(&charges)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_slot_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spike_train_slots");
+    for m in [3u32, 4, 8] {
+        let enc = SpikeEncoder::new(ActivationQuantizer::new(m));
+        let train = enc.encode(((1u32 << m) / 3) as f32);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(&train).slots())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode_decode,
+    bench_ifc_closed_form_vs_simulation,
+    bench_train_slot_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Extension ablation: Weight Clustering versus alternative weight grids.
+//!
+//! Compares the paper's linear-grid clustering (Eq. 6) against the two
+//! baselines it discusses: blind fixed-point rounding and the
+//! power-of-two ("multiplier-free") grid of Tann et al. (ref. \[24\]), plus
+//! per-layer sensitivity analysis showing where the error bites.
+//!
+//! ```bash
+//! cargo run -p qsnc-bench --bin ablation_baselines --release
+//! ```
+
+use qsnc_bench::{restore_weights, snapshot_weights, Workload, SEED};
+use qsnc_core::report::{pct, Table};
+use qsnc_core::train_float;
+use qsnc_nn::train::evaluate;
+use qsnc_nn::ModelKind;
+use qsnc_quant::{
+    quantize_network_power_of_two, quantize_network_weights, weight_sensitivity,
+    WeightQuantMethod,
+};
+
+fn main() {
+    let w = Workload::standard(ModelKind::Lenet);
+    let test_batches = w.test.batches(64, None);
+    eprintln!("training fp32 LeNet…");
+    let (mut net, ideal) = train_float(ModelKind::Lenet, w.width, &w.settings, &w.train, &w.test, SEED);
+    let snapshot = snapshot_weights(&mut net);
+
+    // Grid comparison across bit widths.
+    let mut grids = Table::new(
+        format!("Weight grid comparison (LeNet, signals fp32, ideal {})", pct(ideal)),
+        &["Bits", "Direct fixed-point", "Power-of-two [24]", "Clustered (Eq. 6)"],
+    );
+    for bits in [5u32, 4, 3, 2] {
+        restore_weights(&mut net, &snapshot);
+        quantize_network_weights(&mut net, bits, WeightQuantMethod::DirectFixedPoint);
+        let direct = evaluate(&mut net, &test_batches);
+
+        restore_weights(&mut net, &snapshot);
+        quantize_network_power_of_two(&mut net, bits);
+        let p2 = evaluate(&mut net, &test_batches);
+
+        restore_weights(&mut net, &snapshot);
+        quantize_network_weights(&mut net, bits, WeightQuantMethod::Clustered);
+        let clustered = evaluate(&mut net, &test_batches);
+
+        grids.row(&[format!("{bits}-bit"), pct(direct), pct(p2), pct(clustered)]);
+    }
+    restore_weights(&mut net, &snapshot);
+    println!("{}", grids.render());
+
+    // Per-layer sensitivity at 2 bits (where differences are visible).
+    let (sens, baseline) =
+        weight_sensitivity(&mut net, 2, WeightQuantMethod::DirectFixedPoint, &test_batches);
+    let mut table = Table::new(
+        format!("Per-layer sensitivity to 2-bit direct weights (baseline {})", pct(baseline)),
+        &["Layer", "Weights", "Quant MSE", "Accuracy", "Drop"],
+    );
+    for s in &sens {
+        table.row(&[
+            s.name.clone(),
+            s.count.to_string(),
+            format!("{:.2e}", s.mse),
+            pct(s.accuracy),
+            pct(s.drop),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("expected: the linear clustered grid dominates both baselines at every bit");
+    println!("width (power-of-two wastes resolution near the range edge — the paper's");
+    println!("argument for linear conductance levels), and early conv layers are the most");
+    println!("sensitive (error propagates, Eq. 4/5).");
+}

@@ -1,0 +1,92 @@
+//! Regenerates **Figure 1**: (a) spiking computation speed versus neuron
+//! precision, and (b) accuracy loss caused by low-precision neurons versus
+//! low-precision weights (LeNet, direct quantization, no recovery).
+//!
+//! ```bash
+//! cargo run -p qsnc-bench --bin fig1 --release
+//! ```
+
+use qsnc_bench::{restore_weights, snapshot_weights, Workload, SEED};
+use qsnc_core::report::{pct, Table};
+use qsnc_core::{calibrate_stage_maxima, train_float, visit_signal_stages};
+use qsnc_memristor::{network_geometry, HwModel};
+use qsnc_nn::train::evaluate;
+use qsnc_nn::ModelKind;
+use qsnc_quant::{
+    insert_signal_stages, quantize_network_weights, ActivationQuantizer, ActivationRegularizer,
+    RegKind, WeightQuantMethod,
+};
+use qsnc_tensor::TensorRng;
+
+fn main() {
+    // (a) Computation speed vs neuron precision — pure hardware model.
+    let model = HwModel::calibrated();
+    let mut rng = TensorRng::seed(0);
+    let net = qsnc_nn::models::build_model(ModelKind::Lenet, 1.0, 10, &mut rng);
+    let geo = network_geometry(&net.synaptic_descriptors(), 32);
+    let mut fa = Table::new(
+        "Fig. 1a — computation speed vs neuron precision (LeNet)",
+        &["Neuron bits M", "Spike window", "Speed (MHz)", "Relative to 8-bit"],
+    );
+    let base = model.evaluate(&geo, 8, 4);
+    for m in 1..=8u32 {
+        let r = model.evaluate(&geo, m, 4);
+        fa.row(&[
+            m.to_string(),
+            (1u32 << m).to_string(),
+            format!("{:.2}", r.speed_mhz),
+            format!("{:.1}x", r.speed_mhz / base.speed_mhz),
+        ]);
+    }
+    println!("{}", fa.render());
+
+    // (b) Accuracy loss: neurons-only vs weights-only direct quantization.
+    let w = Workload::standard(ModelKind::Lenet);
+    let test_batches = w.test.batches(64, None);
+    let calibration = &w.train.batches(128, None)[0];
+    eprintln!("training fp32 LeNet…");
+    let (mut net, ideal) = train_float(ModelKind::Lenet, w.width, &w.settings, &w.train, &w.test, SEED);
+    let snapshot = snapshot_weights(&mut net);
+
+    // Splice stages once for the neuron sweep.
+    let (switch, _) = insert_signal_stages(
+        &mut net,
+        ActivationRegularizer::new(RegKind::None, 4, 0.0),
+        0.0,
+        ActivationQuantizer::new(4),
+    );
+    let maxima = calibrate_stage_maxima(&mut net, calibration);
+    let global_max = maxima.iter().copied().fold(0.0f32, f32::max).max(1e-6);
+
+    let mut fb = Table::new(
+        format!("Fig. 1b — accuracy loss from direct quantization (LeNet, ideal {})", pct(ideal)),
+        &["Bits", "Neurons-only acc.", "Neuron loss", "Weights-only acc.", "Weight loss"],
+    );
+    for bits in (2..=8u32).rev() {
+        // Neurons only.
+        switch.set_enabled(true);
+        let levels = ((1u32 << bits) - 1) as f32;
+        let q = ActivationQuantizer::with_scale(bits, levels / global_max);
+        visit_signal_stages(&mut net, |s| s.set_quantizer(q));
+        restore_weights(&mut net, &snapshot);
+        let neuron_acc = evaluate(&mut net, &test_batches);
+
+        // Weights only.
+        switch.set_enabled(false);
+        restore_weights(&mut net, &snapshot);
+        quantize_network_weights(&mut net, bits, WeightQuantMethod::DirectFixedPoint);
+        let weight_acc = evaluate(&mut net, &test_batches);
+
+        fb.row(&[
+            bits.to_string(),
+            pct(neuron_acc),
+            pct(ideal - neuron_acc),
+            pct(weight_acc),
+            pct(ideal - weight_acc),
+        ]);
+    }
+    restore_weights(&mut net, &snapshot);
+    println!("{}", fb.render());
+    println!("paper Fig. 1b: neuron quantization hurts more than weight quantization at");
+    println!("the same bit width — check that 'Neuron loss' exceeds 'Weight loss' at low bits.");
+}

@@ -1,0 +1,56 @@
+//! Regenerates **Figure 3**: the shapes of the four activation
+//! regularizers (none, l1, truncated l1, and the proposed Neuron
+//! Convergence) at `M = 2` bits.
+//!
+//! Prints the curves as a CSV series plus a coarse ASCII plot.
+//!
+//! ```bash
+//! cargo run -p qsnc-bench --bin fig3 --release
+//! ```
+
+use qsnc_quant::{ActivationRegularizer, RegKind};
+
+fn main() {
+    let bits = 2; // as in the paper's figure
+    let kinds = [
+        ("none", RegKind::None),
+        ("l1", RegKind::L1),
+        ("truncated_l1", RegKind::TruncatedL1),
+        ("proposed", RegKind::NeuronConvergence),
+    ];
+    let regs: Vec<(&str, ActivationRegularizer)> = kinds
+        .iter()
+        .map(|&(name, kind)| (name, ActivationRegularizer::new(kind, bits, 0.1)))
+        .collect();
+
+    // CSV for plotting.
+    println!("# Fig. 3 — rg(o) for M = {bits} (threshold = {})", regs[0].1.threshold());
+    println!("o,{}", kinds.map(|(n, _)| n).join(","));
+    let samples: Vec<f32> = (-40..=40).map(|i| i as f32 * 0.1).collect();
+    for &o in &samples {
+        let row: Vec<String> = regs.iter().map(|(_, r)| format!("{:.4}", r.value(o))).collect();
+        println!("{o:.1},{}", row.join(","));
+    }
+
+    // Coarse ASCII rendering of the positive half-axis.
+    println!("\n# ASCII sketch (o in [0, 4], column height ∝ rg(o))");
+    for (name, reg) in &regs {
+        let bar: String = (0..=40)
+            .map(|i| {
+                let o = i as f32 * 0.1;
+                let v = reg.value(o);
+                match v {
+                    v if v <= 0.0 => '_',
+                    v if v < 0.2 => '.',
+                    v if v < 0.5 => ':',
+                    v if v < 1.0 => '+',
+                    v if v < 2.0 => '*',
+                    _ => '#',
+                }
+            })
+            .collect();
+        println!("{name:>13} |{bar}|");
+    }
+    println!("\nexpected: 'proposed' rises gently (α·|o|) inside |o| < 2^(M−1) = 2 and");
+    println!("steeply outside — sparsity AND range-fixing; truncated_l1 is flat inside.");
+}

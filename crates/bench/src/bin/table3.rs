@@ -1,0 +1,49 @@
+//! Regenerates **Table 3**: accuracy after *weight* quantization, with and
+//! without Weight Clustering. Inter-layer signals stay fp32.
+//!
+//! ```bash
+//! cargo run -p qsnc-bench --bin table3 --release
+//! ```
+
+use qsnc_bench::{restore_weights, snapshot_weights, Workload, SEED, TABLE_BITS};
+use qsnc_core::report::{pct, pct_delta, Table};
+use qsnc_core::train_float;
+use qsnc_nn::train::evaluate;
+use qsnc_nn::ModelKind;
+use qsnc_quant::{quantize_network_weights, WeightQuantMethod};
+
+fn main() {
+    for kind in [ModelKind::Lenet, ModelKind::Alexnet, ModelKind::Resnet] {
+        let w = Workload::standard(kind);
+        let test_batches = w.test.batches(64, None);
+
+        eprintln!("[{kind}] training fp32 baseline…");
+        let (mut net, ideal) = train_float(kind, w.width, &w.settings, &w.train, &w.test, SEED);
+        let snapshot = snapshot_weights(&mut net);
+
+        let mut table = Table::new(
+            format!("Table 3 — {kind}: weight quantization (signals fp32), ideal {}", pct(ideal)),
+            &["Bits", "w/o (direct)", "w/ (clustered)", "Recovered acc.", "Acc. drop"],
+        );
+        for bits in TABLE_BITS {
+            restore_weights(&mut net, &snapshot);
+            quantize_network_weights(&mut net, bits, WeightQuantMethod::DirectFixedPoint);
+            let without = evaluate(&mut net, &test_batches);
+
+            restore_weights(&mut net, &snapshot);
+            quantize_network_weights(&mut net, bits, WeightQuantMethod::Clustered);
+            let with = evaluate(&mut net, &test_batches);
+
+            table.row(&[
+                format!("{bits}-bit"),
+                pct(without),
+                pct(with),
+                pct(with - without),
+                pct_delta(with, ideal),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!("paper Table 3 (MNIST/CIFAR-10): e.g. Lenet 3-bit w/o 94.52% → w/ 97.79%;");
+    println!("Resnet 3-bit w/o 29% → w/ 88.1% (clustering recovers most of the loss).");
+}

@@ -1,0 +1,91 @@
+//! Table 4 on the **hard** object task: the paper's regime where the fp32
+//! model itself is below ceiling (as CIFAR-10 is), so quantization deltas
+//! are measured against a non-trivial baseline.
+//!
+//! ```bash
+//! cargo run -p qsnc-bench --bin table4_hard --release
+//! ```
+
+use qsnc_bench::{restore_weights, snapshot_weights, SEED, TABLE_BITS};
+use qsnc_core::report::{pct, pct_delta, Table};
+use qsnc_core::{
+    calibrate_stage_maxima, dynamic_fixed_baseline, train_float, train_quant_aware,
+    visit_signal_stages, QuantConfig, TrainSettings,
+};
+use qsnc_data::synth_objects_hard;
+use qsnc_nn::train::evaluate;
+use qsnc_nn::ModelKind;
+use qsnc_quant::{
+    insert_signal_stages, quantize_network_weights, ActivationQuantizer, ActivationRegularizer,
+    RegKind, WeightQuantMethod,
+};
+use qsnc_tensor::TensorRng;
+
+fn main() {
+    let mut rng = TensorRng::seed(SEED);
+    let (train, test) = synth_objects_hard(5000, &mut rng).split(0.8);
+    // lr 0.01: at 0.02 the width-0.25 AlexNet occasionally collapses to
+    // dead ReLUs on this noisier task (observed at seed 2018).
+    let settings = TrainSettings {
+        epochs: 5,
+        lr: 0.01,
+        ..TrainSettings::default()
+    };
+    let width = 0.25;
+    let kind = ModelKind::Alexnet;
+    let test_batches = test.batches(64, None);
+    let calibration = &train.batches(128, None)[0];
+
+    eprintln!("[{kind}/hard] training fp32 baseline…");
+    let (mut float_net, ideal) = train_float(kind, width, &settings, &train, &test, SEED);
+    let snapshot = snapshot_weights(&mut float_net);
+
+    eprintln!("[{kind}/hard] 8-bit dynamic fixed-point baseline…");
+    let (mut dyn_net, _) = train_float(kind, width, &settings, &train, &test, SEED);
+    let dyn8 = dynamic_fixed_baseline(&mut dyn_net, 8, calibration, &test_batches);
+
+    let (switch, _) = insert_signal_stages(
+        &mut float_net,
+        ActivationRegularizer::new(RegKind::None, 4, 0.0),
+        0.0,
+        ActivationQuantizer::new(4),
+    );
+    let maxima = calibrate_stage_maxima(&mut float_net, calibration);
+    let global_max = maxima.iter().copied().fold(0.0f32, f32::max).max(1e-6);
+
+    let mut table = Table::new(
+        format!(
+            "Table 4 (hard objects) — {kind}: ideal {}, 8-bit dyn-FP {}",
+            pct(ideal),
+            pct(dyn8)
+        ),
+        &["Bits", "w/o", "w/", "Recovered acc.", "Acc. drop"],
+    );
+    for bits in TABLE_BITS {
+        restore_weights(&mut float_net, &snapshot);
+        let levels = ((1u32 << bits) - 1) as f32;
+        let q = ActivationQuantizer::with_scale(bits, levels / global_max);
+        visit_signal_stages(&mut float_net, |s| s.set_quantizer(q));
+        quantize_network_weights(&mut float_net, bits, WeightQuantMethod::DirectFixedPoint);
+        switch.set_enabled(true);
+        let without = evaluate(&mut float_net, &test_batches);
+
+        eprintln!("[{kind}/hard] {bits}-bit proposed…");
+        let quant = QuantConfig::paper(bits, bits);
+        let model = {
+            // train_quant_aware builds its own dataset split? No — pass ours.
+            train_quant_aware(kind, width, &settings, &quant, &train, &test, SEED)
+        };
+        let with = model.quantized_accuracy;
+        table.row(&[
+            format!("{bits}-bit"),
+            pct(without),
+            pct(with),
+            pct(with - without),
+            pct_delta(with, ideal),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("compare the paper's CIFAR-10 AlexNet column: ideal 85.35%, 8-bit [23] 84.5%,");
+    println!("5/4/3-bit w/o 81.8/76.16/69.7%, w/ 84.47/83.05/81.53%.");
+}

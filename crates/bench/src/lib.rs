@@ -1,0 +1,148 @@
+//! Shared experiment harness for the table/figure generator binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index). This library fixes the common
+//! workload definitions — dataset sizes, model widths, training settings —
+//! so the binaries agree with each other and with EXPERIMENTS.md.
+
+use qsnc_core::TrainSettings;
+use qsnc_data::{synth_digits, synth_objects, Dataset};
+use qsnc_nn::{ModelKind, Sequential};
+use qsnc_tensor::{Tensor, TensorRng};
+
+/// Master seed for all experiment binaries.
+pub const SEED: u64 = 2018;
+
+/// One experimental workload: a model kind bound to its dataset and
+/// training settings.
+pub struct Workload {
+    /// Which of the paper's networks.
+    pub kind: ModelKind,
+    /// Width multiplier for CPU-scale training.
+    pub width: f32,
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out split.
+    pub test: Dataset,
+    /// Training hyper-parameters.
+    pub settings: TrainSettings,
+}
+
+impl Workload {
+    /// The standard workload for a model kind: LeNet trains on the digit
+    /// task (MNIST stand-in); AlexNet and ResNet train on the object task
+    /// (CIFAR stand-in).
+    pub fn standard(kind: ModelKind) -> Self {
+        let mut rng = TensorRng::seed(SEED);
+        match kind {
+            ModelKind::Lenet => {
+                let (train, test) = synth_digits(5000, &mut rng).split(0.8);
+                Workload {
+                    kind,
+                    width: 0.5,
+                    train,
+                    test,
+                    settings: TrainSettings {
+                        epochs: 5,
+                        ..TrainSettings::default()
+                    },
+                }
+            }
+            ModelKind::Alexnet => {
+                let (train, test) = synth_objects(4000, &mut rng).split(0.8);
+                Workload {
+                    kind,
+                    width: 0.25,
+                    train,
+                    test,
+                    settings: TrainSettings {
+                        epochs: 4,
+                        lr: 0.02,
+                        ..TrainSettings::default()
+                    },
+                }
+            }
+            ModelKind::Resnet => {
+                let (train, test) = synth_objects(4000, &mut rng).split(0.8);
+                Workload {
+                    kind,
+                    width: 0.25,
+                    train,
+                    test,
+                    settings: TrainSettings {
+                        epochs: 4,
+                        lr: 0.02,
+                        ..TrainSettings::default()
+                    },
+                }
+            }
+        }
+    }
+
+    /// The dataset name used in reports.
+    pub fn dataset_name(&self) -> &'static str {
+        match self.kind {
+            ModelKind::Lenet => "SynthDigits (MNIST stand-in)",
+            _ => "SynthObjects (CIFAR-10 stand-in)",
+        }
+    }
+}
+
+/// The bit widths every accuracy table sweeps, as in the paper.
+pub const TABLE_BITS: [u32; 3] = [5, 4, 3];
+
+/// Deep-copies every weight tensor (used to restore a float-trained model
+/// between destructive quantization passes).
+pub fn snapshot_weights(net: &mut Sequential) -> Vec<Tensor> {
+    net.params()
+        .iter()
+        .filter(|p| p.is_weight)
+        .map(|p| p.value.clone())
+        .collect()
+}
+
+/// Restores weights captured by [`snapshot_weights`].
+///
+/// # Panics
+///
+/// Panics if the snapshot does not match the network's weight tensors.
+pub fn restore_weights(net: &mut Sequential, snapshot: &[Tensor]) {
+    let mut it = snapshot.iter();
+    for p in net.params() {
+        if p.is_weight {
+            let saved = it.next().expect("snapshot too short");
+            assert_eq!(saved.shape(), p.value.shape(), "snapshot shape mismatch");
+            *p.value = saved.clone();
+        }
+    }
+    assert!(it.next().is_none(), "snapshot too long");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_expected_shapes() {
+        let w = Workload::standard(ModelKind::Lenet);
+        assert_eq!(w.train.example_dims(), [1, 28, 28]);
+        let w = Workload::standard(ModelKind::Alexnet);
+        assert_eq!(w.train.example_dims(), [3, 32, 32]);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut rng = TensorRng::seed(0);
+        let mut net = qsnc_nn::models::lenet(0.25, 10, &mut rng);
+        let snap = snapshot_weights(&mut net);
+        // Perturb all weights.
+        for p in net.params() {
+            if p.is_weight {
+                p.value.map_inplace(|x| x + 1.0);
+            }
+        }
+        restore_weights(&mut net, &snap);
+        let now = snapshot_weights(&mut net);
+        assert_eq!(snap, now);
+    }
+}

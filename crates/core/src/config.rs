@@ -1,0 +1,114 @@
+//! Configuration types for the end-to-end pipeline.
+
+use qsnc_quant::{RegKind, WeightQuantMethod};
+
+/// Full quantization configuration: the `(M, N)` pair of the paper plus
+/// the training-time knobs of Eq. 2/3.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QuantConfig {
+    /// Inter-layer signal bit width `M`.
+    pub activation_bits: u32,
+    /// Synaptic weight bit width `N`.
+    pub weight_bits: u32,
+    /// Regularization weight `λ` applied uniformly to every layer's
+    /// signal penalty.
+    pub lambda: f32,
+    /// Sparsity coefficient `α` of Eq. 3 (paper: 0.1).
+    pub alpha: f32,
+    /// Which signal regularizer to train with.
+    pub regularizer: RegKind,
+    /// How weights are mapped to the fixed-point grid.
+    pub weight_method: WeightQuantMethod,
+    /// Epochs of straight-through fine-tuning with quantization enabled
+    /// after the regularized training (0 disables).
+    pub finetune_epochs: usize,
+}
+
+impl QuantConfig {
+    /// The paper's proposed method at `(M, N)` bits: Neuron Convergence
+    /// (α = 0.1) plus Weight Clustering.
+    pub fn paper(activation_bits: u32, weight_bits: u32) -> Self {
+        QuantConfig {
+            activation_bits,
+            weight_bits,
+            lambda: 1e-5,
+            alpha: 0.1,
+            regularizer: RegKind::NeuronConvergence,
+            weight_method: WeightQuantMethod::Clustered,
+            finetune_epochs: 2,
+        }
+    }
+
+    /// The "w/o" baseline at `(M, N)` bits: no regularization, direct
+    /// post-training quantization of both signals and weights.
+    pub fn direct(activation_bits: u32, weight_bits: u32) -> Self {
+        QuantConfig {
+            activation_bits,
+            weight_bits,
+            lambda: 0.0,
+            alpha: 0.1,
+            regularizer: RegKind::None,
+            weight_method: WeightQuantMethod::DirectFixedPoint,
+            finetune_epochs: 0,
+        }
+    }
+}
+
+/// Training hyper-parameters shared by all experiments.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrainSettings {
+    /// Epochs of training.
+    pub epochs: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay on weight tensors.
+    pub weight_decay: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Multiply the learning rate by this factor…
+    pub lr_decay: f32,
+    /// …every this many epochs.
+    pub lr_decay_every: usize,
+    /// Print progress lines to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainSettings {
+    fn default() -> Self {
+        TrainSettings {
+            epochs: 6,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            batch_size: 32,
+            lr_decay: 0.5,
+            lr_decay_every: 3,
+            verbose: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_uses_proposed_mechanisms() {
+        let c = QuantConfig::paper(4, 4);
+        assert_eq!(c.regularizer, RegKind::NeuronConvergence);
+        assert_eq!(c.weight_method, WeightQuantMethod::Clustered);
+        assert!(c.lambda > 0.0);
+        assert_eq!(c.alpha, 0.1);
+    }
+
+    #[test]
+    fn direct_config_disables_recovery() {
+        let c = QuantConfig::direct(3, 3);
+        assert_eq!(c.regularizer, RegKind::None);
+        assert_eq!(c.weight_method, WeightQuantMethod::DirectFixedPoint);
+        assert_eq!(c.lambda, 0.0);
+        assert_eq!(c.finetune_epochs, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Deployment of quantized networks onto the memristor SNC, plus the
+//! hardware report used by Table 5.
+
+use crate::config::QuantConfig;
+use qsnc_memristor::{DeployConfig, HwModel, HwReport, SpikingNetwork};
+use qsnc_nn::train::Batch;
+use qsnc_nn::Sequential;
+use qsnc_tensor::TensorRng;
+
+/// Lowers a quantized network onto the memristor substrate using the
+/// paper's platform parameters (32×32 crossbars, 50 kΩ–1 MΩ devices).
+///
+/// # Errors
+///
+/// Returns [`qsnc_memristor::CompileError`] if the network contains layers
+/// the substrate cannot realize or unquantized signals.
+pub fn deploy_to_snc(
+    net: &Sequential,
+    quant: &QuantConfig,
+    rng: Option<&mut TensorRng>,
+) -> Result<SpikingNetwork, qsnc_memristor::CompileError> {
+    let config = DeployConfig::paper(quant.weight_bits, quant.activation_bits);
+    SpikingNetwork::compile(net, &config, rng)
+}
+
+/// Accuracy of the deployed spiking system on test batches.
+pub fn snc_accuracy(
+    snn: &SpikingNetwork,
+    batches: &[Batch],
+    rng: Option<&mut TensorRng>,
+) -> f32 {
+    snn.evaluate(batches, rng)
+}
+
+/// Hardware speed/energy/area for a network's structure at `(M, N)` bits
+/// — one row of Table 5.
+pub fn hardware_report(net: &Sequential, m_bits: u32, n_bits: u32) -> HwReport {
+    let model = HwModel::calibrated();
+    model.evaluate_network(&net.synaptic_descriptors(), 32, m_bits, n_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{QuantConfig, TrainSettings};
+    use crate::flow::train_quant_aware;
+    use qsnc_data::synth_digits;
+    use qsnc_nn::ModelKind;
+
+    #[test]
+    fn deployed_accuracy_tracks_software() {
+        let mut rng = TensorRng::seed(0);
+        let (train, test) = synth_digits(600, &mut rng).split(0.8);
+        let settings = TrainSettings {
+            epochs: 2,
+            ..TrainSettings::default()
+        };
+        let quant = QuantConfig {
+            finetune_epochs: 1,
+            ..QuantConfig::paper(4, 4)
+        };
+        let model =
+            train_quant_aware(ModelKind::Lenet, 0.25, &settings, &quant, &train, &test, 7);
+        let snn = deploy_to_snc(&model.net, &quant, None).expect("deploy");
+        let test_batches = test.batches(40, None);
+        let hw_acc = snc_accuracy(&snn, &test_batches[..1], None);
+        // One batch of 40 examples: hardware accuracy should be within a
+        // few examples of the software-quantized accuracy.
+        assert!(
+            (hw_acc - model.quantized_accuracy).abs() < 0.15,
+            "hw {hw_acc} vs sw {}",
+            model.quantized_accuracy
+        );
+    }
+
+    #[test]
+    fn hardware_report_has_sane_magnitudes() {
+        let mut rng = TensorRng::seed(1);
+        let net = qsnc_nn::models::lenet(1.0, 10, &mut rng);
+        let r8 = hardware_report(&net, 8, 8);
+        let r4 = hardware_report(&net, 4, 4);
+        assert!(r4.speed_mhz > r8.speed_mhz * 9.0);
+        assert!(r4.energy_uj < r8.energy_uj);
+        assert!(r4.area_mm2 < r8.area_mm2);
+    }
+}

@@ -1,0 +1,165 @@
+//! ASCII table formatting for the experiment binaries.
+//!
+//! The table generators in `qsnc-bench` print rows in the same layout as
+//! the paper's tables so that EXPERIMENTS.md can be assembled by direct
+//! comparison.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-layout ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Appends a row from displayable items.
+    pub fn row_display(&mut self, cells: &[&dyn std::fmt::Display]) {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let line = |widths: &[usize]| {
+            let mut s = String::from("+");
+            for w in widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s
+        };
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut s = String::from("|");
+            for (cell, w) in cells.iter().zip(widths.iter()) {
+                let _ = write!(s, " {cell:w$} |", w = w);
+            }
+            s
+        };
+        let _ = writeln!(out, "{}", line(&widths));
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let _ = writeln!(out, "{}", line(&widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        let _ = writeln!(out, "{}", line(&widths));
+        out
+    }
+}
+
+impl Table {
+    /// Renders the table as CSV (header + rows), quoting cells that
+    /// contain commas or quotes.
+    pub fn to_csv(&self) -> String {
+        fn field(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self.header.iter().map(|c| field(c)).collect();
+        out.push_str(&header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| field(c)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an accuracy as the paper does: `"98.16%"`.
+pub fn pct(x: f32) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Formats an accuracy delta as the paper does: `"-0.02%"`.
+pub fn pct_delta(ours: f32, reference: f32) -> String {
+    format!("{:+.2}%", (ours - reference) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["Model", "Acc"]);
+        t.row(&["Lenet".into(), "98.16%".into()]);
+        t.row(&["A-very-long-name".into(), "85.35%".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| Lenet "));
+        // All rendered lines after the title have the same width.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("Demo", &["A", "B"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_quotes_awkward_cells() {
+        let mut t = Table::new("Demo", &["A", "B"]);
+        t.row(&["plain".into(), "with,comma".into()]);
+        t.row(&["with\"quote".into(), "x".into()]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "A,B");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert_eq!(lines[2], "\"with\"\"quote\",x");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.9816), "98.16%");
+        assert_eq!(pct_delta(0.9814, 0.9816), "-0.02%");
+        assert_eq!(pct_delta(0.99, 0.98), "+1.00%");
+    }
+}

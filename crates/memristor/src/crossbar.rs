@@ -1,0 +1,222 @@
+//! Signed memristor crossbar arrays.
+//!
+//! Each synaptic weight code `c ∈ [−2^(N−1), 2^(N−1)]` is realized by a
+//! **differential device pair** on the same bitline: a "plus" device at
+//! level `c` (for positive codes) and a "minus" device at level `−c` (for
+//! negative), both riding on the `g_min` baseline, so the differential
+//! current is exactly `V · c · g_lsb`. The crossbar computes one
+//! vector-matrix product per read: wordline voltages in, bitline current
+//! differences out.
+
+use crate::device::{Device, DeviceConfig};
+use qsnc_tensor::TensorRng;
+
+/// A `rows × cols` crossbar of differential memristor pairs.
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    rows: usize,
+    cols: usize,
+    config: DeviceConfig,
+    g_plus: Vec<f32>,
+    g_minus: Vec<f32>,
+}
+
+impl Crossbar {
+    /// Programs a crossbar from signed weight codes in row-major
+    /// `[rows, cols]` order (`rows` = wordlines/inputs, `cols` =
+    /// bitlines/outputs). Write variation applies when `rng` is given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != rows·cols` or any `|code|` exceeds the
+    /// device's level range.
+    pub fn from_codes(
+        codes: &[i32],
+        rows: usize,
+        cols: usize,
+        config: DeviceConfig,
+        mut rng: Option<&mut TensorRng>,
+    ) -> Self {
+        assert_eq!(codes.len(), rows * cols, "code count mismatch");
+        let max_level = config.levels() - 1;
+        let mut g_plus = Vec::with_capacity(codes.len());
+        let mut g_minus = Vec::with_capacity(codes.len());
+        for &c in codes {
+            assert!(
+                c.unsigned_abs() <= max_level,
+                "code {c} exceeds device range ±{max_level}"
+            );
+            let (lp, lm) = if c >= 0 { (c as u32, 0) } else { (0, (-c) as u32) };
+            g_plus.push(Device::program(&config, lp, rng.as_deref_mut()).conductance);
+            g_minus.push(Device::program(&config, lm, rng.as_deref_mut()).conductance);
+        }
+        Crossbar {
+            rows,
+            cols,
+            config,
+            g_plus,
+            g_minus,
+        }
+    }
+
+    /// Number of wordlines (inputs).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bitlines (outputs).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Total physical devices (two per cell).
+    pub fn device_count(&self) -> usize {
+        2 * self.rows * self.cols
+    }
+
+    /// Differential bitline currents for wordline drive `x` (one value per
+    /// row; each unit of `x` corresponds to one read-voltage spike slot).
+    /// Read noise applies when `rng` is given.
+    ///
+    /// Returns one current per column, in amperes·slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows()`.
+    pub fn matvec(&self, x: &[f32], mut rng: Option<&mut TensorRng>) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "input length mismatch");
+        let v = self.config.v_read;
+        let mut out = vec![0.0f32; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue; // no spikes, no charge — the event-driven saving
+            }
+            let row_p = &self.g_plus[i * self.cols..(i + 1) * self.cols];
+            let row_m = &self.g_minus[i * self.cols..(i + 1) * self.cols];
+            match rng.as_deref_mut() {
+                Some(rng) if self.config.read_sigma > 0.0 => {
+                    for j in 0..self.cols {
+                        let ideal = (row_p[j] - row_m[j]) * v * xi;
+                        out[j] += ideal
+                            + (row_p[j] + row_m[j])
+                                * v
+                                * xi.abs()
+                                * rng.normal_with(0.0, self.config.read_sigma);
+                    }
+                }
+                _ => {
+                    for j in 0..self.cols {
+                        out[j] += (row_p[j] - row_m[j]) * v * xi;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Like [`matvec`](Self::matvec) but scaled back to **code units**:
+    /// entry `j` approximates `Σ_i codes[i][j] · x[i]` (exactly, when the
+    /// crossbar is noise-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows()`.
+    pub fn matvec_code_units(&self, x: &[f32], rng: Option<&mut TensorRng>) -> Vec<f32> {
+        let scale = 1.0 / (self.config.g_lsb() * self.config.v_read);
+        self.matvec(x, rng).into_iter().map(|i| i * scale).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::paper(4)
+    }
+
+    #[test]
+    fn ideal_crossbar_is_exact_in_code_units() {
+        let codes = vec![1, -2, 3, 0, 5, -8];
+        let xb = Crossbar::from_codes(&codes, 2, 3, cfg(), None);
+        let x = vec![2.0, 3.0];
+        let y = xb.matvec_code_units(&x, None);
+        // Expected: [1·2+0·3, −2·2+5·3, 3·2−8·3] = [2, 11, −18]
+        let expected = [2.0, 11.0, -18.0];
+        for (a, b) in y.iter().zip(expected.iter()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn zero_input_draws_no_differential_current() {
+        let codes = vec![7, -7];
+        let xb = Crossbar::from_codes(&codes, 1, 2, cfg(), None);
+        let y = xb.matvec(&[0.0], None);
+        assert_eq!(y, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn matches_reference_matmul_on_random_codes() {
+        let mut rng = TensorRng::seed(0);
+        let (rows, cols) = (32, 32);
+        let codes: Vec<i32> = (0..rows * cols)
+            .map(|_| rng.index(17) as i32 - 8)
+            .collect();
+        let xb = Crossbar::from_codes(&codes, rows, cols, cfg(), None);
+        let x: Vec<f32> = (0..rows).map(|_| rng.index(16) as f32).collect();
+        let y = xb.matvec_code_units(&x, None);
+        for j in 0..cols {
+            let expected: f32 = (0..rows)
+                .map(|i| codes[i * cols + j] as f32 * x[i])
+                .sum();
+            assert!(
+                (y[j] - expected).abs() < 1e-2 * (1.0 + expected.abs()),
+                "col {j}: {} vs {expected}",
+                y[j]
+            );
+        }
+    }
+
+    #[test]
+    fn write_noise_perturbs_but_preserves_signal() {
+        let mut rng = TensorRng::seed(1);
+        let codes = vec![8i32; 32];
+        let noisy_cfg = cfg().with_noise(0.05, 0.0);
+        let xb = Crossbar::from_codes(&codes, 32, 1, noisy_cfg, Some(&mut rng));
+        let x = vec![1.0f32; 32];
+        let y = xb.matvec_code_units(&x, None)[0];
+        let ideal = 8.0 * 32.0;
+        assert!((y / ideal - 1.0).abs() < 0.15, "noisy output {y} vs {ideal}");
+        assert!((y - ideal).abs() > 1e-6, "noise had no effect");
+    }
+
+    #[test]
+    fn read_noise_is_stochastic() {
+        let codes = vec![5i32];
+        let noisy_cfg = cfg().with_noise(0.0, 0.05);
+        let xb = Crossbar::from_codes(&codes, 1, 1, noisy_cfg, None);
+        let mut rng = TensorRng::seed(2);
+        let a = xb.matvec_code_units(&[3.0], Some(&mut rng))[0];
+        let b = xb.matvec_code_units(&[3.0], Some(&mut rng))[0];
+        assert_ne!(a, b);
+        assert!((a - 15.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn device_count_is_two_per_cell() {
+        let xb = Crossbar::from_codes(&[0; 12], 3, 4, cfg(), None);
+        assert_eq!(xb.device_count(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device range")]
+    fn oversized_code_panics() {
+        Crossbar::from_codes(&[100], 1, 1, cfg(), None);
+    }
+}

@@ -1,0 +1,210 @@
+//! Behavioural memristor device model.
+//!
+//! Follows the configuration of the paper's deployment platform (ref. \[12\],
+//! "A spiking neuromorphic design with resistive crossbar"): devices with
+//! resistance programmable in `[50 kΩ, 1 MΩ]`, i.e. conductance in
+//! `[1 µS, 20 µS]`, discretized to `N`-bit linear levels. Programming
+//! (write) variation and read noise are modelled as log-normal and additive
+//! Gaussian perturbations respectively.
+
+use qsnc_tensor::TensorRng;
+
+/// Static configuration of a memristor device population.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DeviceConfig {
+    /// Low-resistance state, ohms (paper: 50 kΩ).
+    pub r_on: f32,
+    /// High-resistance state, ohms (paper: 1 MΩ).
+    pub r_off: f32,
+    /// Bits of conductance resolution per device.
+    pub bits: u32,
+    /// Log-normal programming variation (σ of ln g); 0 disables.
+    pub write_sigma: f32,
+    /// Relative additive read-noise σ; 0 disables.
+    pub read_sigma: f32,
+    /// Read voltage, volts.
+    pub v_read: f32,
+}
+
+impl DeviceConfig {
+    /// The paper's device: 50 kΩ–1 MΩ, ideal (noise-free) programming.
+    pub fn paper(bits: u32) -> Self {
+        assert!((1..=8).contains(&bits), "device resolution must be 1..=8 bits");
+        DeviceConfig {
+            r_on: 50e3,
+            r_off: 1e6,
+            bits,
+            write_sigma: 0.0,
+            read_sigma: 0.0,
+            v_read: 0.2,
+        }
+    }
+
+    /// Same device with noise terms enabled.
+    pub fn with_noise(mut self, write_sigma: f32, read_sigma: f32) -> Self {
+        assert!(write_sigma >= 0.0 && read_sigma >= 0.0, "noise must be non-negative");
+        self.write_sigma = write_sigma;
+        self.read_sigma = read_sigma;
+        self
+    }
+
+    /// Minimum programmable conductance, siemens (`1/r_off`).
+    pub fn g_min(&self) -> f32 {
+        1.0 / self.r_off
+    }
+
+    /// Maximum programmable conductance, siemens (`1/r_on`).
+    pub fn g_max(&self) -> f32 {
+        1.0 / self.r_on
+    }
+
+    /// Number of discrete conductance levels, `2^bits`.
+    pub fn levels(&self) -> u32 {
+        1u32 << self.bits
+    }
+
+    /// Conductance step between adjacent levels.
+    pub fn g_lsb(&self) -> f32 {
+        (self.g_max() - self.g_min()) / (self.levels() - 1).max(1) as f32
+    }
+
+    /// Ideal conductance of level `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= levels()`.
+    pub fn level_conductance(&self, level: u32) -> f32 {
+        assert!(level < self.levels(), "level {level} out of range");
+        self.g_min() + level as f32 * self.g_lsb()
+    }
+
+    /// Nearest level for a target conductance (clamped into range).
+    pub fn nearest_level(&self, g: f32) -> u32 {
+        let idx = ((g - self.g_min()) / self.g_lsb()).round();
+        idx.clamp(0.0, (self.levels() - 1) as f32) as u32
+    }
+}
+
+/// One programmed memristor cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// Programmed level (the digital intent).
+    pub level: u32,
+    /// Actual conductance after programming variation, siemens.
+    pub conductance: f32,
+}
+
+impl Device {
+    /// Programs a device to `level` under `config`, applying write
+    /// variation when a generator is supplied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is out of range for the config.
+    pub fn program(config: &DeviceConfig, level: u32, rng: Option<&mut TensorRng>) -> Self {
+        let ideal = config.level_conductance(level);
+        let conductance = match rng {
+            Some(rng) if config.write_sigma > 0.0 => {
+                let g = ideal * rng.normal_with(0.0, config.write_sigma).exp();
+                g.clamp(config.g_min(), config.g_max())
+            }
+            _ => ideal,
+        };
+        Device { level, conductance }
+    }
+
+    /// Current drawn at voltage `v` (Ohm's law), with read noise when a
+    /// generator is supplied.
+    pub fn read(&self, config: &DeviceConfig, v: f32, rng: Option<&mut TensorRng>) -> f32 {
+        let ideal = self.conductance * v;
+        match rng {
+            Some(rng) if config.read_sigma > 0.0 => {
+                ideal * (1.0 + rng.normal_with(0.0, config.read_sigma))
+            }
+            _ => ideal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_ranges() {
+        let c = DeviceConfig::paper(4);
+        assert_eq!(c.g_min(), 1e-6);
+        assert_eq!(c.g_max(), 2e-5);
+        assert_eq!(c.levels(), 16);
+        assert!(c.g_lsb() > 0.0);
+    }
+
+    #[test]
+    fn level_conductances_are_linear_and_monotone() {
+        let c = DeviceConfig::paper(3);
+        let mut prev = 0.0;
+        for l in 0..c.levels() {
+            let g = c.level_conductance(l);
+            assert!(g > prev);
+            prev = g;
+        }
+        assert!((c.level_conductance(0) - c.g_min()).abs() < 1e-12);
+        assert!((c.level_conductance(c.levels() - 1) - c.g_max()).abs() < 1e-9);
+        // Linearity: equal spacing.
+        let d1 = c.level_conductance(1) - c.level_conductance(0);
+        let d2 = c.level_conductance(5) - c.level_conductance(4);
+        assert!((d1 - d2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nearest_level_round_trip() {
+        let c = DeviceConfig::paper(4);
+        for l in 0..c.levels() {
+            assert_eq!(c.nearest_level(c.level_conductance(l)), l);
+        }
+        // Out-of-range targets clamp.
+        assert_eq!(c.nearest_level(0.0), 0);
+        assert_eq!(c.nearest_level(1.0), c.levels() - 1);
+    }
+
+    #[test]
+    fn ideal_programming_is_exact() {
+        let c = DeviceConfig::paper(4);
+        let d = Device::program(&c, 7, None);
+        assert_eq!(d.conductance, c.level_conductance(7));
+        let i = d.read(&c, 0.2, None);
+        assert!((i - d.conductance * 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_variation_spreads_conductance() {
+        let c = DeviceConfig::paper(4).with_noise(0.05, 0.0);
+        let mut rng = TensorRng::seed(0);
+        let samples: Vec<f32> = (0..500)
+            .map(|_| Device::program(&c, 8, Some(&mut rng)).conductance)
+            .collect();
+        let mean: f32 = samples.iter().sum::<f32>() / samples.len() as f32;
+        let ideal = c.level_conductance(8);
+        assert!((mean / ideal - 1.0).abs() < 0.02, "mean drifted: {mean} vs {ideal}");
+        assert!(samples.iter().any(|&g| (g - ideal).abs() > 1e-9));
+        // Always stays in the physical range.
+        assert!(samples.iter().all(|&g| g >= c.g_min() && g <= c.g_max()));
+    }
+
+    #[test]
+    fn read_noise_is_zero_mean() {
+        let c = DeviceConfig::paper(4).with_noise(0.0, 0.05);
+        let d = Device::program(&c, 15, None);
+        let mut rng = TensorRng::seed(1);
+        let reads: Vec<f32> = (0..2000).map(|_| d.read(&c, 0.2, Some(&mut rng))).collect();
+        let mean: f32 = reads.iter().sum::<f32>() / reads.len() as f32;
+        let ideal = d.conductance * 0.2;
+        assert!((mean / ideal - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_level_panics() {
+        Device::program(&DeviceConfig::paper(2), 4, None);
+    }
+}

@@ -1,0 +1,361 @@
+//! Analytical speed / energy / area model of the memristor SNC
+//! (Table 5 of the paper).
+//!
+//! The paper obtains its numbers from circuit simulation of the four
+//! per-layer components (WL drivers, crossbars, IFCs, counters) on IBM
+//! 130 nm, configured per its ref. \[12\]. We reproduce the *model structure*
+//! — everything scales with the spike window `2^M`, the Eq. 1 crossbar
+//! count, and the row/column populations — and calibrate the component
+//! constants against the published LeNet rows of Table 5. All other rows
+//! (other networks, other bit widths) are *derived*, and EXPERIMENTS.md
+//! compares them against the paper's values.
+//!
+//! Structure:
+//!
+//! - **Latency**: each layer's evaluation occupies `2^M + K` spike slots
+//!   (window plus fixed pipeline overhead); layers execute in sequence, so
+//!   the reported "Speed (MHz)" is `1 / Σ_l (2^M + K)·t_slot`.
+//! - **Energy**: dynamic energy per layer is `ρ·2^M` slots of driver +
+//!   crossbar + IFC activity (`ρ` = average spike activity), plus a
+//!   per-column digital term proportional to the counter width `M`.
+//! - **Area**: crossbars (multiplied by `⌈N/4⌉` when weights exceed the
+//!   4-bit native device resolution and pairs must be composed), drivers
+//!   per row, IFC per column, and `M` counter bits per column.
+
+use crate::mapping::{network_geometry, LayerGeometry};
+use qsnc_nn::LayerDesc;
+
+/// Calibrated component constants of the hardware model.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HwModel {
+    /// Spike slot duration, nanoseconds.
+    pub t_slot_ns: f32,
+    /// Fixed per-layer pipeline overhead, slots.
+    pub overhead_slots: f32,
+    /// Average spike activity factor ρ (fraction of window slots active).
+    pub activity: f32,
+    /// Crossbar read energy per active slot, µJ.
+    pub e_xbar_uj: f32,
+    /// Wordline driver energy per row per active slot, µJ.
+    pub e_driver_uj: f32,
+    /// IFC energy per column per active slot, µJ.
+    pub e_ifc_uj: f32,
+    /// Digital (counter/routing) energy per column per output bit, µJ.
+    pub e_counter_uj: f32,
+    /// Area per 32×32 crossbar including local periphery, mm².
+    pub a_xbar_mm2: f32,
+    /// Area per wordline driver, mm².
+    pub a_driver_mm2: f32,
+    /// Area per IFC, mm².
+    pub a_ifc_mm2: f32,
+    /// Area per counter bit, mm².
+    pub a_counter_bit_mm2: f32,
+    /// Native device resolution in bits (crossbars are replicated
+    /// `⌈N / native⌉` times for wider weights).
+    pub native_weight_bits: u32,
+}
+
+impl HwModel {
+    /// Constants calibrated so the LeNet rows of Table 5 are reproduced;
+    /// see the module docs for the calibration procedure.
+    pub fn calibrated() -> Self {
+        HwModel {
+            t_slot_ns: 1.511,
+            overhead_slots: 2.56,
+            activity: 0.5,
+            e_xbar_uj: 1.0e-4,
+            e_driver_uj: 2.0e-5,
+            e_ifc_uj: 7.8e-5,
+            e_counter_uj: 6.8e-4,
+            a_xbar_mm2: 2.0e-3,
+            a_driver_mm2: 4.0e-4,
+            a_ifc_mm2: 2.9e-3,
+            a_counter_bit_mm2: 7.41e-4,
+            native_weight_bits: 4,
+        }
+    }
+
+    /// Crossbar replication factor for `n`-bit weights.
+    pub fn weight_multiplier(&self, weight_bits: u32) -> usize {
+        weight_bits.div_ceil(self.native_weight_bits) as usize
+    }
+
+    /// Evaluates the model for a network geometry at signal width `m_bits`
+    /// and weight width `n_bits`, with the given execution schedule.
+    pub fn evaluate_with_mode(
+        &self,
+        geometry: &[LayerGeometry],
+        m_bits: u32,
+        n_bits: u32,
+        mode: ExecutionMode,
+    ) -> HwReport {
+        let mut report = self.evaluate(geometry, m_bits, n_bits);
+        if mode == ExecutionMode::Pipelined && !geometry.is_empty() {
+            // Every layer is a pipeline stage; steady-state throughput is
+            // set by one window (+ overhead), not by the layer sum. Energy
+            // per inference and area are unchanged.
+            let window = (1u64 << m_bits) as f32;
+            let stage_ns = (window + self.overhead_slots) * self.t_slot_ns;
+            report.speed_mhz = 1e3 / stage_ns;
+        }
+        report
+    }
+
+    /// Evaluates the model for a network geometry at signal width `m_bits`
+    /// and weight width `n_bits` (layer-sequential schedule, as in the
+    /// paper's Table 5).
+    pub fn evaluate(&self, geometry: &[LayerGeometry], m_bits: u32, n_bits: u32) -> HwReport {
+        let window = (1u64 << m_bits) as f32;
+        let w_mult = self.weight_multiplier(n_bits) as f32;
+        let mut total_slots = 0.0f32;
+        let mut energy = 0.0f32;
+        let mut area = 0.0f32;
+        let mut crossbars = 0usize;
+        for g in geometry {
+            let xbars = g.crossbars as f32 * w_mult;
+            crossbars += g.crossbars * w_mult as usize;
+            total_slots += window + self.overhead_slots;
+            energy += self.activity
+                * window
+                * (xbars * self.e_xbar_uj
+                    + g.rows as f32 * self.e_driver_uj
+                    + g.cols as f32 * self.e_ifc_uj)
+                + g.cols as f32 * m_bits as f32 * self.e_counter_uj;
+            area += xbars * self.a_xbar_mm2
+                + g.rows as f32 * self.a_driver_mm2
+                + g.cols as f32 * (self.a_ifc_mm2 + m_bits as f32 * self.a_counter_bit_mm2);
+        }
+        let time_ns = total_slots * self.t_slot_ns;
+        HwReport {
+            layers: geometry.len(),
+            crossbars,
+            speed_mhz: 1e3 / time_ns,
+            energy_uj: energy,
+            area_mm2: area,
+        }
+    }
+
+    /// Per-layer cost breakdown at `(m_bits, n_bits)`: one entry per
+    /// geometry row, in order. Useful for locating the dominant layer.
+    pub fn breakdown(
+        &self,
+        geometry: &[LayerGeometry],
+        m_bits: u32,
+        n_bits: u32,
+    ) -> Vec<LayerHwReport> {
+        geometry
+            .iter()
+            .map(|g| {
+                let single = self.evaluate(std::slice::from_ref(g), m_bits, n_bits);
+                LayerHwReport {
+                    rows: g.rows,
+                    cols: g.cols,
+                    crossbars: single.crossbars,
+                    latency_us: 1.0 / single.speed_mhz,
+                    energy_uj: single.energy_uj,
+                    area_mm2: single.area_mm2,
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates the model for a list of layer descriptors with `t × t`
+    /// crossbars.
+    pub fn evaluate_network(
+        &self,
+        descs: &[LayerDesc],
+        t: usize,
+        m_bits: u32,
+        n_bits: u32,
+    ) -> HwReport {
+        self.evaluate(&network_geometry(descs, t), m_bits, n_bits)
+    }
+}
+
+impl Default for HwModel {
+    fn default() -> Self {
+        HwModel::calibrated()
+    }
+}
+
+/// How layer evaluations are scheduled on the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ExecutionMode {
+    /// Layers evaluate one after another (the conservative schedule used
+    /// for Table 5).
+    LayerSequential,
+    /// Layers form a pipeline; throughput is one spike window per
+    /// inference in steady state (PipeLayer-style, the paper's ref. \[20\]).
+    Pipelined,
+}
+
+/// Per-layer entry of [`HwModel::breakdown`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LayerHwReport {
+    /// Wordlines used.
+    pub rows: usize,
+    /// Bitlines used.
+    pub cols: usize,
+    /// Crossbars (after weight-bit replication).
+    pub crossbars: usize,
+    /// Layer evaluation latency, µs.
+    pub latency_us: f32,
+    /// Layer energy per inference, µJ.
+    pub energy_uj: f32,
+    /// Layer area, mm².
+    pub area_mm2: f32,
+}
+
+/// Model output for one (network, M, N) configuration — one row of
+/// Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HwReport {
+    /// Number of computation-unit layers.
+    pub layers: usize,
+    /// Total crossbars (after weight-bit replication).
+    pub crossbars: usize,
+    /// Inference rate, MHz.
+    pub speed_mhz: f32,
+    /// Energy per inference, µJ.
+    pub energy_uj: f32,
+    /// Silicon area, mm².
+    pub area_mm2: f32,
+}
+
+impl HwReport {
+    /// Speedup of `self` relative to `baseline`.
+    pub fn speedup_over(&self, baseline: &HwReport) -> f32 {
+        self.speed_mhz / baseline.speed_mhz
+    }
+
+    /// Fractional energy saving relative to `baseline` (0.891 = 89.1%).
+    pub fn energy_saving_over(&self, baseline: &HwReport) -> f32 {
+        1.0 - self.energy_uj / baseline.energy_uj
+    }
+
+    /// Fractional area saving relative to `baseline`.
+    pub fn area_saving_over(&self, baseline: &HwReport) -> f32 {
+        1.0 - self.area_mm2 / baseline.area_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsnc_nn::models::{self, ModelKind};
+    use qsnc_tensor::TensorRng;
+
+    fn lenet_geometry() -> Vec<LayerGeometry> {
+        let mut rng = TensorRng::seed(0);
+        let net = models::build_model(ModelKind::Lenet, 1.0, 10, &mut rng);
+        network_geometry(&net.synaptic_descriptors(), 32)
+    }
+
+    #[test]
+    fn lenet_8bit_speed_matches_paper_row() {
+        let model = HwModel::calibrated();
+        let r = model.evaluate(&lenet_geometry(), 8, 8);
+        // Paper: 0.64 MHz.
+        assert!((r.speed_mhz - 0.64).abs() < 0.05, "speed {}", r.speed_mhz);
+        assert_eq!(r.layers, 4);
+    }
+
+    #[test]
+    fn lenet_speedups_match_paper_shape() {
+        let model = HwModel::calibrated();
+        let geo = lenet_geometry();
+        let base = model.evaluate(&geo, 8, 8);
+        let b4 = model.evaluate(&geo, 4, 4);
+        let b3 = model.evaluate(&geo, 3, 3);
+        // Paper: 13.9× and 24.4×.
+        assert!((b4.speedup_over(&base) - 13.9).abs() < 0.5, "{}", b4.speedup_over(&base));
+        assert!((b3.speedup_over(&base) - 24.4).abs() < 1.0, "{}", b3.speedup_over(&base));
+    }
+
+    #[test]
+    fn lenet_energy_matches_paper_shape() {
+        let model = HwModel::calibrated();
+        let geo = lenet_geometry();
+        let base = model.evaluate(&geo, 8, 8);
+        let b4 = model.evaluate(&geo, 4, 4);
+        // Paper: 4.7 µJ baseline, 87.9% saving at 4-bit.
+        assert!((base.energy_uj - 4.7).abs() < 0.5, "energy {}", base.energy_uj);
+        let saving = b4.energy_saving_over(&base);
+        assert!((saving - 0.879).abs() < 0.05, "saving {saving}");
+    }
+
+    #[test]
+    fn lenet_area_matches_paper_shape() {
+        let model = HwModel::calibrated();
+        let geo = lenet_geometry();
+        let base = model.evaluate(&geo, 8, 8);
+        let b4 = model.evaluate(&geo, 4, 4);
+        let b3 = model.evaluate(&geo, 3, 3);
+        // Paper: 1.48 mm², 29.7% saving at 4-bit, 37.2% at 3-bit.
+        assert!((base.area_mm2 - 1.48).abs() < 0.1, "area {}", base.area_mm2);
+        assert!((b4.area_saving_over(&base) - 0.297).abs() < 0.03);
+        assert!((b3.area_saving_over(&base) - 0.372).abs() < 0.04);
+    }
+
+    #[test]
+    fn weight_multiplier_steps_at_native_resolution() {
+        let model = HwModel::calibrated();
+        assert_eq!(model.weight_multiplier(3), 1);
+        assert_eq!(model.weight_multiplier(4), 1);
+        assert_eq!(model.weight_multiplier(5), 2);
+        assert_eq!(model.weight_multiplier(8), 2);
+    }
+
+    #[test]
+    fn larger_networks_are_slower_and_bigger() {
+        let model = HwModel::calibrated();
+        let mut rng = TensorRng::seed(1);
+        let lenet = models::build_model(ModelKind::Lenet, 1.0, 10, &mut rng);
+        let alexnet = models::build_model(ModelKind::Alexnet, 1.0, 10, &mut rng);
+        let rl = model.evaluate_network(&lenet.synaptic_descriptors(), 32, 4, 4);
+        let ra = model.evaluate_network(&alexnet.synaptic_descriptors(), 32, 4, 4);
+        assert!(ra.speed_mhz < rl.speed_mhz);
+        assert!(ra.energy_uj > rl.energy_uj);
+        assert!(ra.area_mm2 > rl.area_mm2);
+        assert_eq!(ra.layers, 8);
+    }
+
+    #[test]
+    fn breakdown_sums_to_totals() {
+        let model = HwModel::calibrated();
+        let geo = lenet_geometry();
+        let total = model.evaluate(&geo, 4, 4);
+        let parts = model.breakdown(&geo, 4, 4);
+        assert_eq!(parts.len(), geo.len());
+        let energy: f32 = parts.iter().map(|p| p.energy_uj).sum();
+        let area: f32 = parts.iter().map(|p| p.area_mm2).sum();
+        let latency: f32 = parts.iter().map(|p| p.latency_us).sum();
+        assert!((energy - total.energy_uj).abs() < 1e-4 * total.energy_uj.max(1.0));
+        assert!((area - total.area_mm2).abs() < 1e-4 * total.area_mm2.max(1.0));
+        assert!((latency - 1.0 / total.speed_mhz).abs() < 1e-3 / total.speed_mhz);
+    }
+
+    #[test]
+    fn pipelined_mode_outpaces_sequential() {
+        let model = HwModel::calibrated();
+        let geo = lenet_geometry();
+        let seq = model.evaluate_with_mode(&geo, 4, 4, ExecutionMode::LayerSequential);
+        let pipe = model.evaluate_with_mode(&geo, 4, 4, ExecutionMode::Pipelined);
+        // 4 layers → pipeline is ~4× faster; energy and area identical.
+        assert!((pipe.speed_mhz / seq.speed_mhz - 4.0).abs() < 0.1);
+        assert_eq!(pipe.energy_uj, seq.energy_uj);
+        assert_eq!(pipe.area_mm2, seq.area_mm2);
+    }
+
+    #[test]
+    fn window_scaling_dominates_speed() {
+        let model = HwModel::calibrated();
+        let geo = lenet_geometry();
+        let mut prev = f32::INFINITY;
+        for m in 1..=8 {
+            let r = model.evaluate(&geo, m, 4);
+            assert!(r.speed_mhz < prev, "speed should fall with window size");
+            prev = r.speed_mhz;
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Layer-to-crossbar mapping, including the paper's Eq. 1 tiling count.
+//!
+//! A convolutional layer with `J` filters of size `s × s × d` becomes a
+//! weight matrix with `s²·d` rows (wordlines) and `J` columns (bitlines);
+//! a fully connected layer maps directly. Since physical crossbars are
+//! bounded at `t × t` (the paper uses 32 × 32), the matrix is tiled:
+//!
+//! ```text
+//! L_i = ⌈J_i / t⌉ · ⌈s_i² · J_{i−1} / t⌉          (Eq. 1)
+//! ```
+
+use crate::crossbar::Crossbar;
+use crate::device::DeviceConfig;
+use qsnc_nn::LayerDesc;
+use qsnc_tensor::TensorRng;
+
+/// Integer ceiling division.
+fn ceil_div(a: usize, b: usize) -> usize {
+    a.div_ceil(b)
+}
+
+/// Wordline (row) count a layer's weight matrix needs.
+///
+/// # Panics
+///
+/// Panics for [`LayerDesc::Other`], which has no synapses.
+pub fn layer_rows(desc: &LayerDesc) -> usize {
+    match *desc {
+        LayerDesc::Conv {
+            in_channels,
+            kernel,
+            ..
+        } => kernel * kernel * in_channels,
+        LayerDesc::Linear { in_features, .. } => in_features,
+        LayerDesc::Other => panic!("non-synaptic layer has no crossbar mapping"),
+    }
+}
+
+/// Bitline (column) count a layer's weight matrix needs.
+///
+/// # Panics
+///
+/// Panics for [`LayerDesc::Other`].
+pub fn layer_cols(desc: &LayerDesc) -> usize {
+    match *desc {
+        LayerDesc::Conv { out_channels, .. } => out_channels,
+        LayerDesc::Linear { out_features, .. } => out_features,
+        LayerDesc::Other => panic!("non-synaptic layer has no crossbar mapping"),
+    }
+}
+
+/// The paper's Eq. 1: number of `t × t` crossbars for one layer.
+///
+/// # Panics
+///
+/// Panics if `t == 0` or the layer is non-synaptic.
+pub fn crossbars_for_layer(desc: &LayerDesc, t: usize) -> usize {
+    assert!(t > 0, "crossbar size must be positive");
+    ceil_div(layer_cols(desc), t) * ceil_div(layer_rows(desc), t)
+}
+
+/// Geometry summary for one mapped layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LayerGeometry {
+    /// Wordlines used by the layer's weight matrix.
+    pub rows: usize,
+    /// Bitlines used.
+    pub cols: usize,
+    /// Crossbars after `t × t` tiling (Eq. 1).
+    pub crossbars: usize,
+    /// Synaptic weight count.
+    pub weights: usize,
+}
+
+/// Maps every synaptic layer of a network (described by its descriptors) to
+/// crossbar geometry.
+pub fn network_geometry(descs: &[LayerDesc], t: usize) -> Vec<LayerGeometry> {
+    descs
+        .iter()
+        .filter(|d| d.is_synaptic())
+        .map(|d| LayerGeometry {
+            rows: layer_rows(d),
+            cols: layer_cols(d),
+            crossbars: crossbars_for_layer(d, t),
+            weights: d.weight_count(),
+        })
+        .collect()
+}
+
+/// A weight matrix tiled over physical crossbars.
+///
+/// Stores the tile grid in block-row-major order and performs full-size
+/// vector-matrix products by accumulating tile contributions — the digital
+/// summation the paper's multi-crossbar composition performs.
+#[derive(Debug, Clone)]
+pub struct TiledMatrix {
+    in_dim: usize,
+    out_dim: usize,
+    tile: usize,
+    row_blocks: usize,
+    col_blocks: usize,
+    tiles: Vec<Crossbar>,
+}
+
+impl TiledMatrix {
+    /// Tiles a weight-code matrix in `[out, in]` layout (as stored by
+    /// `Conv2d`/`Linear`) over `tile × tile` crossbars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != out_dim·in_dim` or `tile == 0`.
+    pub fn from_codes(
+        codes: &[i32],
+        in_dim: usize,
+        out_dim: usize,
+        tile: usize,
+        config: DeviceConfig,
+        mut rng: Option<&mut TensorRng>,
+    ) -> Self {
+        assert!(tile > 0, "tile size must be positive");
+        assert_eq!(codes.len(), out_dim * in_dim, "code matrix shape mismatch");
+        let row_blocks = ceil_div(in_dim, tile);
+        let col_blocks = ceil_div(out_dim, tile);
+        let mut tiles = Vec::with_capacity(row_blocks * col_blocks);
+        for rb in 0..row_blocks {
+            for cb in 0..col_blocks {
+                let rows = (in_dim - rb * tile).min(tile);
+                let cols = (out_dim - cb * tile).min(tile);
+                // Crossbar cell (i, j) = weight of output (cb·tile + j)
+                // from input (rb·tile + i): transposed from [out, in].
+                let mut tile_codes = Vec::with_capacity(rows * cols);
+                for i in 0..rows {
+                    for j in 0..cols {
+                        let out_idx = cb * tile + j;
+                        let in_idx = rb * tile + i;
+                        tile_codes.push(codes[out_idx * in_dim + in_idx]);
+                    }
+                }
+                tiles.push(Crossbar::from_codes(
+                    &tile_codes,
+                    rows,
+                    cols,
+                    config,
+                    rng.as_deref_mut(),
+                ));
+            }
+        }
+        TiledMatrix {
+            in_dim,
+            out_dim,
+            tile,
+            row_blocks,
+            col_blocks,
+            tiles,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Number of physical crossbars (matches Eq. 1).
+    pub fn crossbar_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Total devices across all tiles.
+    pub fn device_count(&self) -> usize {
+        self.tiles.iter().map(Crossbar::device_count).sum()
+    }
+
+    /// Full `y[out] = Σ codes[out][in] · x[in]` in code units, accumulated
+    /// over tiles. Read noise applies when `rng` is given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim()`.
+    pub fn matvec_code_units(&self, x: &[f32], mut rng: Option<&mut TensorRng>) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_dim, "input length mismatch");
+        let mut y = vec![0.0f32; self.out_dim];
+        for rb in 0..self.row_blocks {
+            let row_start = rb * self.tile;
+            let rows = (self.in_dim - row_start).min(self.tile);
+            let xin = &x[row_start..row_start + rows];
+            // Skip silent row blocks entirely (event-driven behaviour).
+            if xin.iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            for cb in 0..self.col_blocks {
+                let tile = &self.tiles[rb * self.col_blocks + cb];
+                let part = tile.matvec_code_units(xin, rng.as_deref_mut());
+                let col_start = cb * self.tile;
+                for (j, p) in part.into_iter().enumerate() {
+                    y[col_start + j] += p;
+                }
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_lenet_conv2_example() {
+        // Paper Sec. 2.2: layer with J filters, size s×s, depth J_prev.
+        // LeNet conv2: J=16, s=5, J_prev=6 → rows 150 → ⌈16/32⌉·⌈150/32⌉ = 5.
+        let d = LayerDesc::Conv {
+            in_channels: 6,
+            out_channels: 16,
+            kernel: 5,
+            stride: 1,
+            padding: 0,
+        };
+        assert_eq!(crossbars_for_layer(&d, 32), 5);
+    }
+
+    #[test]
+    fn eq1_exact_fit_uses_one_crossbar() {
+        let d = LayerDesc::Linear {
+            in_features: 32,
+            out_features: 32,
+        };
+        assert_eq!(crossbars_for_layer(&d, 32), 1);
+        let d33 = LayerDesc::Linear {
+            in_features: 33,
+            out_features: 32,
+        };
+        assert_eq!(crossbars_for_layer(&d33, 32), 2);
+    }
+
+    #[test]
+    fn eq1_monotone_in_layer_size() {
+        let mk = |j: usize, jp: usize| LayerDesc::Conv {
+            in_channels: jp,
+            out_channels: j,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let mut prev = 0;
+        for width in [4, 8, 16, 32, 64, 128] {
+            let n = crossbars_for_layer(&mk(width, width), 32);
+            assert!(n >= prev);
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn tiled_matrix_count_matches_eq1() {
+        let mut rng = TensorRng::seed(0);
+        for &(in_dim, out_dim, t) in
+            &[(150, 16, 32), (400, 84, 32), (33, 65, 32), (10, 10, 32)]
+        {
+            let codes: Vec<i32> = (0..in_dim * out_dim)
+                .map(|_| rng.index(17) as i32 - 8)
+                .collect();
+            let tm = TiledMatrix::from_codes(
+                &codes,
+                in_dim,
+                out_dim,
+                t,
+                DeviceConfig::paper(4),
+                None,
+            );
+            let desc = LayerDesc::Linear {
+                in_features: in_dim,
+                out_features: out_dim,
+            };
+            assert_eq!(tm.crossbar_count(), crossbars_for_layer(&desc, t));
+        }
+    }
+
+    #[test]
+    fn tiled_matvec_matches_dense_reference() {
+        let mut rng = TensorRng::seed(1);
+        let (in_dim, out_dim, t) = (70, 45, 32);
+        let codes: Vec<i32> = (0..in_dim * out_dim)
+            .map(|_| rng.index(17) as i32 - 8)
+            .collect();
+        let tm =
+            TiledMatrix::from_codes(&codes, in_dim, out_dim, t, DeviceConfig::paper(4), None);
+        let x: Vec<f32> = (0..in_dim).map(|_| rng.index(16) as f32).collect();
+        let y = tm.matvec_code_units(&x, None);
+        for j in 0..out_dim {
+            let expected: f32 = (0..in_dim).map(|i| codes[j * in_dim + i] as f32 * x[i]).sum();
+            assert!(
+                (y[j] - expected).abs() < 1e-2 * (1.0 + expected.abs()),
+                "out {j}: {} vs {expected}",
+                y[j]
+            );
+        }
+    }
+
+    #[test]
+    fn geometry_covers_only_synaptic_layers() {
+        let descs = vec![
+            LayerDesc::Conv {
+                in_channels: 1,
+                out_channels: 6,
+                kernel: 5,
+                stride: 1,
+                padding: 2,
+            },
+            LayerDesc::Other,
+            LayerDesc::Linear {
+                in_features: 400,
+                out_features: 84,
+            },
+        ];
+        let geo = network_geometry(&descs, 32);
+        assert_eq!(geo.len(), 2);
+        assert_eq!(geo[0].rows, 25);
+        assert_eq!(geo[0].cols, 6);
+        assert_eq!(geo[0].crossbars, 1);
+        assert_eq!(geo[1].crossbars, 3 * 13);
+        assert_eq!(geo[1].weights, 400 * 84);
+    }
+}

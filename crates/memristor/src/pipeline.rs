@@ -1,0 +1,613 @@
+//! End-to-end spiking inference on the memristor substrate.
+//!
+//! [`SpikingNetwork::compile`] lowers a trained, quantized `Sequential`
+//! onto the hardware model: synaptic layers become tiled crossbars, batch
+//! norm folds into the preceding convolution, ReLU + signal quantization
+//! become the IFC/counter stage (the IFC is naturally rectifying, so ReLU
+//! is free), and pooling/flatten stay digital. In the noise-free setting
+//! the spiking network's outputs match the software-quantized network's
+//! exactly — the crossbar computes the same fixed-point arithmetic — which
+//! the integration tests assert; device noise can then be layered on.
+
+use crate::device::DeviceConfig;
+use crate::mapping::TiledMatrix;
+use crate::spike::Ifc;
+use qsnc_nn::layers::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Relu, Residual};
+use qsnc_nn::{Batch, Layer, Sequential};
+use qsnc_quant::{cluster_weights, ActivationQuantizer, SignalStage};
+use qsnc_tensor::{im2col, Conv2dSpec, Tensor, TensorRng};
+use std::fmt;
+
+/// Deployment parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DeployConfig {
+    /// Synaptic weight bit width `N`.
+    pub weight_bits: u32,
+    /// Physical crossbar edge (the paper uses 32).
+    pub crossbar_size: usize,
+    /// Device model (resistance range, noise).
+    pub device: DeviceConfig,
+    /// Quantizer used to rate-code the input image.
+    pub input_quantizer: ActivationQuantizer,
+}
+
+impl DeployConfig {
+    /// The paper's configuration: `N`-bit weights, 32×32 crossbars,
+    /// 50 kΩ–1 MΩ devices, `M`-bit input coding.
+    pub fn paper(weight_bits: u32, activation_bits: u32) -> Self {
+        DeployConfig {
+            weight_bits,
+            crossbar_size: 32,
+            device: DeviceConfig::paper(weight_bits),
+            input_quantizer: ActivationQuantizer::with_scale(
+                activation_bits,
+                ((1u32 << activation_bits) - 1) as f32,
+            ),
+        }
+    }
+}
+
+/// Errors from lowering a network onto the substrate.
+#[derive(Debug)]
+pub enum CompileError {
+    /// A layer type the substrate cannot realize.
+    UnsupportedLayer(String),
+    /// Batch norm appeared without a preceding convolution to fold into.
+    DanglingBatchNorm,
+    /// The input to a synaptic layer is not a quantized (spike-coded)
+    /// signal.
+    UnquantizedInput(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnsupportedLayer(n) => write!(f, "unsupported layer for SNC: {n}"),
+            CompileError::DanglingBatchNorm => {
+                write!(f, "batch norm without preceding convolution")
+            }
+            CompileError::UnquantizedInput(n) => {
+                write!(f, "synaptic layer {n} driven by unquantized signal")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SynKind {
+    Conv { spec: Conv2dSpec, in_c: usize, out_c: usize },
+    Fc { in_dim: usize, out_dim: usize },
+}
+
+/// One crossbar-mapped synaptic layer plus its IFC/counter stage.
+#[derive(Debug)]
+struct SynapticStage {
+    kind: SynKind,
+    tiles: TiledMatrix,
+    weight_scale: f32,
+    bias: Vec<f32>,
+    in_quant: ActivationQuantizer,
+    rectify: bool,
+    out_quant: Option<ActivationQuantizer>,
+}
+
+#[derive(Debug)]
+enum Stage {
+    Synaptic(SynapticStage),
+    MaxPool { window: usize, stride: usize },
+    AvgPool { window: usize, stride: usize },
+    Flatten,
+    /// Standalone rectify + requantize (IFC on an analog sum, e.g. after a
+    /// residual add).
+    Requant { quant: Option<ActivationQuantizer> },
+    Residual { body: Vec<Stage>, shortcut: Vec<Stage> },
+}
+
+/// A network lowered onto memristor crossbars, ready for spiking inference.
+#[derive(Debug)]
+pub struct SpikingNetwork {
+    stages: Vec<Stage>,
+    input_quant: ActivationQuantizer,
+}
+
+struct Compiler<'a> {
+    config: &'a DeployConfig,
+    rng: Option<&'a mut TensorRng>,
+}
+
+/// Builder state while walking one layer stack.
+struct PendingSynapse {
+    kind: SynKind,
+    weight: Tensor,
+    bias: Vec<f32>,
+    rectify: bool,
+    out_quant: Option<ActivationQuantizer>,
+}
+
+impl<'a> Compiler<'a> {
+    fn compile_stack(
+        &mut self,
+        layers: &[Box<dyn Layer>],
+        current_quant: &mut Option<ActivationQuantizer>,
+    ) -> Result<Vec<Stage>, CompileError> {
+        let mut stages = Vec::new();
+        let mut pending: Option<PendingSynapse> = None;
+
+        // Finalize a pending synaptic layer into a crossbar stage.
+        macro_rules! flush {
+            () => {
+                if let Some(p) = pending.take() {
+                    stages.push(Stage::Synaptic(self.finalize(p, current_quant)?));
+                }
+            };
+        }
+
+        for layer in layers {
+            let any = layer.as_any();
+            if let Some(conv) = any.downcast_ref::<Conv2d>() {
+                flush!();
+                let in_quant = current_quant
+                    .ok_or_else(|| CompileError::UnquantizedInput("conv2d".into()))?;
+                let _ = in_quant;
+                pending = Some(PendingSynapse {
+                    kind: SynKind::Conv {
+                        spec: conv.spec(),
+                        in_c: conv.weight().dims()[1],
+                        out_c: conv.weight().dims()[0],
+                    },
+                    weight: conv.weight().clone(),
+                    bias: conv.bias().as_slice().to_vec(),
+                    rectify: false,
+                    out_quant: None,
+                });
+            } else if let Some(fc) = any.downcast_ref::<Linear>() {
+                flush!();
+                pending = Some(PendingSynapse {
+                    kind: SynKind::Fc {
+                        in_dim: fc.weight().dims()[1],
+                        out_dim: fc.weight().dims()[0],
+                    },
+                    weight: fc.weight().clone(),
+                    bias: fc.bias().as_slice().to_vec(),
+                    rectify: false,
+                    out_quant: None,
+                });
+            } else if let Some(bn) = any.downcast_ref::<BatchNorm2d>() {
+                let p = pending.as_mut().ok_or(CompileError::DanglingBatchNorm)?;
+                let (a, b) = bn.eval_affine();
+                fold_batchnorm(p, &a, &b)?;
+            } else if any.downcast_ref::<Relu>().is_some() {
+                match pending.as_mut() {
+                    Some(p) => p.rectify = true,
+                    None => stages.push(Stage::Requant { quant: None }),
+                }
+            } else if let Some(stage) = any.downcast_ref::<SignalStage>() {
+                let q = stage.quantizer();
+                match pending.as_mut() {
+                    Some(p) if p.out_quant.is_none() => {
+                        p.out_quant = Some(q);
+                        flush!();
+                    }
+                    _ => {
+                        // Quantizer on an analog path (e.g. after residual
+                        // add): attach to the last Requant stage if present.
+                        match stages.last_mut() {
+                            Some(Stage::Requant { quant }) if quant.is_none() => {
+                                *quant = Some(q);
+                            }
+                            _ => stages.push(Stage::Requant { quant: Some(q) }),
+                        }
+                    }
+                }
+                *current_quant = Some(q);
+            } else if let Some(pool) = any.downcast_ref::<MaxPool2d>() {
+                flush!();
+                stages.push(Stage::MaxPool {
+                    window: pool.window(),
+                    stride: pool.stride(),
+                });
+            } else if let Some(pool) = any.downcast_ref::<AvgPool2d>() {
+                flush!();
+                stages.push(Stage::AvgPool {
+                    window: pool.window(),
+                    stride: pool.stride(),
+                });
+            } else if any.downcast_ref::<Flatten>().is_some() {
+                flush!();
+                stages.push(Stage::Flatten);
+            } else if let Some(res) = any.downcast_ref::<Residual>() {
+                flush!();
+                let mut q_body = *current_quant;
+                let body = self.compile_stack(res.body(), &mut q_body)?;
+                let mut q_skip = *current_quant;
+                let shortcut = self.compile_stack(res.shortcut_layers(), &mut q_skip)?;
+                // After an add, the signal is analog until the next requant.
+                *current_quant = None;
+                stages.push(Stage::Residual { body, shortcut });
+            } else if layer.name() == "identity" || layer.name() == "dropout" {
+                // No-ops at inference time.
+            } else {
+                return Err(CompileError::UnsupportedLayer(layer.name().to_string()));
+            }
+        }
+        flush!();
+        Ok(stages)
+    }
+
+    fn finalize(
+        &mut self,
+        p: PendingSynapse,
+        current_quant: &mut Option<ActivationQuantizer>,
+    ) -> Result<SynapticStage, CompileError> {
+        let in_quant = current_quant.ok_or_else(|| {
+            CompileError::UnquantizedInput(format!("{:?}", p.kind))
+        })?;
+        let (in_dim, out_dim) = match p.kind {
+            SynKind::Conv { spec, in_c, out_c } => (spec.kernel * spec.kernel * in_c, out_c),
+            SynKind::Fc { in_dim, out_dim } => (in_dim, out_dim),
+        };
+        // Recover the fixed-point codes (idempotent for already-clustered
+        // weights) and program the crossbar tiles.
+        let q = cluster_weights(&p.weight, self.config.weight_bits);
+        let tiles = TiledMatrix::from_codes(
+            &q.codes,
+            in_dim,
+            out_dim,
+            self.config.crossbar_size,
+            self.config.device,
+            self.rng.as_deref_mut(),
+        );
+        // The signal leaving this stage is quantized (or analog when no
+        // counter follows, e.g. the final logits or a pre-add conv).
+        *current_quant = p.out_quant;
+        Ok(SynapticStage {
+            kind: p.kind,
+            tiles,
+            weight_scale: q.scale,
+            bias: p.bias,
+            in_quant,
+            rectify: p.rectify,
+            out_quant: p.out_quant,
+        })
+    }
+}
+
+fn fold_batchnorm(p: &mut PendingSynapse, a: &[f32], b: &[f32]) -> Result<(), CompileError> {
+    let out = match p.kind {
+        SynKind::Conv { out_c, .. } => out_c,
+        // BN after FC does not occur in the model zoo.
+        SynKind::Fc { .. } => return Err(CompileError::DanglingBatchNorm),
+    };
+    assert_eq!(a.len(), out, "batchnorm width mismatch");
+    let per_filter = p.weight.len() / out;
+    let ws = p.weight.as_mut_slice();
+    for f in 0..out {
+        for w in &mut ws[f * per_filter..(f + 1) * per_filter] {
+            *w *= a[f];
+        }
+        p.bias[f] = a[f] * p.bias[f] + b[f];
+    }
+    Ok(())
+}
+
+impl SynapticStage {
+    /// Runs the stage on a true-unit activation tensor `[1, …]`, returning
+    /// the true-unit output.
+    fn forward(&self, x: &Tensor, rng: &mut Option<&mut TensorRng>) -> Tensor {
+        match self.kind {
+            SynKind::Conv { spec, in_c, out_c } => {
+                assert_eq!(x.dims()[1], in_c, "conv input channel mismatch");
+                let (h, w) = (x.dims()[2], x.dims()[3]);
+                let oh = spec.output_size(h);
+                let ow = spec.output_size(w);
+                let cols = im2col(x, spec);
+                let (rows, ncols) = (cols.dims()[0], cols.dims()[1]);
+                let cs = cols.as_slice();
+                let mut out = Tensor::zeros([1, out_c, oh, ow]);
+                let os = out.as_mut_slice();
+                let mut counts = vec![0.0f32; rows];
+                for j in 0..ncols {
+                    for (i, c) in counts.iter_mut().enumerate() {
+                        *c = (cs[i * ncols + j] * self.in_quant.scale()).round();
+                    }
+                    let y = self.tiles.matvec_code_units(&counts, rng.as_deref_mut());
+                    for (f, yf) in y.into_iter().enumerate() {
+                        let z = self.weight_scale * yf / self.in_quant.scale() + self.bias[f];
+                        os[f * oh * ow + j] = self.requant(z);
+                    }
+                }
+                out
+            }
+            SynKind::Fc { in_dim, out_dim } => {
+                assert_eq!(x.len(), in_dim, "fc input length mismatch");
+                let counts: Vec<f32> = x
+                    .iter()
+                    .map(|&v| (v * self.in_quant.scale()).round())
+                    .collect();
+                let y = self.tiles.matvec_code_units(&counts, rng.as_deref_mut());
+                let data: Vec<f32> = y
+                    .into_iter()
+                    .enumerate()
+                    .map(|(f, yf)| {
+                        let z = self.weight_scale * yf / self.in_quant.scale() + self.bias[f];
+                        self.requant(z)
+                    })
+                    .collect();
+                Tensor::from_vec(data, [1, out_dim])
+            }
+        }
+    }
+
+    /// IFC + counter on one analog pre-activation.
+    fn requant(&self, z: f32) -> f32 {
+        match (self.rectify, self.out_quant) {
+            (true, Some(q)) => {
+                // IFC threshold = one output LSB; counter saturates at 2^M−1.
+                let ifc = Ifc::new(1.0 / q.scale(), q.max_level());
+                ifc.convert(z.max(0.0)) as f32 / q.scale()
+            }
+            (true, None) => z.max(0.0),
+            (false, Some(q)) => q.quantize_value(z),
+            (false, None) => z,
+        }
+    }
+}
+
+fn run_stages(stages: &[Stage], x: &Tensor, rng: &mut Option<&mut TensorRng>) -> Tensor {
+    let mut h = x.clone();
+    for stage in stages {
+        h = match stage {
+            Stage::Synaptic(s) => s.forward(&h, rng),
+            Stage::MaxPool { window, stride } => {
+                let mut pool = MaxPool2d::new(*window, *stride);
+                pool.forward(&h, qsnc_nn::Mode::Eval)
+            }
+            Stage::AvgPool { window, stride } => {
+                let mut pool = AvgPool2d::new(*window, *stride);
+                pool.forward(&h, qsnc_nn::Mode::Eval)
+            }
+            Stage::Flatten => {
+                let n = h.dims()[0];
+                let rest: usize = h.dims()[1..].iter().product();
+                h.reshape([n, rest])
+            }
+            Stage::Requant { quant } => {
+                let relu = h.relu();
+                match quant {
+                    Some(q) => q.quantize(&relu),
+                    None => relu,
+                }
+            }
+            Stage::Residual { body, shortcut } => {
+                let main = run_stages(body, &h, rng);
+                let skip = if shortcut.is_empty() {
+                    h.clone()
+                } else {
+                    run_stages(shortcut, &h, rng)
+                };
+                &main + &skip
+            }
+        };
+    }
+    h
+}
+
+impl SpikingNetwork {
+    /// Lowers a trained, quantized network onto the substrate.
+    ///
+    /// Pass `rng` to apply device write variation while programming the
+    /// crossbars; `None` programs ideal conductances.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError`] when the network contains layers the
+    /// substrate cannot realize or signals that were never quantized.
+    pub fn compile(
+        net: &Sequential,
+        config: &DeployConfig,
+        rng: Option<&mut TensorRng>,
+    ) -> Result<Self, CompileError> {
+        let mut compiler = Compiler { config, rng };
+        let mut current = Some(config.input_quantizer);
+        let stages = compiler.compile_stack(net.layers(), &mut current)?;
+        Ok(SpikingNetwork {
+            stages,
+            input_quant: config.input_quantizer,
+        })
+    }
+
+    /// Runs spiking inference on a single example `[1, …]`, returning the
+    /// analog logits read from the final layer's bitlines.
+    ///
+    /// Pass `rng` to enable read noise on every crossbar access.
+    pub fn infer(&self, x: &Tensor, rng: Option<&mut TensorRng>) -> Tensor {
+        let coded = self.input_quant.quantize(x);
+        let mut rng = rng;
+        run_stages(&self.stages, &coded, &mut rng)
+    }
+
+    /// Classification accuracy over batches (examples run one at a time, as
+    /// the physical pipeline would).
+    pub fn evaluate(&self, batches: &[Batch], mut rng: Option<&mut TensorRng>) -> f32 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for batch in batches {
+            let dims = batch.images.dims();
+            let stride: usize = dims[1..].iter().product();
+            for (i, &label) in batch.labels.iter().enumerate() {
+                let mut ex_dims = vec![1usize];
+                ex_dims.extend_from_slice(&dims[1..]);
+                let x = Tensor::from_vec(
+                    batch.images.as_slice()[i * stride..(i + 1) * stride].to_vec(),
+                    ex_dims,
+                );
+                let logits = self.infer(&x, rng.as_deref_mut());
+                if logits.argmax() == label {
+                    correct += 1;
+                }
+                total += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f32 / total as f32
+        }
+    }
+
+    /// Total crossbars programmed (matches Eq. 1 summed over layers).
+    pub fn crossbar_count(&self) -> usize {
+        fn count(stages: &[Stage]) -> usize {
+            stages
+                .iter()
+                .map(|s| match s {
+                    Stage::Synaptic(s) => s.tiles.crossbar_count(),
+                    Stage::Residual { body, shortcut } => count(body) + count(shortcut),
+                    _ => 0,
+                })
+                .sum()
+        }
+        count(&self.stages)
+    }
+
+    /// Total memristor devices programmed.
+    pub fn device_count(&self) -> usize {
+        fn count(stages: &[Stage]) -> usize {
+            stages
+                .iter()
+                .map(|s| match s {
+                    Stage::Synaptic(s) => s.tiles.device_count(),
+                    Stage::Residual { body, shortcut } => count(body) + count(shortcut),
+                    _ => 0,
+                })
+                .sum()
+        }
+        count(&self.stages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsnc_nn::Mode;
+    use qsnc_quant::{
+        insert_signal_stages, quantize_network_weights, ActivationRegularizer, WeightQuantMethod,
+    };
+
+    /// Builds a small quantized LeNet ready for deployment.
+    fn deployable_lenet(
+        bits: u32,
+        rng: &mut TensorRng,
+    ) -> (Sequential, qsnc_quant::QuantSwitch) {
+        let mut net = qsnc_nn::models::lenet(0.25, 10, rng);
+        let (switch, _) = insert_signal_stages(
+            &mut net,
+            ActivationRegularizer::neuron_convergence(bits),
+            0.0,
+            ActivationQuantizer::new(bits),
+        );
+        switch.set_enabled(true);
+        quantize_network_weights(&mut net, bits, WeightQuantMethod::Clustered);
+        (net, switch)
+    }
+
+    #[test]
+    fn compile_lenet_succeeds() {
+        let mut rng = TensorRng::seed(0);
+        let (net, _switch) = deployable_lenet(4, &mut rng);
+        let config = DeployConfig::paper(4, 4);
+        let snn = SpikingNetwork::compile(&net, &config, None).expect("compile");
+        assert!(snn.crossbar_count() > 0);
+        assert!(snn.device_count() > 0);
+    }
+
+    #[test]
+    fn spiking_matches_software_quantized_exactly_when_ideal() {
+        let mut rng = TensorRng::seed(1);
+        let (mut net, _switch) = deployable_lenet(4, &mut rng);
+        let config = DeployConfig::paper(4, 4);
+        let snn = SpikingNetwork::compile(&net, &config, None).expect("compile");
+
+        for seed in 0..5u64 {
+            let mut drng = TensorRng::seed(seed + 100);
+            let x = qsnc_tensor::init::uniform([1, 1, 28, 28], 0.0, 1.0, &mut drng);
+            // Software path: input quantized the same way.
+            let coded = config.input_quantizer.quantize(&x);
+            let sw = net.forward(&coded, Mode::Eval);
+            let hw = snn.infer(&x, None);
+            assert_eq!(sw.dims(), hw.dims());
+            for (a, b) in sw.iter().zip(hw.iter()) {
+                assert!(
+                    (a - b).abs() < 2e-2 * (1.0 + a.abs()),
+                    "software {a} vs hardware {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compile_resnet_succeeds_and_runs() {
+        let mut rng = TensorRng::seed(2);
+        let mut net = qsnc_nn::models::resnet(0.25, 10, &mut rng);
+        // Exercise batch norm with a couple of training steps first.
+        let x = qsnc_tensor::init::uniform([2, 3, 32, 32], 0.0, 1.0, &mut rng);
+        net.forward(&x, Mode::Train);
+        let (switch, _) = insert_signal_stages(
+            &mut net,
+            ActivationRegularizer::neuron_convergence(4),
+            0.0,
+            ActivationQuantizer::new(4),
+        );
+        switch.set_enabled(true);
+        quantize_network_weights(&mut net, 4, WeightQuantMethod::Clustered);
+        let config = DeployConfig::paper(4, 4);
+        let snn = SpikingNetwork::compile(&net, &config, None).expect("compile resnet");
+        let x1 = qsnc_tensor::init::uniform([1, 3, 32, 32], 0.0, 1.0, &mut rng);
+        let logits = snn.infer(&x1, None);
+        assert_eq!(logits.dims(), &[1, 10]);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn unquantized_network_fails_to_compile() {
+        let mut rng = TensorRng::seed(3);
+        let net = qsnc_nn::models::lenet(0.25, 10, &mut rng);
+        // No signal stages: conv2 is driven by an unquantized ReLU output.
+        let config = DeployConfig::paper(4, 4);
+        let err = SpikingNetwork::compile(&net, &config, None).unwrap_err();
+        assert!(matches!(err, CompileError::UnquantizedInput(_)), "{err}");
+    }
+
+    #[test]
+    fn write_noise_changes_outputs() {
+        let mut rng = TensorRng::seed(4);
+        let (net, _switch) = deployable_lenet(4, &mut rng);
+        let mut config = DeployConfig::paper(4, 4);
+        config.device = config.device.with_noise(0.1, 0.0);
+        let mut noise_rng = TensorRng::seed(5);
+        let snn_noisy =
+            SpikingNetwork::compile(&net, &config, Some(&mut noise_rng)).expect("compile");
+        let snn_ideal =
+            SpikingNetwork::compile(&net, &DeployConfig::paper(4, 4), None).expect("compile");
+        let x = qsnc_tensor::init::uniform([1, 1, 28, 28], 0.0, 1.0, &mut rng);
+        let a = snn_noisy.infer(&x, None);
+        let b = snn_ideal.infer(&x, None);
+        assert_ne!(a, b, "write noise should perturb logits");
+    }
+
+    #[test]
+    fn crossbar_count_matches_eq1_sum() {
+        use crate::mapping::{crossbars_for_layer, network_geometry};
+        let mut rng = TensorRng::seed(6);
+        let (net, _switch) = deployable_lenet(4, &mut rng);
+        let config = DeployConfig::paper(4, 4);
+        let snn = SpikingNetwork::compile(&net, &config, None).expect("compile");
+        let descs = net.synaptic_descriptors();
+        let expected: usize = descs.iter().map(|d| crossbars_for_layer(d, 32)).sum();
+        assert_eq!(snn.crossbar_count(), expected);
+        let geo = network_geometry(&descs, 32);
+        assert_eq!(geo.iter().map(|g| g.crossbars).sum::<usize>(), expected);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the memristor substrate.
+
+use proptest::prelude::*;
+use qsnc_memristor::{
+    crossbars_for_layer, Crossbar, DeviceConfig, Ifc, SpikeEncoder, SpikeTrain, TiledMatrix,
+};
+use qsnc_nn::LayerDesc;
+use qsnc_quant::ActivationQuantizer;
+use qsnc_tensor::TensorRng;
+
+/// Brute-force tiling count: enumerate tiles explicitly.
+fn brute_force_tiles(rows: usize, cols: usize, t: usize) -> usize {
+    let mut count = 0;
+    let mut r = 0;
+    while r < rows {
+        let mut c = 0;
+        while c < cols {
+            count += 1;
+            c += t;
+        }
+        r += t;
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn eq1_matches_brute_force_tiling(
+        j in 1usize..200, j_prev in 1usize..64, s in 1usize..8, t in 1usize..64,
+    ) {
+        let desc = LayerDesc::Conv {
+            in_channels: j_prev,
+            out_channels: j,
+            kernel: s,
+            stride: 1,
+            padding: 0,
+        };
+        let rows = s * s * j_prev;
+        prop_assert_eq!(crossbars_for_layer(&desc, t), brute_force_tiles(rows, j, t));
+    }
+
+    #[test]
+    fn eq1_monotone_in_crossbar_size(
+        in_f in 1usize..500, out_f in 1usize..500, t in 2usize..128,
+    ) {
+        let desc = LayerDesc::Linear { in_features: in_f, out_features: out_f };
+        // A larger crossbar never needs more arrays.
+        prop_assert!(crossbars_for_layer(&desc, t) >= crossbars_for_layer(&desc, t + 1));
+    }
+
+    #[test]
+    fn ideal_crossbar_exact(
+        rows in 1usize..20, cols in 1usize..20, seed in 0u64..500,
+    ) {
+        let mut rng = TensorRng::seed(seed);
+        let codes: Vec<i32> = (0..rows * cols).map(|_| rng.index(17) as i32 - 8).collect();
+        let xb = Crossbar::from_codes(&codes, rows, cols, DeviceConfig::paper(4), None);
+        let x: Vec<f32> = (0..rows).map(|_| rng.index(16) as f32).collect();
+        let y = xb.matvec_code_units(&x, None);
+        for j in 0..cols {
+            let expected: f32 = (0..rows).map(|i| codes[i * cols + j] as f32 * x[i]).sum();
+            prop_assert!((y[j] - expected).abs() < 1e-2 * (1.0 + expected.abs()),
+                "col {}: {} vs {}", j, y[j], expected);
+        }
+    }
+
+    #[test]
+    fn tiled_equals_untiled(
+        in_dim in 1usize..80, out_dim in 1usize..40, t in 1usize..48, seed in 0u64..200,
+    ) {
+        let mut rng = TensorRng::seed(seed);
+        let codes: Vec<i32> = (0..in_dim * out_dim).map(|_| rng.index(17) as i32 - 8).collect();
+        let cfg = DeviceConfig::paper(4);
+        let tiled = TiledMatrix::from_codes(&codes, in_dim, out_dim, t, cfg, None);
+        let whole = TiledMatrix::from_codes(&codes, in_dim, out_dim, in_dim.max(out_dim), cfg, None);
+        let x: Vec<f32> = (0..in_dim).map(|_| rng.index(16) as f32).collect();
+        let a = tiled.matvec_code_units(&x, None);
+        let b = whole.matvec_code_units(&x, None);
+        for (va, vb) in a.iter().zip(b.iter()) {
+            prop_assert!((va - vb).abs() < 1e-2 * (1.0 + va.abs()));
+        }
+    }
+
+    #[test]
+    fn ifc_simulation_equals_closed_form(
+        threshold in 0.1f32..5.0,
+        total in 0.0f32..500.0,
+        slots in 1usize..64,
+        max_count in 1u32..512,
+    ) {
+        let ifc = Ifc::new(threshold, max_count);
+        let per_slot = total / slots as f32;
+        let charges = vec![per_slot; slots];
+        // Allow one spike of slack at exact threshold boundaries where
+        // float accumulation order matters.
+        let sim = ifc.simulate(&charges) as i64;
+        let closed = ifc.convert(total) as i64;
+        prop_assert!((sim - closed).abs() <= 1, "sim {} vs closed {}", sim, closed);
+    }
+
+    #[test]
+    fn ifc_never_exceeds_counter(charge in -100.0f32..10_000.0, max_count in 1u32..256) {
+        let ifc = Ifc::new(1.0, max_count);
+        prop_assert!(ifc.convert(charge) <= max_count);
+    }
+
+    #[test]
+    fn spike_round_trip_within_half_lsb(
+        bits in 1u32..9, scale in 0.5f32..10.0, value in 0.0f32..20.0,
+    ) {
+        let enc = SpikeEncoder::new(ActivationQuantizer::with_scale(bits, scale));
+        let upper = enc.quantizer().max_level() as f32 / scale;
+        prop_assume!(value <= upper);
+        let back = enc.decode(enc.encode(value));
+        prop_assert!((back - value).abs() <= 0.5 / scale + 1e-5);
+    }
+
+    #[test]
+    fn spike_train_slot_count_matches(count in 0u32..64, window_log in 1u32..8) {
+        let window = 1u32 << window_log;
+        let train = SpikeTrain::new(count, window);
+        let slots = train.slots();
+        prop_assert_eq!(slots.len(), window as usize);
+        prop_assert_eq!(
+            slots.iter().filter(|&&s| s).count(),
+            count.min(window) as usize
+        );
+    }
+
+    #[test]
+    fn device_levels_linear(bits in 1u32..8, l1 in 0u32..64, l2 in 0u32..64) {
+        let cfg = DeviceConfig::paper(bits.clamp(1, 8));
+        let max = cfg.levels() - 1;
+        prop_assume!(l1 < max && l2 < max);
+        let d1 = cfg.level_conductance(l1 + 1) - cfg.level_conductance(l1);
+        let d2 = cfg.level_conductance(l2 + 1) - cfg.level_conductance(l2);
+        prop_assert!((d1 - d2).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,265 @@
+//! Saving and loading network parameters.
+//!
+//! Networks are trait-object stacks, so qsnc persists *parameters by name*
+//! rather than whole architectures: rebuild the topology in code (the model
+//! zoo is deterministic), then [`load_params`] into it. The on-disk format
+//! is a small self-describing binary layout:
+//!
+//! ```text
+//! magic "QSNC" | version u32 | param count u32 |
+//!   per param: name len u32 | name utf-8 | rank u32 | dims u32… | f32 data…
+//! ```
+//!
+//! All integers and floats are little-endian.
+
+use crate::sequential::Sequential;
+use qsnc_tensor::Tensor;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"QSNC";
+const VERSION: u32 = 1;
+
+/// Errors from checkpoint I/O.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream did not start with the expected magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// A stored name was not valid UTF-8.
+    BadName,
+    /// The checkpoint is missing a parameter the network has.
+    MissingParam(String),
+    /// A stored tensor's shape disagrees with the network's parameter.
+    ShapeMismatch {
+        /// Parameter name.
+        name: String,
+        /// Dims stored in the checkpoint.
+        stored: Vec<usize>,
+        /// Dims the network expects.
+        expected: Vec<usize>,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a qsnc checkpoint (bad magic)"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::BadName => write!(f, "checkpoint contains a non-utf8 name"),
+            CheckpointError::MissingParam(n) => {
+                write!(f, "checkpoint is missing parameter {n}")
+            }
+            CheckpointError::ShapeMismatch { name, stored, expected } => write!(
+                f,
+                "parameter {name}: stored shape {stored:?} != expected {expected:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Writes every parameter of `net` (weights, biases, norm affine terms) to
+/// `w`. A `&mut File` or `&mut Vec<u8>` both work.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Io`] on write failure.
+pub fn save_params<W: Write>(net: &mut Sequential, mut w: W) -> Result<(), CheckpointError> {
+    let params = net.params();
+    w.write_all(MAGIC)?;
+    write_u32(&mut w, VERSION)?;
+    write_u32(&mut w, params.len() as u32)?;
+    for p in &params {
+        write_u32(&mut w, p.name.len() as u32)?;
+        w.write_all(p.name.as_bytes())?;
+        write_u32(&mut w, p.value.shape().rank() as u32)?;
+        for &d in p.value.dims() {
+            write_u32(&mut w, d as u32)?;
+        }
+        for &v in p.value.iter() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a checkpoint into a name → tensor map.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] on malformed input.
+pub fn read_checkpoint<R: Read>(mut r: R) -> Result<HashMap<String, Tensor>, CheckpointError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(CheckpointError::BadVersion(version));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut map = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        let mut name_buf = vec![0u8; name_len];
+        r.read_exact(&mut name_buf)?;
+        let name = String::from_utf8(name_buf).map_err(|_| CheckpointError::BadName)?;
+        let rank = read_u32(&mut r)? as usize;
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u32(&mut r)? as usize);
+        }
+        let len: usize = dims.iter().product();
+        let mut data = vec![0.0f32; len];
+        for v in &mut data {
+            let mut buf = [0u8; 4];
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        map.insert(name, Tensor::from_vec(data, dims));
+    }
+    Ok(map)
+}
+
+/// Loads a checkpoint into `net` by parameter name.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError`] if the stream is malformed, a parameter is
+/// missing, or shapes disagree. On error the network may be partially
+/// updated.
+pub fn load_params<R: Read>(net: &mut Sequential, r: R) -> Result<(), CheckpointError> {
+    let map = read_checkpoint(r)?;
+    for p in net.params() {
+        let stored = map
+            .get(&p.name)
+            .ok_or_else(|| CheckpointError::MissingParam(p.name.clone()))?;
+        if stored.shape() != p.value.shape() {
+            return Err(CheckpointError::ShapeMismatch {
+                name: p.name.clone(),
+                stored: stored.dims().to_vec(),
+                expected: p.value.dims().to_vec(),
+            });
+        }
+        *p.value = stored.clone();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use qsnc_tensor::TensorRng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = TensorRng::seed(seed);
+        let mut net = Sequential::new();
+        net.push(Linear::new("fc1", 4, 8, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new("fc2", 8, 2, &mut rng));
+        net
+    }
+
+    fn weights_of(net: &mut Sequential) -> Vec<Tensor> {
+        net.params().iter().map(|p| p.value.clone()).collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_all_params() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+        let mut b = net(2); // different init
+        assert_ne!(weights_of(&mut a), weights_of(&mut b));
+        load_params(&mut b, buf.as_slice()).unwrap();
+        assert_eq!(weights_of(&mut a), weights_of(&mut b));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut b = net(0);
+        let err = load_params(&mut b, &b"NOPE"[..]).unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        let mut b = net(2);
+        let err = load_params(&mut b, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_reported() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+        // A network with different layer widths but same names.
+        let mut rng = TensorRng::seed(3);
+        let mut b = Sequential::new();
+        b.push(Linear::new("fc1", 4, 16, &mut rng));
+        b.push(Linear::new("fc2", 16, 2, &mut rng));
+        let err = load_params(&mut b, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::ShapeMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_param_is_reported() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+        let mut rng = TensorRng::seed(4);
+        let mut b = Sequential::new();
+        b.push(Linear::new("other", 4, 8, &mut rng));
+        let err = load_params(&mut b, buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::MissingParam(_)), "{err}");
+    }
+
+    #[test]
+    fn checkpoint_map_contents() {
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+        let map = read_checkpoint(buf.as_slice()).unwrap();
+        assert_eq!(map.len(), 4);
+        assert!(map.contains_key("fc1.weight"));
+        assert_eq!(map["fc1.weight"].dims(), &[8, 4]);
+        assert_eq!(map["fc2.bias"].dims(), &[2]);
+    }
+}

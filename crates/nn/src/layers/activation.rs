@@ -1,0 +1,144 @@
+//! Activation layers.
+
+use crate::layer::{Layer, Mode};
+use qsnc_tensor::Tensor;
+
+/// Rectified linear unit: `max(x, 0)`.
+///
+/// ReLU outputs are the "inter-layer signals" the paper's Neuron Convergence
+/// regularizer acts on; the layer therefore exposes its most recent output
+/// through [`Layer::output_tap`] so experiment code can histogram it
+/// (Fig. 4).
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+    tap: Option<Tensor>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let y = x.relu();
+        if mode == Mode::Train {
+            self.mask = Some(x.iter().map(|&v| v > 0.0).collect());
+        }
+        self.tap = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("relu backward called before training-mode forward");
+        assert_eq!(grad.len(), mask.len(), "relu grad length mismatch");
+        let data = grad
+            .iter()
+            .zip(mask.iter())
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad.dims())
+    }
+
+    fn output_tap(&self) -> Option<Tensor> {
+        self.tap.clone()
+    }
+}
+
+/// Identity layer — useful as a placeholder shortcut in residual blocks.
+#[derive(Debug, Default)]
+pub struct Identity;
+
+impl Identity {
+    /// Creates an identity layer.
+    pub fn new() -> Self {
+        Identity
+    }
+}
+
+impl Layer for Identity {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+
+    fn forward(&mut self, x: &Tensor, _mode: Mode) -> Tensor {
+        x.clone()
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        grad.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_clamps_negatives() {
+        let mut layer = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = layer.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let mut layer = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.5, 2.0]);
+        layer.forward(&x, Mode::Train);
+        let dx = layer.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0]));
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_zero_input_has_zero_gradient() {
+        // Subgradient convention: derivative at exactly 0 is 0.
+        let mut layer = Relu::new();
+        layer.forward(&Tensor::from_slice(&[0.0]), Mode::Train);
+        let dx = layer.backward(&Tensor::from_slice(&[5.0]));
+        assert_eq!(dx.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn relu_tap_exposes_output() {
+        let mut layer = Relu::new();
+        layer.forward(&Tensor::from_slice(&[-1.0, 3.0]), Mode::Eval);
+        let tap = layer.output_tap().expect("tap");
+        assert_eq!(tap.as_slice(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let mut layer = Identity::new();
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        assert_eq!(layer.forward(&x, Mode::Train), x);
+        assert_eq!(layer.backward(&x), x);
+    }
+}

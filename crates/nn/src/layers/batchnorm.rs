@@ -1,0 +1,292 @@
+//! 2-D batch normalization.
+
+use crate::layer::{Layer, Mode, Param};
+use qsnc_tensor::Tensor;
+
+/// Batch normalization over the channel axis of `[n, c, h, w]` tensors.
+///
+/// Needed to train the ResNet variant of Table 1 to convergence. Running
+/// statistics follow the usual exponential moving average with the given
+/// `momentum`.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    label: String,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Tensor,
+    beta: Tensor,
+    grad_gamma: Tensor,
+    grad_beta: Tensor,
+    running_mean: Tensor,
+    running_var: Tensor,
+    // Cached by training-mode forward.
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    dims: [usize; 4],
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(label: impl Into<String>, channels: usize) -> Self {
+        assert!(channels > 0, "channel count must be positive");
+        BatchNorm2d {
+            label: label.into(),
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: Tensor::ones([channels]),
+            beta: Tensor::zeros([channels]),
+            grad_gamma: Tensor::zeros([channels]),
+            grad_beta: Tensor::zeros([channels]),
+            running_mean: Tensor::zeros([channels]),
+            running_var: Tensor::ones([channels]),
+            cache: None,
+        }
+    }
+
+    /// The equivalent per-channel affine transform in evaluation mode:
+    /// `y = a·x + b` with `a = γ/√(σ²+ε)`, `b = β − a·μ` (running stats).
+    /// Used to fold batch norm into the preceding convolution at
+    /// deployment.
+    pub fn eval_affine(&self) -> (Vec<f32>, Vec<f32>) {
+        let gamma = self.gamma.as_slice();
+        let beta = self.beta.as_slice();
+        let mean = self.running_mean.as_slice();
+        let var = self.running_var.as_slice();
+        let mut a = vec![0.0f32; self.channels];
+        let mut b = vec![0.0f32; self.channels];
+        for c in 0..self.channels {
+            a[c] = gamma[c] / (var[c] + self.eps).sqrt();
+            b[c] = beta[c] - a[c] * mean[c];
+        }
+        (a, b)
+    }
+
+    fn stats(x: &Tensor, channels: usize) -> (Vec<f32>, Vec<f32>) {
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        assert_eq!(c, channels, "batchnorm channel mismatch");
+        let m = (n * h * w) as f32;
+        let xs = x.as_slice();
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for in_ in 0..n {
+            for (ic, acc) in mean.iter_mut().enumerate() {
+                let off = (in_ * c + ic) * h * w;
+                *acc += xs[off..off + h * w].iter().sum::<f32>();
+            }
+        }
+        for v in &mut mean {
+            *v /= m;
+        }
+        for in_ in 0..n {
+            for (ic, m) in mean.iter().enumerate() {
+                let off = (in_ * c + ic) * h * w;
+                var[ic] += xs[off..off + h * w]
+                    .iter()
+                    .map(|&x| (x - m) * (x - m))
+                    .sum::<f32>();
+            }
+        }
+        for v in &mut var {
+            *v /= m;
+        }
+        (mean, var)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.shape().rank(), 4, "batchnorm2d expects [n,c,h,w]");
+        let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let (mean, var) = if mode == Mode::Train {
+            let (mean, var) = Self::stats(x, self.channels);
+            for ic in 0..c {
+                let rm = self.running_mean.as_mut_slice();
+                rm[ic] = (1.0 - self.momentum) * rm[ic] + self.momentum * mean[ic];
+                let rv = self.running_var.as_mut_slice();
+                rv[ic] = (1.0 - self.momentum) * rv[ic] + self.momentum * var[ic];
+            }
+            (mean, var)
+        } else {
+            (
+                self.running_mean.as_slice().to_vec(),
+                self.running_var.as_slice().to_vec(),
+            )
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let xs = x.as_slice();
+        let mut x_hat = vec![0.0f32; x.len()];
+        let mut y = vec![0.0f32; x.len()];
+        let gamma = self.gamma.as_slice();
+        let beta = self.beta.as_slice();
+        for in_ in 0..n {
+            for ic in 0..c {
+                let off = (in_ * c + ic) * h * w;
+                for i in off..off + h * w {
+                    let xh = (xs[i] - mean[ic]) * inv_std[ic];
+                    x_hat[i] = xh;
+                    y[i] = gamma[ic] * xh + beta[ic];
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(BnCache {
+                x_hat: Tensor::from_vec(x_hat, x.dims()),
+                inv_std,
+                dims: [n, c, h, w],
+            });
+        }
+        Tensor::from_vec(y, x.dims())
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("batchnorm2d backward called before training-mode forward");
+        let [n, c, h, w] = cache.dims;
+        assert_eq!(grad.dims(), &[n, c, h, w], "batchnorm2d grad shape mismatch");
+        let m = (n * h * w) as f32;
+        let gs = grad.as_slice();
+        let xh = cache.x_hat.as_slice();
+
+        // Per-channel reductions.
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for in_ in 0..n {
+            for ic in 0..c {
+                let off = (in_ * c + ic) * h * w;
+                for i in off..off + h * w {
+                    sum_dy[ic] += gs[i];
+                    sum_dy_xhat[ic] += gs[i] * xh[i];
+                }
+            }
+        }
+        for ic in 0..c {
+            self.grad_gamma.as_mut_slice()[ic] += sum_dy_xhat[ic];
+            self.grad_beta.as_mut_slice()[ic] += sum_dy[ic];
+        }
+
+        let gamma = self.gamma.as_slice();
+        let mut dx = vec![0.0f32; grad.len()];
+        for in_ in 0..n {
+            for ic in 0..c {
+                let off = (in_ * c + ic) * h * w;
+                let scale = gamma[ic] * cache.inv_std[ic];
+                for i in off..off + h * w {
+                    dx[i] = scale * (gs[i] - sum_dy[ic] / m - xh[i] * sum_dy_xhat[ic] / m);
+                }
+            }
+        }
+        Tensor::from_vec(dx, grad.dims())
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param {
+                name: format!("{}.gamma", self.label),
+                value: &mut self.gamma,
+                grad: &mut self.grad_gamma,
+                is_weight: false,
+            },
+            Param {
+                name: format!("{}.beta", self.label),
+                value: &mut self.beta,
+                grad: &mut self.grad_beta,
+                is_weight: false,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsnc_tensor::TensorRng;
+
+    #[test]
+    fn train_forward_normalizes_per_channel() {
+        let mut rng = TensorRng::seed(0);
+        let x = qsnc_tensor::init::normal([4, 3, 5, 5], 3.0, 2.0, &mut rng);
+        let mut bn = BatchNorm2d::new("bn", 3);
+        let y = bn.forward(&x, Mode::Train);
+        // Each channel of the output should be ~N(0,1).
+        let (n, c, h, w) = (4, 3, 5, 5);
+        for ic in 0..c {
+            let mut vals = Vec::new();
+            for in_ in 0..n {
+                let off = (in_ * c + ic) * h * w;
+                vals.extend_from_slice(&y.as_slice()[off..off + h * w]);
+            }
+            let t = Tensor::from_slice(&vals);
+            assert!(t.mean().abs() < 1e-4, "mean {}", t.mean());
+            assert!((t.std() - 1.0).abs() < 1e-2, "std {}", t.std());
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut rng = TensorRng::seed(1);
+        let mut bn = BatchNorm2d::new("bn", 2);
+        // Train a few batches so running stats settle.
+        for _ in 0..200 {
+            let x = qsnc_tensor::init::normal([8, 2, 3, 3], 5.0, 3.0, &mut rng);
+            bn.forward(&x, Mode::Train);
+        }
+        let x = qsnc_tensor::init::normal([8, 2, 3, 3], 5.0, 3.0, &mut rng);
+        let y = bn.forward(&x, Mode::Eval);
+        // Should approximately normalize fresh data from the same dist.
+        assert!(y.mean().abs() < 0.3, "mean {}", y.mean());
+        assert!((y.std() - 1.0).abs() < 0.3, "std {}", y.std());
+    }
+
+    #[test]
+    fn backward_gradient_sums() {
+        let mut rng = TensorRng::seed(2);
+        let x = qsnc_tensor::init::normal([2, 2, 4, 4], 0.0, 1.0, &mut rng);
+        let mut bn = BatchNorm2d::new("bn", 2);
+        bn.forward(&x, Mode::Train);
+        let g = Tensor::ones([2, 2, 4, 4]);
+        let dx = bn.backward(&g);
+        assert_eq!(dx.dims(), x.dims());
+        // dBeta is the per-channel gradient sum: 2*4*4 = 32 per channel.
+        assert_eq!(bn.grad_beta.as_slice(), &[32.0, 32.0]);
+        // With dy = 1 everywhere, dx sums to ~0 (normalization removes mean).
+        assert!(dx.sum().abs() < 1e-3);
+    }
+
+    #[test]
+    fn gamma_beta_affect_output() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        bn.gamma = Tensor::from_slice(&[2.0]);
+        bn.beta = Tensor::from_slice(&[1.0]);
+        let x = Tensor::from_vec(vec![-1.0, 1.0], [2, 1, 1, 1]);
+        let y = bn.forward(&x, Mode::Train);
+        // x_hat = ±1 (mean 0, var 1), so y = ±2 + 1.
+        assert!((y.as_slice()[0] - (-1.0)).abs() < 1e-3);
+        assert!((y.as_slice()[1] - 3.0).abs() < 1e-3);
+    }
+}

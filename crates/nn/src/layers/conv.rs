@@ -1,0 +1,282 @@
+//! 2-D convolution layer (im2col + GEMM forward, exact adjoint backward).
+
+use crate::layer::{Layer, LayerDesc, Mode, Param};
+use qsnc_tensor::linalg::gemm;
+use qsnc_tensor::{col2im, im2col, matmul, transpose, Conv2dSpec, Tensor, TensorRng};
+
+/// A 2-D convolution over `[n, c, h, w]` inputs with square kernels.
+///
+/// Weights are stored `[f, c, k, k]`; biases `[f]`. Initialization is
+/// Kaiming/He normal, appropriate for the ReLU networks of the paper.
+#[derive(Debug)]
+pub struct Conv2d {
+    label: String,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    spec: Conv2dSpec,
+    in_channels: usize,
+    out_channels: usize,
+    // Cached by training-mode forward for backward.
+    cached_cols: Option<Tensor>,
+    cached_input_dims: Option<[usize; 4]>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with He-normal weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        label: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        spec: Conv2dSpec,
+        rng: &mut TensorRng,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        let k = spec.kernel;
+        let fan_in = in_channels * k * k;
+        let weight =
+            qsnc_tensor::init::he_normal([out_channels, in_channels, k, k], fan_in, rng);
+        Conv2d {
+            label: label.into(),
+            grad_weight: Tensor::zeros(weight.dims()),
+            weight,
+            bias: Tensor::zeros([out_channels]),
+            grad_bias: Tensor::zeros([out_channels]),
+            spec,
+            in_channels,
+            out_channels,
+            cached_cols: None,
+            cached_input_dims: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn spec(&self) -> Conv2dSpec {
+        self.spec
+    }
+
+    /// Immutable view of the filter tensor `[f, c, k, k]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Immutable view of the per-filter bias `[f]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Replaces the filter tensor (used by quantization passes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape differs from the current weights.
+    pub fn set_weight(&mut self, weight: Tensor) {
+        assert_eq!(weight.shape(), self.weight.shape(), "weight shape mismatch");
+        self.weight = weight;
+    }
+}
+
+impl Layer for Conv2d {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(x.shape().rank(), 4, "conv2d expects [n,c,h,w], got {}", x.shape());
+        assert_eq!(
+            x.dims()[1],
+            self.in_channels,
+            "conv2d {} expects {} input channels, got {}",
+            self.label,
+            self.in_channels,
+            x.dims()[1]
+        );
+        let (n, _, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let oh = self.spec.output_size(h);
+        let ow = self.spec.output_size(w);
+        let cols = im2col(x, self.spec);
+        let cols_n = n * oh * ow;
+        let f = self.out_channels;
+        let ckk = cols.dims()[0];
+
+        let mut out = vec![0.0f32; f * cols_n];
+        gemm(f, ckk, cols_n, self.weight.as_slice(), cols.as_slice(), &mut out);
+
+        // Reorder [f, n·oh·ow] → [n, f, oh, ow] with bias.
+        let mut y = vec![0.0f32; n * f * oh * ow];
+        let bias = self.bias.as_slice();
+        for fi in 0..f {
+            for in_ in 0..n {
+                let src = &out[(fi * n + in_) * oh * ow..(fi * n + in_ + 1) * oh * ow];
+                let dst = &mut y[(in_ * f + fi) * oh * ow..(in_ * f + fi + 1) * oh * ow];
+                for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                    *d = s + bias[fi];
+                }
+            }
+        }
+
+        if mode == Mode::Train {
+            self.cached_cols = Some(cols);
+            self.cached_input_dims = Some([n, self.in_channels, h, w]);
+        }
+        Tensor::from_vec(y, [n, f, oh, ow])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cols = self
+            .cached_cols
+            .as_ref()
+            .expect("conv2d backward called before training-mode forward");
+        let [n, c, h, w] = self.cached_input_dims.expect("missing cached input dims");
+        let f = self.out_channels;
+        let oh = self.spec.output_size(h);
+        let ow = self.spec.output_size(w);
+        assert_eq!(grad.dims(), &[n, f, oh, ow], "conv2d grad shape mismatch");
+
+        // Reorder grad [n, f, oh, ow] → g [f, n·oh·ow] to match column order.
+        let cols_n = n * oh * ow;
+        let mut g = vec![0.0f32; f * cols_n];
+        let gs = grad.as_slice();
+        for in_ in 0..n {
+            for fi in 0..f {
+                let src = &gs[(in_ * f + fi) * oh * ow..(in_ * f + fi + 1) * oh * ow];
+                let dst = &mut g[(fi * n + in_) * oh * ow..(fi * n + in_ + 1) * oh * ow];
+                dst.copy_from_slice(src);
+            }
+        }
+        let g_t = Tensor::from_vec(g, [f, cols_n]);
+
+        // dW = g × colsᵀ, reshaped to [f, c, k, k].
+        let cols_t = transpose(cols);
+        let dw = matmul(&g_t, &cols_t);
+        self.grad_weight += &dw.into_reshaped(self.weight.dims());
+
+        // db = row sums of g.
+        {
+            let gb = self.grad_bias.as_mut_slice();
+            let gsl = g_t.as_slice();
+            for fi in 0..f {
+                gb[fi] += gsl[fi * cols_n..(fi + 1) * cols_n].iter().sum::<f32>();
+            }
+        }
+
+        // dx = col2im(Wᵀ × g).
+        let k = self.spec.kernel;
+        let w_mat = self.weight.reshape([f, c * k * k]);
+        let w_t = transpose(&w_mat);
+        let dcols = matmul(&w_t, &g_t);
+        col2im(&dcols, n, c, h, w, self.spec)
+    }
+
+    fn params(&mut self) -> Vec<Param<'_>> {
+        vec![
+            Param {
+                name: format!("{}.weight", self.label),
+                value: &mut self.weight,
+                grad: &mut self.grad_weight,
+                is_weight: true,
+            },
+            Param {
+                name: format!("{}.bias", self.label),
+                value: &mut self.bias,
+                grad: &mut self.grad_bias,
+                is_weight: false,
+            },
+        ]
+    }
+
+    fn descriptor(&self) -> LayerDesc {
+        LayerDesc::Conv {
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.spec.kernel,
+            stride: self.spec.stride,
+            padding: self.spec.padding,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = TensorRng::seed(0);
+        let mut layer = Conv2d::new("c", 3, 8, Conv2dSpec::new(3, 1, 1), &mut rng);
+        let x = qsnc_tensor::init::uniform([2, 3, 8, 8], -1.0, 1.0, &mut rng);
+        let y = layer.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+    }
+
+    #[test]
+    fn matches_reference_conv() {
+        let mut rng = TensorRng::seed(1);
+        let spec = Conv2dSpec::new(3, 1, 1);
+        let mut layer = Conv2d::new("c", 2, 4, spec, &mut rng);
+        let x = qsnc_tensor::init::uniform([1, 2, 6, 6], -1.0, 1.0, &mut rng);
+        let y = layer.forward(&x, Mode::Eval);
+        let reference =
+            qsnc_tensor::conv2d_direct(&x, layer.weight(), Some(&Tensor::zeros([4])), spec);
+        for (a, b) in y.iter().zip(reference.iter()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn backward_shapes_and_accumulation() {
+        let mut rng = TensorRng::seed(2);
+        let mut layer = Conv2d::new("c", 2, 3, Conv2dSpec::new(3, 1, 0), &mut rng);
+        let x = qsnc_tensor::init::uniform([2, 2, 5, 5], -1.0, 1.0, &mut rng);
+        let y = layer.forward(&x, Mode::Train);
+        let g = Tensor::ones(y.dims());
+        let dx = layer.backward(&g);
+        assert_eq!(dx.dims(), x.dims());
+        let norm1 = layer.grad_weight.norm_l2();
+        assert!(norm1 > 0.0);
+        // Second backward accumulates.
+        layer.forward(&x, Mode::Train);
+        layer.backward(&g);
+        assert!(layer.grad_weight.norm_l2() > norm1);
+        layer.zero_grad();
+        assert_eq!(layer.grad_weight.norm_l2(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before")]
+    fn backward_without_forward_panics() {
+        let mut rng = TensorRng::seed(3);
+        let mut layer = Conv2d::new("c", 1, 1, Conv2dSpec::new(3, 1, 0), &mut rng);
+        layer.backward(&Tensor::zeros([1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn descriptor_reports_shape() {
+        let mut rng = TensorRng::seed(4);
+        let layer = Conv2d::new("c", 3, 16, Conv2dSpec::new(5, 1, 2), &mut rng);
+        assert_eq!(
+            layer.descriptor(),
+            LayerDesc::Conv {
+                in_channels: 3,
+                out_channels: 16,
+                kernel: 5,
+                stride: 1,
+                padding: 2
+            }
+        );
+        assert_eq!(layer.descriptor().weight_count(), 3 * 16 * 25);
+    }
+}

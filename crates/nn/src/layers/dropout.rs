@@ -1,0 +1,110 @@
+//! Inverted dropout.
+
+use crate::layer::{Layer, Mode};
+use qsnc_tensor::{Tensor, TensorRng};
+
+/// Inverted dropout: during training, zeroes each activation with
+/// probability `p` and scales survivors by `1/(1-p)`; a no-op at eval time.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: TensorRng,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, rng: TensorRng) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
+        Dropout { p, rng, mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if self.rng.chance(self.p) { 0.0 } else { 1.0 / keep })
+            .collect();
+        let data = x
+            .iter()
+            .zip(mask.iter())
+            .map(|(&v, &m)| v * m)
+            .collect();
+        self.mask = Some(mask);
+        Tensor::from_vec(data, x.dims())
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        match &self.mask {
+            None => grad.clone(),
+            Some(mask) => {
+                assert_eq!(grad.len(), mask.len(), "dropout grad length mismatch");
+                let data = grad
+                    .iter()
+                    .zip(mask.iter())
+                    .map(|(&g, &m)| g * m)
+                    .collect();
+                Tensor::from_vec(data, grad.dims())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, TensorRng::seed(0));
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x, Mode::Eval), x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut d = Dropout::new(0.3, TensorRng::seed(1));
+        let x = Tensor::ones([10000]);
+        let y = d.forward(&x, Mode::Train);
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, TensorRng::seed(2));
+        let x = Tensor::ones([100]);
+        let y = d.forward(&x, Mode::Train);
+        let dx = d.backward(&Tensor::ones([100]));
+        // Gradient is zero exactly where the output was zeroed.
+        for (o, g) in y.iter().zip(dx.iter()) {
+            assert_eq!(*o == 0.0, *g == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn invalid_p_panics() {
+        Dropout::new(1.0, TensorRng::seed(0));
+    }
+}

@@ -1,0 +1,71 @@
+//! Shape adapters between convolutional and dense stages.
+
+use crate::layer::{Layer, Mode};
+use qsnc_tensor::Tensor;
+
+/// Flattens `[n, c, h, w]` (or any rank ≥ 2) to `[n, c·h·w]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        assert!(x.shape().rank() >= 2, "flatten expects rank >= 2, got {}", x.shape());
+        let n = x.dims()[0];
+        let rest: usize = x.dims()[1..].iter().product();
+        if mode == Mode::Train {
+            self.input_dims = Some(x.dims().to_vec());
+        }
+        x.reshape([n, rest])
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("flatten backward called before training-mode forward");
+        grad.reshape(dims.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_and_restore() {
+        let x = Tensor::zeros([2, 3, 4, 5]);
+        let mut layer = Flatten::new();
+        let y = layer.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[2, 60]);
+        let dx = layer.backward(&y);
+        assert_eq!(dx.dims(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn flatten_rank2_is_noop() {
+        let x = Tensor::zeros([4, 7]);
+        let mut layer = Flatten::new();
+        assert_eq!(layer.forward(&x, Mode::Eval).dims(), &[4, 7]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Loss functions: value and gradient in one pass.
+
+use qsnc_tensor::{softmax_rows, Tensor};
+
+/// Softmax cross-entropy over `[n, classes]` logits against integer labels.
+///
+/// Returns `(mean loss, ∂loss/∂logits)`. This is the `E_D(W)` term of the
+/// paper's Eq. 2; the regularization terms are added by the network layers.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, `labels.len()` differs from the batch
+/// size, or any label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use qsnc_nn::loss::softmax_cross_entropy;
+/// use qsnc_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![5.0, -5.0], [1, 2]);
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+/// assert!(loss < 0.01);           // confident and correct → tiny loss
+/// assert_eq!(grad.dims(), &[1, 2]);
+/// ```
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [n, classes]");
+    let (n, classes) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "label count {} != batch size {}", labels.len(), n);
+
+    let probs = softmax_rows(logits);
+    let p = probs.as_slice();
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone().into_vec();
+    let inv_n = 1.0 / n as f32;
+    for (r, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range for {classes} classes");
+        // Clamp avoids -inf on a fully wrong, saturated prediction.
+        loss -= p[r * classes + label].max(1e-12).ln();
+        grad[r * classes + label] -= 1.0;
+    }
+    for g in &mut grad {
+        *g *= inv_n;
+    }
+    (loss * inv_n, Tensor::from_vec(grad, [n, classes]))
+}
+
+/// Mean squared error between predictions and targets of identical shape.
+///
+/// Returns `(mean loss, ∂loss/∂pred)`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len() as f32;
+    let diff = pred - target;
+    let loss = diff.iter().map(|&d| d * d).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Classification accuracy of `[n, classes]` logits against labels.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2 or the label count mismatches.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [n, classes]");
+    assert_eq!(labels.len(), logits.dims()[0], "label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let correct = preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_uniform_logits() {
+        let logits = Tensor::zeros([2, 4]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for r in 0..2 {
+            let s: f32 = grad.as_slice()[r * 4..(r + 1) * 4].iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sign() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0], [1, 2]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        // Correct class gradient is negative (push up), wrong positive.
+        assert!(grad.as_slice()[1] < 0.0);
+        assert!(grad.as_slice()[0] > 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.2], [1, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2]);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut plus = logits.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = logits.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&plus, &[2]);
+            let (lm, _) = softmax_cross_entropy(&minus, &[2]);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad.as_slice()[i]).abs() < 1e-3,
+                "dim {i}: numeric {num} vs analytic {}",
+                grad.as_slice()[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        softmax_cross_entropy(&Tensor::zeros([1, 2]), &[5]);
+    }
+
+    #[test]
+    fn mse_value_and_grad() {
+        let pred = Tensor::from_slice(&[1.0, 2.0]);
+        let target = Tensor::from_slice(&[0.0, 0.0]);
+        let (loss, grad) = mse(&pred, &target);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], [3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
+    }
+}

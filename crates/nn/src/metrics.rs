@@ -1,0 +1,224 @@
+//! Classification metrics beyond plain accuracy.
+
+use qsnc_tensor::Tensor;
+
+/// A confusion matrix over `classes` classes; entry `(actual, predicted)`
+/// counts examples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<usize>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "class count must be positive");
+        ConfusionMatrix {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records a single prediction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.classes && predicted < self.classes, "label out of range");
+        self.counts[actual * self.classes + predicted] += 1;
+    }
+
+    /// Records a batch of logits against labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logits` is not `[n, classes]` or labels mismatch.
+    pub fn record_batch(&mut self, logits: &Tensor, labels: &[usize]) {
+        assert_eq!(logits.shape().rank(), 2, "logits must be [n, classes]");
+        assert_eq!(logits.dims()[1], self.classes, "class count mismatch");
+        assert_eq!(logits.dims()[0], labels.len(), "label count mismatch");
+        for (pred, &actual) in logits.argmax_rows().into_iter().zip(labels.iter()) {
+            self.record(actual, pred);
+        }
+    }
+
+    /// Count at `(actual, predicted)`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual * self.classes + predicted]
+    }
+
+    /// Total recorded examples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f32 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f32 / total as f32
+    }
+
+    /// Recall per class (NaN-free: 0 for absent classes).
+    pub fn per_class_recall(&self) -> Vec<f32> {
+        (0..self.classes)
+            .map(|c| {
+                let row: usize = (0..self.classes).map(|p| self.count(c, p)).sum();
+                if row == 0 {
+                    0.0
+                } else {
+                    self.count(c, c) as f32 / row as f32
+                }
+            })
+            .collect()
+    }
+
+    /// Precision per class (0 for classes never predicted).
+    pub fn per_class_precision(&self) -> Vec<f32> {
+        (0..self.classes)
+            .map(|p| {
+                let col: usize = (0..self.classes).map(|c| self.count(c, p)).sum();
+                if col == 0 {
+                    0.0
+                } else {
+                    self.count(p, p) as f32 / col as f32
+                }
+            })
+            .collect()
+    }
+
+    /// The most confused (actual, predicted, count) off-diagonal pair, if
+    /// any misclassification was recorded.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, usize)> {
+        let mut best: Option<(usize, usize, usize)> = None;
+        for a in 0..self.classes {
+            for p in 0..self.classes {
+                if a != p {
+                    let n = self.count(a, p);
+                    if n > 0 && best.is_none_or(|(_, _, bn)| n > bn) {
+                        best = Some((a, p, n));
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Top-`k` accuracy of `[n, classes]` logits: an example counts as correct
+/// when its label is among the `k` highest logits.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2, labels mismatch, or `k == 0`.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
+    assert!(k > 0, "k must be positive");
+    assert_eq!(logits.shape().rank(), 2, "logits must be [n, classes]");
+    let (n, classes) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let data = logits.as_slice();
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = &data[r * classes..(r + 1) * classes];
+        let target = row[label];
+        // Rank = number of strictly larger entries.
+        let rank = row.iter().filter(|&&v| v > target).count();
+        if rank < k {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_accuracy() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(1, 1);
+        cm.record(2, 1);
+        cm.record(2, 2);
+        assert_eq!(cm.total(), 4);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-6);
+        assert_eq!(cm.count(2, 1), 1);
+    }
+
+    #[test]
+    fn per_class_metrics() {
+        let mut cm = ConfusionMatrix::new(2);
+        // class 0: 3 correct, 1 predicted as 1; class 1: 2 correct.
+        for _ in 0..3 {
+            cm.record(0, 0);
+        }
+        cm.record(0, 1);
+        for _ in 0..2 {
+            cm.record(1, 1);
+        }
+        let recall = cm.per_class_recall();
+        assert!((recall[0] - 0.75).abs() < 1e-6);
+        assert!((recall[1] - 1.0).abs() < 1e-6);
+        let precision = cm.per_class_precision();
+        assert!((precision[0] - 1.0).abs() < 1e-6);
+        assert!((precision[1] - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn record_batch_from_logits() {
+        let mut cm = ConfusionMatrix::new(2);
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], [2, 2]);
+        cm.record_batch(&logits, &[0, 0]);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.worst_confusion(), Some((0, 1, 1)));
+    }
+
+    #[test]
+    fn empty_matrix_is_harmless() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.worst_confusion(), None);
+        assert!(cm.per_class_recall().iter().all(|&r| r == 0.0));
+    }
+
+    #[test]
+    fn top_k_behaviour() {
+        let logits = Tensor::from_vec(
+            vec![
+                0.5, 0.3, 0.2, // label 1 is 2nd
+                0.1, 0.2, 0.7, // label 0 is 3rd
+            ],
+            [2, 3],
+        );
+        assert_eq!(top_k_accuracy(&logits, &[1, 0], 1), 0.0);
+        assert!((top_k_accuracy(&logits, &[1, 0], 2) - 0.5).abs() < 1e-6);
+        assert_eq!(top_k_accuracy(&logits, &[1, 0], 3), 1.0);
+    }
+
+    #[test]
+    fn top_1_equals_plain_accuracy() {
+        use crate::loss::accuracy;
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.4, 0.6, 0.7, 0.3], [3, 2]);
+        let labels = [0usize, 1, 1];
+        assert_eq!(top_k_accuracy(&logits, &labels, 1), accuracy(&logits, &labels));
+    }
+}

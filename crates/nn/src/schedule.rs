@@ -1,0 +1,144 @@
+//! Learning-rate schedules.
+//!
+//! A [`LrSchedule`] maps an epoch index to a learning-rate multiplier; the
+//! training loop applies it on top of the optimizer's base rate. The
+//! paper's training recipe corresponds to [`LrSchedule::Step`].
+
+/// A deterministic learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs (classic step decay).
+    Step {
+        /// Decay factor per step.
+        gamma: f32,
+        /// Epochs between decays.
+        every: usize,
+    },
+    /// Cosine annealing from 1 down to `floor` over `total_epochs`.
+    Cosine {
+        /// Final multiplier at the end of training.
+        floor: f32,
+        /// Total epochs the schedule spans.
+        total_epochs: usize,
+    },
+    /// Linear warmup from `start` to 1 over `warmup_epochs`, constant
+    /// afterwards.
+    Warmup {
+        /// Initial multiplier.
+        start: f32,
+        /// Epochs to reach 1.0.
+        warmup_epochs: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Multiplier for `epoch` (0-based).
+    pub fn multiplier(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Step { gamma, every } => {
+                let steps = if every == 0 { 0 } else { epoch / every };
+                gamma.powi(steps as i32)
+            }
+            LrSchedule::Cosine {
+                floor,
+                total_epochs,
+            } => {
+                if total_epochs <= 1 {
+                    return floor;
+                }
+                let t = (epoch.min(total_epochs - 1)) as f32 / (total_epochs - 1) as f32;
+                floor + (1.0 - floor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+            LrSchedule::Warmup {
+                start,
+                warmup_epochs,
+            } => {
+                if warmup_epochs == 0 || epoch >= warmup_epochs {
+                    1.0
+                } else {
+                    start + (1.0 - start) * (epoch as f32 / warmup_epochs as f32)
+                }
+            }
+        }
+    }
+
+    /// The absolute learning rate for `epoch` given a base rate.
+    pub fn rate(&self, base_lr: f32, epoch: usize) -> f32 {
+        base_lr * self.multiplier(epoch)
+    }
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Constant
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        let s = LrSchedule::Constant;
+        for e in 0..10 {
+            assert_eq!(s.multiplier(e), 1.0);
+        }
+    }
+
+    #[test]
+    fn step_decays_at_boundaries() {
+        let s = LrSchedule::Step {
+            gamma: 0.5,
+            every: 3,
+        };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(2), 1.0);
+        assert_eq!(s.multiplier(3), 0.5);
+        assert_eq!(s.multiplier(6), 0.25);
+        assert_eq!(s.rate(0.1, 6), 0.025);
+    }
+
+    #[test]
+    fn step_with_zero_period_never_decays() {
+        let s = LrSchedule::Step {
+            gamma: 0.5,
+            every: 0,
+        };
+        assert_eq!(s.multiplier(100), 1.0);
+    }
+
+    #[test]
+    fn cosine_starts_high_ends_at_floor() {
+        let s = LrSchedule::Cosine {
+            floor: 0.1,
+            total_epochs: 11,
+        };
+        assert!((s.multiplier(0) - 1.0).abs() < 1e-6);
+        assert!((s.multiplier(10) - 0.1).abs() < 1e-6);
+        // Monotone decreasing.
+        let mut prev = f32::INFINITY;
+        for e in 0..11 {
+            let m = s.multiplier(e);
+            assert!(m <= prev + 1e-6);
+            prev = m;
+        }
+        // Clamps beyond the end.
+        assert!((s.multiplier(50) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        let s = LrSchedule::Warmup {
+            start: 0.2,
+            warmup_epochs: 4,
+        };
+        assert!((s.multiplier(0) - 0.2).abs() < 1e-6);
+        assert!(s.multiplier(2) > s.multiplier(1));
+        assert_eq!(s.multiplier(4), 1.0);
+        assert_eq!(s.multiplier(9), 1.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Mini-batch training loop and evaluation helpers.
+
+use crate::layer::Mode;
+use crate::loss::{accuracy, softmax_cross_entropy};
+use crate::optim::Optimizer;
+use crate::sequential::Sequential;
+use qsnc_tensor::Tensor;
+
+/// One mini-batch of examples: images `[n, …]` and integer class labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Input tensor whose leading dimension is the batch size.
+    pub images: Tensor,
+    /// One class label per example.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Creates a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label count differs from the leading dimension of
+    /// `images`.
+    pub fn new(images: Tensor, labels: Vec<usize>) -> Self {
+        assert_eq!(
+            images.dims()[0],
+            labels.len(),
+            "batch size {} != label count {}",
+            images.dims()[0],
+            labels.len()
+        );
+        Batch { images, labels }
+    }
+
+    /// Number of examples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the batch has no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// Aggregate statistics for one training epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean total loss (data + regularization) per batch.
+    pub loss: f32,
+    /// Mean data-term loss per batch.
+    pub data_loss: f32,
+    /// Mean regularization loss per batch (the paper's `Σ λ_i R_g(O_i)`).
+    pub reg_loss: f32,
+    /// Training accuracy over the epoch.
+    pub accuracy: f32,
+}
+
+/// Runs one epoch of SGD over `batches`, returning statistics.
+///
+/// Regularization gradients are injected by the layers themselves during
+/// `backward` (see the fake-quantization and regularizer layers in
+/// `qsnc-quant`), so the loop only needs the data-term gradient here.
+pub fn train_epoch(
+    net: &mut Sequential,
+    opt: &mut dyn Optimizer,
+    batches: &[Batch],
+    epoch: usize,
+) -> EpochStats {
+    let mut total_data = 0.0;
+    let mut total_reg = 0.0;
+    let mut correct = 0.0;
+    let mut count = 0usize;
+    for batch in batches {
+        net.zero_grad();
+        let logits = net.forward(&batch.images, Mode::Train);
+        let (data_loss, grad) = softmax_cross_entropy(&logits, &batch.labels);
+        let reg_loss = net.regularization_loss();
+        net.backward(&grad);
+        opt.step(&mut net.params());
+
+        total_data += data_loss;
+        total_reg += reg_loss;
+        correct += accuracy(&logits, &batch.labels) * batch.len() as f32;
+        count += batch.len();
+    }
+    let nb = batches.len().max(1) as f32;
+    EpochStats {
+        epoch,
+        loss: (total_data + total_reg) / nb,
+        data_loss: total_data / nb,
+        reg_loss: total_reg / nb,
+        accuracy: if count == 0 { 0.0 } else { correct / count as f32 },
+    }
+}
+
+/// Evaluates classification accuracy over `batches` (inference mode).
+pub fn evaluate(net: &mut Sequential, batches: &[Batch]) -> f32 {
+    let mut correct = 0.0;
+    let mut count = 0usize;
+    for batch in batches {
+        let logits = net.forward(&batch.images, Mode::Eval);
+        correct += accuracy(&logits, &batch.labels) * batch.len() as f32;
+        count += batch.len();
+    }
+    if count == 0 {
+        0.0
+    } else {
+        correct / count as f32
+    }
+}
+
+/// Configuration for [`Trainer`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of passes over the training batches.
+    pub epochs: usize,
+    /// Multiply the learning rate by `lr_decay` every `lr_decay_every`
+    /// epochs (1.0 disables).
+    pub lr_decay: f32,
+    /// Epoch period of the learning-rate decay.
+    pub lr_decay_every: usize,
+    /// Print progress lines to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            lr_decay: 1.0,
+            lr_decay_every: 1,
+            verbose: false,
+        }
+    }
+}
+
+/// Drives multi-epoch training with an optional learning-rate schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Trainer {
+    /// Training configuration.
+    pub config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// Trains with an explicit [`LrSchedule`](crate::schedule::LrSchedule):
+    /// before each epoch the optimizer's rate is set to
+    /// `schedule.rate(base_lr, epoch)` (ignores the config's step-decay
+    /// fields).
+    pub fn fit_scheduled(
+        &self,
+        net: &mut Sequential,
+        opt: &mut dyn Optimizer,
+        base_lr: f32,
+        schedule: crate::schedule::LrSchedule,
+        train_batches: &[Batch],
+        test_batches: &[Batch],
+    ) -> Vec<EpochStats> {
+        let mut history = Vec::with_capacity(self.config.epochs);
+        for epoch in 0..self.config.epochs {
+            opt.set_learning_rate(schedule.rate(base_lr, epoch));
+            let stats = train_epoch(net, opt, train_batches, epoch);
+            if self.config.verbose {
+                eprintln!(
+                    "epoch {:>3}  lr {:.5}  loss {:.4}  train acc {:.2}%",
+                    epoch,
+                    opt.learning_rate(),
+                    stats.loss,
+                    stats.accuracy * 100.0
+                );
+                let _ = test_batches;
+            }
+            history.push(stats);
+        }
+        history
+    }
+
+    /// Trains `net` for the configured number of epochs, returning per-epoch
+    /// statistics. If `test_batches` is non-empty, the accuracy on it is
+    /// printed when `verbose` is set.
+    pub fn fit(
+        &self,
+        net: &mut Sequential,
+        opt: &mut dyn Optimizer,
+        train_batches: &[Batch],
+        test_batches: &[Batch],
+    ) -> Vec<EpochStats> {
+        let mut history = Vec::with_capacity(self.config.epochs);
+        for epoch in 0..self.config.epochs {
+            if epoch > 0 && self.config.lr_decay != 1.0 && epoch % self.config.lr_decay_every == 0
+            {
+                opt.set_learning_rate(opt.learning_rate() * self.config.lr_decay);
+            }
+            let stats = train_epoch(net, opt, train_batches, epoch);
+            if self.config.verbose {
+                let test_acc = if test_batches.is_empty() {
+                    f32::NAN
+                } else {
+                    evaluate(net, test_batches)
+                };
+                eprintln!(
+                    "epoch {:>3}  loss {:.4} (data {:.4} + reg {:.4})  train acc {:.2}%  test acc {:.2}%",
+                    epoch,
+                    stats.loss,
+                    stats.data_loss,
+                    stats.reg_loss,
+                    stats.accuracy * 100.0,
+                    test_acc * 100.0
+                );
+            }
+            history.push(stats);
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use crate::optim::Sgd;
+    use qsnc_tensor::TensorRng;
+
+    /// Two linearly separable blobs.
+    fn blob_batches(rng: &mut TensorRng, batches: usize, per_batch: usize) -> Vec<Batch> {
+        (0..batches)
+            .map(|_| {
+                let mut images = Vec::new();
+                let mut labels = Vec::new();
+                for _ in 0..per_batch {
+                    let class = rng.index(2);
+                    let center = if class == 0 { -1.0 } else { 1.0 };
+                    images.push(center + rng.normal_with(0.0, 0.3));
+                    images.push(center + rng.normal_with(0.0, 0.3));
+                    labels.push(class);
+                }
+                Batch::new(Tensor::from_vec(images, [per_batch, 2]), labels)
+            })
+            .collect()
+    }
+
+    fn blob_net(rng: &mut TensorRng) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Linear::new("fc1", 2, 8, rng));
+        net.push(Relu::new());
+        net.push(Linear::new("fc2", 8, 2, rng));
+        net
+    }
+
+    #[test]
+    fn training_learns_separable_blobs() {
+        let mut rng = TensorRng::seed(0);
+        let train = blob_batches(&mut rng, 10, 16);
+        let test = blob_batches(&mut rng, 4, 16);
+        let mut net = blob_net(&mut rng);
+        let mut opt = Sgd::with_momentum(0.1, 0.9, 0.0);
+        let before = evaluate(&mut net, &test);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 20,
+            ..TrainConfig::default()
+        });
+        let history = trainer.fit(&mut net, &mut opt, &train, &test);
+        let after = evaluate(&mut net, &test);
+        assert!(after > 0.95, "accuracy after training: {after} (before {before})");
+        // Loss should broadly decrease.
+        assert!(history.last().unwrap().loss < history.first().unwrap().loss);
+    }
+
+    #[test]
+    fn lr_decay_applies() {
+        let mut rng = TensorRng::seed(1);
+        let train = blob_batches(&mut rng, 2, 8);
+        let mut net = blob_net(&mut rng);
+        let mut opt = Sgd::new(1.0);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            lr_decay: 0.5,
+            lr_decay_every: 1,
+            verbose: false,
+        });
+        trainer.fit(&mut net, &mut opt, &train, &[]);
+        assert!((opt.learning_rate() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scheduled_training_applies_rates() {
+        use crate::schedule::LrSchedule;
+        let mut rng = TensorRng::seed(3);
+        let train = blob_batches(&mut rng, 4, 8);
+        let mut net = blob_net(&mut rng);
+        let mut opt = Sgd::new(1.0);
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        });
+        let schedule = LrSchedule::Step { gamma: 0.1, every: 2 };
+        trainer.fit_scheduled(&mut net, &mut opt, 0.5, schedule, &train, &[]);
+        // Last epoch (3): 0.5 · 0.1 = 0.05.
+        assert!((opt.learning_rate() - 0.05).abs() < 1e-6);
+    }
+
+    #[test]
+    fn evaluate_empty_is_zero() {
+        let mut rng = TensorRng::seed(2);
+        let mut net = blob_net(&mut rng);
+        assert_eq!(evaluate(&mut net, &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn batch_label_mismatch_panics() {
+        Batch::new(Tensor::zeros([2, 2]), vec![0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Finite-difference gradient verification for every trainable layer.
+//!
+//! For each layer we embed it in a tiny scalar loss `L = Σ y·r` (random
+//! projection `r`), compute analytic parameter and input gradients via
+//! `backward`, and compare against central differences.
+
+use qsnc_nn::layers::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Relu, Residual};
+use qsnc_nn::{Layer, Mode};
+use qsnc_tensor::{Conv2dSpec, Tensor, TensorRng};
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+/// Loss = <forward(x), r>; returns (loss, analytic input grad) and leaves
+/// parameter grads accumulated in the layer.
+fn project_loss(layer: &mut dyn Layer, x: &Tensor, r: &Tensor) -> (f32, Tensor) {
+    let y = layer.forward(x, Mode::Train);
+    assert_eq!(y.shape(), r.shape(), "projection shape mismatch");
+    let loss: f32 = y.iter().zip(r.iter()).map(|(&a, &b)| a * b).sum();
+    let dx = layer.backward(r);
+    (loss, dx)
+}
+
+fn loss_only(layer: &mut dyn Layer, x: &Tensor, r: &Tensor) -> f32 {
+    let y = layer.forward(x, Mode::Train);
+    y.iter().zip(r.iter()).map(|(&a, &b)| a * b).sum()
+}
+
+fn check_input_grad(layer: &mut dyn Layer, x: &Tensor, r: &Tensor) {
+    layer.zero_grad();
+    let (_, dx) = project_loss(layer, x, r);
+    for i in (0..x.len()).step_by((x.len() / 16).max(1)) {
+        let mut xp = x.clone();
+        xp.as_mut_slice()[i] += EPS;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[i] -= EPS;
+        let lp = loss_only(layer, &xp, r);
+        let lm = loss_only(layer, &xm, r);
+        let numeric = (lp - lm) / (2.0 * EPS);
+        let analytic = dx.as_slice()[i];
+        assert!(
+            (numeric - analytic).abs() < TOL * (1.0 + numeric.abs()),
+            "input grad[{i}]: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+}
+
+fn check_param_grads(layer: &mut dyn Layer, x: &Tensor, r: &Tensor) {
+    layer.zero_grad();
+    let _ = project_loss(layer, x, r);
+    // Snapshot analytic gradients.
+    let grads: Vec<(String, Tensor)> = layer
+        .params()
+        .iter()
+        .map(|p| (p.name.clone(), p.grad.clone()))
+        .collect();
+    for (pi, (name, analytic_grad)) in grads.iter().enumerate() {
+        let len = analytic_grad.len();
+        for j in (0..len).step_by((len / 8).max(1)) {
+            let orig = {
+                let mut params = layer.params();
+                let v = params[pi].value.as_mut_slice()[j];
+                params[pi].value.as_mut_slice()[j] = v + EPS;
+                v
+            };
+            let lp = loss_only(layer, x, r);
+            {
+                let mut params = layer.params();
+                params[pi].value.as_mut_slice()[j] = orig - EPS;
+            }
+            let lm = loss_only(layer, x, r);
+            {
+                let mut params = layer.params();
+                params[pi].value.as_mut_slice()[j] = orig;
+            }
+            let numeric = (lp - lm) / (2.0 * EPS);
+            let analytic = analytic_grad.as_slice()[j];
+            assert!(
+                (numeric - analytic).abs() < TOL * (1.0 + numeric.abs()),
+                "{name}[{j}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+}
+
+#[test]
+fn linear_gradients() {
+    let mut rng = TensorRng::seed(10);
+    let mut layer = Linear::new("fc", 6, 4, &mut rng);
+    let x = qsnc_tensor::init::uniform([3, 6], -1.0, 1.0, &mut rng);
+    let r = qsnc_tensor::init::uniform([3, 4], -1.0, 1.0, &mut rng);
+    check_input_grad(&mut layer, &x, &r);
+    check_param_grads(&mut layer, &x, &r);
+}
+
+#[test]
+fn conv2d_gradients() {
+    let mut rng = TensorRng::seed(11);
+    let mut layer = Conv2d::new("c", 2, 3, Conv2dSpec::new(3, 1, 1), &mut rng);
+    let x = qsnc_tensor::init::uniform([2, 2, 5, 5], -1.0, 1.0, &mut rng);
+    let r = qsnc_tensor::init::uniform([2, 3, 5, 5], -1.0, 1.0, &mut rng);
+    check_input_grad(&mut layer, &x, &r);
+    check_param_grads(&mut layer, &x, &r);
+}
+
+#[test]
+fn strided_conv_gradients() {
+    let mut rng = TensorRng::seed(12);
+    let mut layer = Conv2d::new("c", 2, 2, Conv2dSpec::new(3, 2, 1), &mut rng);
+    let x = qsnc_tensor::init::uniform([1, 2, 8, 8], -1.0, 1.0, &mut rng);
+    let r = qsnc_tensor::init::uniform([1, 2, 4, 4], -1.0, 1.0, &mut rng);
+    check_input_grad(&mut layer, &x, &r);
+    check_param_grads(&mut layer, &x, &r);
+}
+
+#[test]
+fn relu_gradients_away_from_kink() {
+    let mut rng = TensorRng::seed(13);
+    let mut layer = Relu::new();
+    // Keep inputs away from 0 so finite differences are valid.
+    let x = qsnc_tensor::init::uniform([4, 8], 0.2, 1.0, &mut rng);
+    let r = qsnc_tensor::init::uniform([4, 8], -1.0, 1.0, &mut rng);
+    check_input_grad(&mut layer, &x, &r);
+}
+
+#[test]
+fn maxpool_gradients_with_distinct_values() {
+    let mut rng = TensorRng::seed(14);
+    let mut layer = MaxPool2d::new(2, 2);
+    // Distinct values so the argmax is stable under ±EPS.
+    let mut vals: Vec<f32> = (0..32).map(|i| i as f32 * 0.37).collect();
+    rng.shuffle(&mut vals);
+    let x = Tensor::from_vec(vals, [1, 2, 4, 4]);
+    let r = qsnc_tensor::init::uniform([1, 2, 2, 2], -1.0, 1.0, &mut rng);
+    check_input_grad(&mut layer, &x, &r);
+}
+
+#[test]
+fn avgpool_gradients() {
+    let mut rng = TensorRng::seed(15);
+    let mut layer = AvgPool2d::new(2, 2);
+    let x = qsnc_tensor::init::uniform([2, 2, 4, 4], -1.0, 1.0, &mut rng);
+    let r = qsnc_tensor::init::uniform([2, 2, 2, 2], -1.0, 1.0, &mut rng);
+    check_input_grad(&mut layer, &x, &r);
+}
+
+#[test]
+fn flatten_gradients() {
+    let mut rng = TensorRng::seed(16);
+    let mut layer = Flatten::new();
+    let x = qsnc_tensor::init::uniform([2, 3, 2, 2], -1.0, 1.0, &mut rng);
+    let r = qsnc_tensor::init::uniform([2, 12], -1.0, 1.0, &mut rng);
+    check_input_grad(&mut layer, &x, &r);
+}
+
+#[test]
+fn batchnorm_gradients() {
+    let mut rng = TensorRng::seed(17);
+    let mut layer = BatchNorm2d::new("bn", 2);
+    let x = qsnc_tensor::init::uniform([3, 2, 3, 3], -1.0, 1.0, &mut rng);
+    let r = qsnc_tensor::init::uniform([3, 2, 3, 3], -1.0, 1.0, &mut rng);
+    check_input_grad(&mut layer, &x, &r);
+    check_param_grads(&mut layer, &x, &r);
+}
+
+#[test]
+fn residual_block_gradients() {
+    let mut rng = TensorRng::seed(18);
+    let body: Vec<Box<dyn Layer>> = vec![
+        Box::new(Conv2d::new("a", 2, 2, Conv2dSpec::new(3, 1, 1), &mut rng)),
+        Box::new(Conv2d::new("b", 2, 2, Conv2dSpec::new(3, 1, 1), &mut rng)),
+    ];
+    let mut layer = Residual::new(body);
+    let x = qsnc_tensor::init::uniform([1, 2, 4, 4], -1.0, 1.0, &mut rng);
+    let r = qsnc_tensor::init::uniform([1, 2, 4, 4], -1.0, 1.0, &mut rng);
+    check_input_grad(&mut layer, &x, &r);
+    check_param_grads(&mut layer, &x, &r);
+}
+
+#[test]
+fn projection_residual_gradients() {
+    let mut rng = TensorRng::seed(19);
+    let body: Vec<Box<dyn Layer>> = vec![Box::new(Conv2d::new(
+        "a",
+        2,
+        3,
+        Conv2dSpec::new(3, 2, 1),
+        &mut rng,
+    ))];
+    let shortcut: Vec<Box<dyn Layer>> = vec![Box::new(Conv2d::new(
+        "p",
+        2,
+        3,
+        Conv2dSpec::new(1, 2, 0),
+        &mut rng,
+    ))];
+    let mut layer = Residual::with_shortcut(body, shortcut);
+    let x = qsnc_tensor::init::uniform([1, 2, 6, 6], -1.0, 1.0, &mut rng);
+    let r = qsnc_tensor::init::uniform([1, 3, 3, 3], -1.0, 1.0, &mut rng);
+    check_input_grad(&mut layer, &x, &r);
+    check_param_grads(&mut layer, &x, &r);
+}

@@ -1,0 +1,144 @@
+//! Dynamic fixed-point quantization — the 8-bit comparison baseline
+//! (Gysel et al., "Hardware-oriented approximation of convolutional neural
+//! networks", ref. \[23\] of the paper).
+//!
+//! "Dynamic" means each tensor (each layer's weights, each layer's
+//! activations) gets its own integer/fractional bit split chosen from its
+//! value range. This recovers accuracy cheaply in software but — as the
+//! paper argues — is expensive on a spiking substrate: 8-bit signals need
+//! 256-slot spike windows and per-layer ranges break the uniform-hardware
+//! assumption.
+
+use qsnc_tensor::Tensor;
+
+/// A per-tensor dynamic fixed-point format: `bits` total (two's-complement,
+/// one sign bit) with `frac_bits` fractional bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct DynamicFixedPoint {
+    bits: u32,
+    frac_bits: i32,
+}
+
+impl DynamicFixedPoint {
+    /// Chooses the fractional length for `sample` so that its largest
+    /// magnitude just fits: `IL = ⌈log₂ max|x|⌉ + 1` (sign), `FL = B − IL`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `2..=32`.
+    pub fn fit(bits: u32, sample: &Tensor) -> Self {
+        assert!((2..=32).contains(&bits), "bit width must be in 2..=32");
+        let max = sample.abs_max();
+        let mut int_bits = if max > 0.0 {
+            max.log2().floor() as i32 + 1
+        } else {
+            0
+        };
+        // Two's complement is asymmetric: the largest positive code is
+        // 2^(B−1) − 1, so a maximum just below 2^int_bits may still clip by
+        // more than ½ LSB. Widen the integer field in that case.
+        let largest = |ib: i32| ((1i64 << (bits - 1)) - 1) as f32 * (2.0f32).powi(ib + 1 - bits as i32);
+        if max > 0.0 && max > largest(int_bits) {
+            int_bits += 1;
+        }
+        let frac_bits = bits as i32 - 1 - int_bits;
+        DynamicFixedPoint { bits, frac_bits }
+    }
+
+    /// Total bit width.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Fractional bit count (may be negative for very large ranges).
+    pub fn frac_bits(&self) -> i32 {
+        self.frac_bits
+    }
+
+    /// Smallest representable step.
+    pub fn lsb(&self) -> f32 {
+        (2.0f32).powi(-self.frac_bits)
+    }
+
+    /// Quantizes one value to this format.
+    pub fn quantize_value(&self, x: f32) -> f32 {
+        let lsb = self.lsb();
+        let max_code = (1i64 << (self.bits - 1)) - 1;
+        let min_code = -(1i64 << (self.bits - 1));
+        let code = ((x / lsb).round() as i64).clamp(min_code, max_code);
+        code as f32 * lsb
+    }
+
+    /// Quantizes a tensor.
+    pub fn quantize(&self, x: &Tensor) -> Tensor {
+        x.map(|v| self.quantize_value(v))
+    }
+}
+
+/// Convenience: fit-and-quantize a tensor in one call, returning the tensor
+/// and the chosen format.
+pub fn dynamic_fixed_quantize(x: &Tensor, bits: u32) -> (Tensor, DynamicFixedPoint) {
+    let fmt = DynamicFixedPoint::fit(bits, x);
+    (fmt.quantize(x), fmt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsnc_tensor::TensorRng;
+
+    #[test]
+    fn fit_chooses_enough_integer_bits() {
+        let t = Tensor::from_slice(&[3.7, -1.0]);
+        let fmt = DynamicFixedPoint::fit(8, &t);
+        // max 3.7 needs 2 integer bits (+ sign) → FL = 8 − 1 − 2 = 5.
+        assert_eq!(fmt.frac_bits(), 5);
+        // Largest magnitude must survive quantization roughly intact.
+        assert!((fmt.quantize_value(3.7) - 3.7).abs() <= fmt.lsb());
+    }
+
+    #[test]
+    fn small_ranges_get_fine_resolution() {
+        let t = Tensor::from_slice(&[0.06, -0.01]);
+        let fmt = DynamicFixedPoint::fit(8, &t);
+        assert!(fmt.frac_bits() > 7, "frac bits {}", fmt.frac_bits());
+        assert!((fmt.quantize_value(0.06) - 0.06).abs() < 0.005);
+    }
+
+    #[test]
+    fn eight_bit_error_is_small() {
+        let mut rng = TensorRng::seed(0);
+        let x = qsnc_tensor::init::normal([4096], 0.0, 0.5, &mut rng);
+        let (q, fmt) = dynamic_fixed_quantize(&x, 8);
+        let mse: f32 = x
+            .iter()
+            .zip(q.iter())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / x.len() as f32;
+        assert!(mse < (fmt.lsb() * fmt.lsb()) / 4.0 + 1e-9, "mse {mse}");
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let mut rng = TensorRng::seed(1);
+        let x = qsnc_tensor::init::uniform([128], -2.0, 2.0, &mut rng);
+        let fmt = DynamicFixedPoint::fit(8, &x);
+        let once = fmt.quantize(&x);
+        assert_eq!(fmt.quantize(&once), once);
+    }
+
+    #[test]
+    fn negative_extreme_is_representable() {
+        let fmt = DynamicFixedPoint::fit(4, &Tensor::from_slice(&[1.0]));
+        // 4 bits, FL = 2: codes −8..7 → values −2.0..1.75.
+        assert_eq!(fmt.quantize_value(-2.0), -2.0);
+        assert_eq!(fmt.quantize_value(5.0), 1.75);
+    }
+
+    #[test]
+    fn zero_sample_does_not_crash() {
+        let fmt = DynamicFixedPoint::fit(8, &Tensor::zeros([4]));
+        assert_eq!(fmt.quantize_value(0.0), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Device-fault injection on quantized weights.
+//!
+//! Memristor crossbars suffer stuck-at faults and programming variation
+//! (the paper's group cites its own defect-rescue work, ref. \[16\]). This
+//! module provides the fault models the robustness ablation benches use.
+
+use qsnc_nn::Sequential;
+use qsnc_tensor::{Tensor, TensorRng};
+
+/// A fault model applied to synaptic weights at deployment time.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FaultModel {
+    /// Each weight independently becomes 0 (stuck-off device pair) with the
+    /// given probability.
+    StuckAtZero {
+        /// Per-device fault probability in `[0, 1]`.
+        rate: f32,
+    },
+    /// Each weight independently saturates to ±(max magnitude in its
+    /// tensor) with the given probability (stuck-on device).
+    StuckAtMax {
+        /// Per-device fault probability in `[0, 1]`.
+        rate: f32,
+    },
+    /// Multiplicative log-normal programming variation:
+    /// `w ← w · exp(N(0, σ²))`, the standard memristor write-noise model.
+    Variation {
+        /// Standard deviation of the log-conductance error.
+        sigma: f32,
+    },
+}
+
+/// Applies `model` to a single weight tensor, returning the number of
+/// affected elements.
+pub fn apply_fault(w: &mut Tensor, model: FaultModel, rng: &mut TensorRng) -> usize {
+    match model {
+        FaultModel::StuckAtZero { rate } => {
+            assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1]");
+            let mut hits = 0;
+            for v in w.iter_mut() {
+                if rng.chance(rate) {
+                    *v = 0.0;
+                    hits += 1;
+                }
+            }
+            hits
+        }
+        FaultModel::StuckAtMax { rate } => {
+            assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1]");
+            let max = w.abs_max();
+            let mut hits = 0;
+            for v in w.iter_mut() {
+                if rng.chance(rate) {
+                    *v = if rng.chance(0.5) { max } else { -max };
+                    hits += 1;
+                }
+            }
+            hits
+        }
+        FaultModel::Variation { sigma } => {
+            assert!(sigma >= 0.0, "sigma must be non-negative");
+            if sigma == 0.0 {
+                return 0;
+            }
+            for v in w.iter_mut() {
+                *v *= rng.normal_with(0.0, sigma).exp();
+            }
+            w.len()
+        }
+    }
+}
+
+/// Applies `model` to every synaptic weight tensor of a network, returning
+/// the total number of affected weights.
+pub fn inject_network_faults(
+    net: &mut Sequential,
+    model: FaultModel,
+    rng: &mut TensorRng,
+) -> usize {
+    let mut hits = 0;
+    for p in net.params() {
+        if p.is_weight {
+            hits += apply_fault(p.value, model, rng);
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stuck_at_zero_rate_is_respected() {
+        let mut rng = TensorRng::seed(0);
+        let mut w = Tensor::ones([10000]);
+        let hits = apply_fault(&mut w, FaultModel::StuckAtZero { rate: 0.1 }, &mut rng);
+        let zeros = w.count(|v| v == 0.0);
+        assert_eq!(hits, zeros);
+        assert!((zeros as f32 / 10000.0 - 0.1).abs() < 0.02, "zeros {zeros}");
+    }
+
+    #[test]
+    fn stuck_at_max_saturates() {
+        let mut rng = TensorRng::seed(1);
+        let mut w = Tensor::from_slice(&[0.5; 100]);
+        apply_fault(&mut w, FaultModel::StuckAtMax { rate: 1.0 }, &mut rng);
+        assert!(w.iter().all(|&v| v.abs() == 0.5));
+        assert!(w.iter().any(|&v| v < 0.0), "both polarities expected");
+    }
+
+    #[test]
+    fn zero_rate_is_noop() {
+        let mut rng = TensorRng::seed(2);
+        let mut w = Tensor::from_slice(&[1.0, -2.0]);
+        let orig = w.clone();
+        assert_eq!(
+            apply_fault(&mut w, FaultModel::StuckAtZero { rate: 0.0 }, &mut rng),
+            0
+        );
+        assert_eq!(w, orig);
+    }
+
+    #[test]
+    fn variation_preserves_sign_and_scale_statistically() {
+        let mut rng = TensorRng::seed(3);
+        let mut w = Tensor::ones([20000]);
+        apply_fault(&mut w, FaultModel::Variation { sigma: 0.1 }, &mut rng);
+        assert!(w.iter().all(|&v| v > 0.0));
+        assert!((w.mean() - 1.0).abs() < 0.02, "mean {}", w.mean());
+        assert!(w.std() > 0.05, "std {}", w.std());
+    }
+
+    #[test]
+    fn network_injection_counts_weights_only() {
+        let mut rng = TensorRng::seed(4);
+        let mut net = qsnc_nn::models::lenet(0.25, 10, &mut rng);
+        let weight_total: usize = net
+            .params()
+            .iter()
+            .filter(|p| p.is_weight)
+            .map(|p| p.value.len())
+            .sum();
+        let hits =
+            inject_network_faults(&mut net, FaultModel::Variation { sigma: 0.05 }, &mut rng);
+        assert_eq!(hits, weight_total);
+    }
+}

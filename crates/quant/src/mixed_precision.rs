@@ -1,0 +1,249 @@
+//! Mixed-precision weight assignment.
+//!
+//! An extension the paper's Eq. 4/5 analysis points toward: layers differ
+//! in how much quantization error they inject downstream, so a fixed
+//! budget of crossbar devices is better spent unevenly. The greedy
+//! assignment here starts every tensor at `min_bits` and repeatedly grants
+//! one extra bit to the tensor whose quantization MSE (weighted by element
+//! count, a proxy for injected error) improves most per added device,
+//! until the budget is exhausted.
+
+use crate::weight_cluster::cluster_weights;
+use qsnc_nn::Sequential;
+use qsnc_tensor::Tensor;
+use std::collections::HashMap;
+
+/// The per-tensor outcome of [`assign_mixed_precision`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecisionAssignment {
+    /// Parameter name.
+    pub name: String,
+    /// Assigned bit width.
+    pub bits: u32,
+    /// Quantization MSE at the assigned width.
+    pub mse: f32,
+    /// Element count.
+    pub count: usize,
+}
+
+/// Greedily assigns per-tensor bit widths in `[min_bits, max_bits]` under
+/// a total **bit budget** `Σ bits_i · count_i ≤ budget_bits` (device count
+/// is proportional to stored bits on the crossbar substrate).
+///
+/// Returns the assignment; the network is not modified. Use
+/// [`apply_mixed_precision`] to rewrite the weights.
+///
+/// # Panics
+///
+/// Panics if `min_bits > max_bits`, either is outside `1..=16`, or the
+/// budget cannot cover `min_bits` everywhere.
+pub fn assign_mixed_precision(
+    net: &mut Sequential,
+    min_bits: u32,
+    max_bits: u32,
+    budget_bits: u64,
+) -> Vec<PrecisionAssignment> {
+    assert!(min_bits <= max_bits, "min_bits must not exceed max_bits");
+    assert!(min_bits >= 1 && max_bits <= 16, "bit widths must be in 1..=16");
+
+    // Collect weight tensors (copies — analysis only).
+    let tensors: Vec<(String, Tensor)> = net
+        .params()
+        .iter()
+        .filter(|p| p.is_weight)
+        .map(|p| (p.name.clone(), p.value.clone()))
+        .collect();
+    let base_cost: u64 = tensors
+        .iter()
+        .map(|(_, t)| t.len() as u64 * min_bits as u64)
+        .sum();
+    assert!(
+        base_cost <= budget_bits,
+        "budget {budget_bits} cannot cover {min_bits} bits everywhere ({base_cost} needed)"
+    );
+
+    // Precompute MSE at every width.
+    let mut mse: Vec<Vec<f32>> = Vec::with_capacity(tensors.len());
+    for (_, t) in &tensors {
+        let per_bits: Vec<f32> = (min_bits..=max_bits)
+            .map(|b| cluster_weights(t, b).mse)
+            .collect();
+        mse.push(per_bits);
+    }
+
+    let mut bits: Vec<u32> = vec![min_bits; tensors.len()];
+    let mut spent = base_cost;
+    loop {
+        // Best next upgrade: largest total-error reduction per added bit.
+        let mut best: Option<(usize, f32)> = None;
+        for (i, (_, t)) in tensors.iter().enumerate() {
+            if bits[i] >= max_bits {
+                continue;
+            }
+            let extra = t.len() as u64;
+            if spent + extra > budget_bits {
+                continue;
+            }
+            let idx = (bits[i] - min_bits) as usize;
+            let gain = (mse[i][idx] - mse[i][idx + 1]) * t.len() as f32;
+            let per_bit = gain / extra as f32;
+            if best.is_none_or(|(_, g)| per_bit > g) {
+                best = Some((i, per_bit));
+            }
+        }
+        match best {
+            Some((i, gain)) if gain > 0.0 => {
+                spent += tensors[i].1.len() as u64;
+                bits[i] += 1;
+            }
+            _ => break,
+        }
+    }
+
+    tensors
+        .into_iter()
+        .zip(bits)
+        .map(|((name, t), b)| PrecisionAssignment {
+            mse: cluster_weights(&t, b).mse,
+            count: t.len(),
+            name,
+            bits: b,
+        })
+        .collect()
+}
+
+/// Rewrites the network's weights per a mixed-precision assignment (by
+/// parameter name), using Weight Clustering at each tensor's width.
+///
+/// # Panics
+///
+/// Panics if the assignment is missing any weight tensor.
+pub fn apply_mixed_precision(net: &mut Sequential, assignment: &[PrecisionAssignment]) {
+    let by_name: HashMap<&str, u32> = assignment
+        .iter()
+        .map(|a| (a.name.as_str(), a.bits))
+        .collect();
+    for p in net.params() {
+        if !p.is_weight {
+            continue;
+        }
+        let bits = *by_name
+            .get(p.name.as_str())
+            .unwrap_or_else(|| panic!("assignment missing {}", p.name));
+        let q = cluster_weights(p.value, bits);
+        *p.value = q.tensor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsnc_tensor::TensorRng;
+
+    fn lenet() -> Sequential {
+        let mut rng = TensorRng::seed(0);
+        qsnc_nn::models::lenet(0.25, 10, &mut rng)
+    }
+
+    fn total_cost(a: &[PrecisionAssignment]) -> u64 {
+        a.iter().map(|x| x.bits as u64 * x.count as u64).sum()
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let mut net = lenet();
+        let weights: u64 = net
+            .params()
+            .iter()
+            .filter(|p| p.is_weight)
+            .map(|p| p.value.len() as u64)
+            .sum();
+        let budget = weights * 5; // average 5 bits
+        let a = assign_mixed_precision(&mut net, 2, 8, budget);
+        assert!(total_cost(&a) <= budget, "cost {} > budget {budget}", total_cost(&a));
+        assert!(a.iter().all(|x| (2..=8).contains(&x.bits)));
+    }
+
+    #[test]
+    fn generous_budget_maxes_everything() {
+        let mut net = lenet();
+        let a = assign_mixed_precision(&mut net, 2, 4, u64::MAX);
+        assert!(a.iter().all(|x| x.bits == 4));
+    }
+
+    #[test]
+    fn tight_budget_keeps_minimum() {
+        let mut net = lenet();
+        let weights: u64 = net
+            .params()
+            .iter()
+            .filter(|p| p.is_weight)
+            .map(|p| p.value.len() as u64)
+            .sum();
+        let a = assign_mixed_precision(&mut net, 3, 8, weights * 3);
+        assert!(a.iter().all(|x| x.bits == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot cover")]
+    fn infeasible_budget_panics() {
+        let mut net = lenet();
+        assign_mixed_precision(&mut net, 4, 8, 10);
+    }
+
+    #[test]
+    fn mixed_beats_uniform_at_equal_budget() {
+        // Give one tensor a much wider distribution: the greedy assignment
+        // should spend bits there and achieve lower total error than the
+        // uniform split.
+        let mut net = lenet();
+        // Inflate conv1's weights so it dominates the error.
+        for p in net.params() {
+            if p.is_weight && p.name == "conv1.weight" {
+                p.value.map_inplace(|x| x * 20.0);
+            }
+        }
+        let weights: u64 = net
+            .params()
+            .iter()
+            .filter(|p| p.is_weight)
+            .map(|p| p.value.len() as u64)
+            .sum();
+        let budget = weights * 4;
+        let a = assign_mixed_precision(&mut net, 2, 8, budget);
+        let conv1 = a.iter().find(|x| x.name == "conv1.weight").unwrap();
+        // conv1 is tiny relative to the FCs, so bits are cheap there and
+        // its error is huge: it must get more than the uniform 4 bits.
+        assert!(conv1.bits > 4, "conv1 got {} bits", conv1.bits);
+
+        // Total weighted error no worse than uniform 4-bit.
+        let mixed_err: f32 = a.iter().map(|x| x.mse * x.count as f32).sum();
+        let uniform_err: f32 = {
+            let mut total = 0.0;
+            for p in net.params() {
+                if p.is_weight {
+                    total += cluster_weights(p.value, 4).mse * p.value.len() as f32;
+                }
+            }
+            total
+        };
+        assert!(
+            mixed_err <= uniform_err * 1.0001,
+            "mixed {mixed_err} vs uniform {uniform_err}"
+        );
+    }
+
+    #[test]
+    fn apply_rewrites_on_assigned_grids() {
+        let mut net = lenet();
+        let a = assign_mixed_precision(&mut net, 2, 6, u64::MAX);
+        apply_mixed_precision(&mut net, &a);
+        for p in net.params() {
+            if p.is_weight {
+                let bits = a.iter().find(|x| x.name == p.name).unwrap().bits;
+                let q = cluster_weights(p.value, bits);
+                assert!(q.mse < 1e-10, "{} not on its {}-bit grid", p.name, bits);
+            }
+        }
+    }
+}

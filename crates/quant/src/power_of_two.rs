@@ -1,0 +1,198 @@
+//! Power-of-two ("multiplier-free") weight quantization — the Tann et al.
+//! baseline (the paper's ref. \[24\], "Hardware-software codesign of
+//! accurate, multiplier-free deep neural networks").
+//!
+//! Each weight becomes `±2^e` (or zero), so a MAC needs only shifts. The
+//! paper contrasts this scheme with its linear-grid Weight Clustering: the
+//! power-of-two grid is dense near zero but very coarse at the range edge,
+//! while memristor conductances are natively *linear* — which is why the
+//! paper's method fits the substrate better.
+
+use qsnc_tensor::Tensor;
+
+/// Result of power-of-two quantization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerOfTwoWeights {
+    /// Dequantized weights, same shape as the input.
+    pub tensor: Tensor,
+    /// Exponent range used: values are `0` or `±2^e` with
+    /// `e ∈ [min_exp, max_exp]`.
+    pub min_exp: i32,
+    /// Largest exponent.
+    pub max_exp: i32,
+    /// Mean squared error versus the original weights.
+    pub mse: f32,
+}
+
+/// Quantizes weights onto the set `{0} ∪ {±2^e}` with `bits` controlling
+/// the number of representable magnitudes (`2^(bits−1) − 1` exponent steps
+/// below the maximum, mirroring Tann et al.'s encoding: 1 sign bit + an
+/// exponent field).
+///
+/// # Panics
+///
+/// Panics if `bits` is outside `2..=16`.
+pub fn power_of_two_quantize(w: &Tensor, bits: u32) -> PowerOfTwoWeights {
+    assert!((2..=16).contains(&bits), "bit width must be in 2..=16");
+    let max_abs = w.abs_max();
+    if max_abs == 0.0 {
+        return PowerOfTwoWeights {
+            tensor: w.clone(),
+            min_exp: 0,
+            max_exp: 0,
+            mse: 0.0,
+        };
+    }
+    // Exponent of the largest representable magnitude.
+    let max_exp = max_abs.log2().round() as i32;
+    let steps = (1i32 << (bits - 1)) - 1; // distinct magnitudes
+    let min_exp = max_exp - (steps - 1).max(0);
+    // Zero threshold: half of the smallest representable magnitude.
+    let zero_cut = (2.0f32).powi(min_exp) * 0.5;
+
+    let data: Vec<f32> = w
+        .iter()
+        .map(|&x| {
+            let a = x.abs();
+            if a < zero_cut {
+                return 0.0;
+            }
+            let e = a.log2().round().clamp(min_exp as f32, max_exp as f32) as i32;
+            let mag = (2.0f32).powi(e);
+            if x >= 0.0 {
+                mag
+            } else {
+                -mag
+            }
+        })
+        .collect();
+    let mse = w
+        .iter()
+        .zip(data.iter())
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f32>()
+        / w.len().max(1) as f32;
+    PowerOfTwoWeights {
+        tensor: Tensor::from_vec(data, w.dims()),
+        min_exp,
+        max_exp,
+        mse,
+    }
+}
+
+/// Applies power-of-two quantization to every synaptic weight tensor of a
+/// network, in place. Returns the total MSE weighted by element count.
+pub fn quantize_network_power_of_two(net: &mut qsnc_nn::Sequential, bits: u32) -> f32 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for p in net.params() {
+        if !p.is_weight {
+            continue;
+        }
+        let q = power_of_two_quantize(p.value, bits);
+        total += q.mse * p.value.len() as f32;
+        count += p.value.len();
+        *p.value = q.tensor;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsnc_tensor::TensorRng;
+
+    #[test]
+    fn values_are_powers_of_two_or_zero() {
+        let mut rng = TensorRng::seed(0);
+        let w = qsnc_tensor::init::normal([500], 0.0, 0.3, &mut rng);
+        let q = power_of_two_quantize(&w, 4);
+        for &v in q.tensor.iter() {
+            if v != 0.0 {
+                let e = v.abs().log2();
+                assert!((e - e.round()).abs() < 1e-6, "{v} is not ±2^e");
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_signs() {
+        let w = Tensor::from_slice(&[0.5, -0.5, 0.3, -0.3]);
+        let q = power_of_two_quantize(&w, 4);
+        for (&orig, &quant) in w.iter().zip(q.tensor.iter()) {
+            if quant != 0.0 {
+                assert_eq!(orig.signum(), quant.signum());
+            }
+        }
+    }
+
+    #[test]
+    fn exact_powers_survive() {
+        let w = Tensor::from_slice(&[0.5, 0.25, -0.125]);
+        let q = power_of_two_quantize(&w, 4);
+        assert_eq!(q.tensor.as_slice(), &[0.5, 0.25, -0.125]);
+        assert_eq!(q.mse, 0.0);
+    }
+
+    #[test]
+    fn small_values_round_to_zero() {
+        let w = Tensor::from_slice(&[1.0, 1e-6]);
+        let q = power_of_two_quantize(&w, 3);
+        assert_eq!(q.tensor.as_slice()[1], 0.0);
+    }
+
+    #[test]
+    fn more_bits_reduce_error() {
+        let mut rng = TensorRng::seed(1);
+        let w = qsnc_tensor::init::normal([2000], 0.0, 0.25, &mut rng);
+        let e3 = power_of_two_quantize(&w, 3).mse;
+        let e5 = power_of_two_quantize(&w, 5).mse;
+        assert!(e5 <= e3, "e3 {e3} e5 {e5}");
+    }
+
+    #[test]
+    fn linear_clustering_beats_power_of_two_near_range_edge() {
+        // Weights concentrated near the maximum magnitude: the linear grid
+        // resolves them; the power-of-two grid collapses them onto one or
+        // two magnitudes. This is the paper's argument for linear levels.
+        let mut rng = TensorRng::seed(2);
+        let w = qsnc_tensor::init::uniform([1000], 0.7, 1.0, &mut rng);
+        let p2 = power_of_two_quantize(&w, 4);
+        let lin = crate::cluster_weights(&w, 4);
+        assert!(
+            lin.mse < p2.mse,
+            "linear {} should beat power-of-two {}",
+            lin.mse,
+            p2.mse
+        );
+    }
+
+    #[test]
+    fn network_quantization_rewrites_weights() {
+        let mut rng = TensorRng::seed(3);
+        let mut net = qsnc_nn::models::lenet(0.25, 10, &mut rng);
+        let mse = quantize_network_power_of_two(&mut net, 4);
+        assert!(mse > 0.0);
+        for p in net.params() {
+            if p.is_weight {
+                for &v in p.value.iter() {
+                    if v != 0.0 {
+                        let e = v.abs().log2();
+                        assert!((e - e.round()).abs() < 1e-5);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tensor_is_fixed_point() {
+        let q = power_of_two_quantize(&Tensor::zeros([8]), 4);
+        assert!(q.tensor.iter().all(|&v| v == 0.0));
+        assert_eq!(q.mse, 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Element-wise arithmetic, scalar broadcasting, and operator overloads.
+
+use crate::tensor::Tensor;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+impl Tensor {
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_t(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub_t(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise multiplication (Hadamard product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul_t(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Element-wise division.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn div_t(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// Adds `scalar` to every element.
+    pub fn add_scalar(&self, scalar: f32) -> Tensor {
+        self.map(|x| x + scalar)
+    }
+
+    /// Multiplies every element by `scalar`.
+    pub fn scale(&self, scalar: f32) -> Tensor {
+        self.map(|x| x * scalar)
+    }
+
+    /// In-place `self += alpha * other` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "shape mismatch: {} vs {}",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.iter_mut().zip(other.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Element-wise clamp into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Element-wise ReLU, `max(x, 0)`.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Element-wise square.
+    pub fn square(&self) -> Tensor {
+        self.map(|x| x * x)
+    }
+
+    /// Element-wise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Element-wise natural exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Fills the tensor with `value`.
+    pub fn fill(&mut self, value: f32) {
+        for x in self.iter_mut() {
+            *x = value;
+        }
+    }
+}
+
+macro_rules! binop {
+    ($trait:ident, $method:ident, $impl_method:ident) => {
+        impl $trait<&Tensor> for &Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: &Tensor) -> Tensor {
+                self.$impl_method(rhs)
+            }
+        }
+        impl $trait<Tensor> for Tensor {
+            type Output = Tensor;
+            fn $method(self, rhs: Tensor) -> Tensor {
+                (&self).$impl_method(&rhs)
+            }
+        }
+    };
+}
+
+binop!(Add, add, add_t);
+binop!(Sub, sub, sub_t);
+binop!(Mul, mul, mul_t);
+binop!(Div, div, div_t);
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+    fn mul(self, rhs: f32) -> Tensor {
+        self.scale(rhs)
+    }
+}
+
+impl Add<f32> for &Tensor {
+    type Output = Tensor;
+    fn add(self, rhs: f32) -> Tensor {
+        self.add_scalar(rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+    fn neg(self) -> Tensor {
+        self.map(|x| -x)
+    }
+}
+
+impl AddAssign<&Tensor> for Tensor {
+    fn add_assign(&mut self, rhs: &Tensor) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl SubAssign<&Tensor> for Tensor {
+    fn sub_assign(&mut self, rhs: &Tensor) {
+        self.axpy(-1.0, rhs);
+    }
+}
+
+impl MulAssign<f32> for Tensor {
+    fn mul_assign(&mut self, rhs: f32) {
+        self.map_inplace(|x| x * rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[3.0, 5.0]);
+        assert_eq!(a.add_t(&b).as_slice(), &[4.0, 7.0]);
+        assert_eq!(b.sub_t(&a).as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.mul_t(&b).as_slice(), &[3.0, 10.0]);
+        assert_eq!(b.div_t(&a).as_slice(), &[3.0, 2.5]);
+    }
+
+    #[test]
+    fn operator_overloads() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[3.0, 5.0]);
+        assert_eq!((&a + &b).as_slice(), &[4.0, 7.0]);
+        assert_eq!((&b - &a).as_slice(), &[2.0, 3.0]);
+        assert_eq!((&a * &b).as_slice(), &[3.0, 10.0]);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0]);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = t(&[1.0, 2.0]);
+        a += &t(&[1.0, 1.0]);
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+        a -= &t(&[1.0, 1.0]);
+        assert_eq!(a.as_slice(), &[1.0, 2.0]);
+        a *= 3.0;
+        assert_eq!(a.as_slice(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0]);
+        a.axpy(0.5, &t(&[2.0, 4.0]));
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn unary_helpers() {
+        let a = t(&[-2.0, 3.0]);
+        assert_eq!(a.abs().as_slice(), &[2.0, 3.0]);
+        assert_eq!(a.relu().as_slice(), &[0.0, 3.0]);
+        assert_eq!(a.clamp(-1.0, 1.0).as_slice(), &[-1.0, 1.0]);
+        assert_eq!(a.square().as_slice(), &[4.0, 9.0]);
+        assert_eq!(t(&[4.0]).sqrt().as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn fill_overwrites() {
+        let mut a = t(&[1.0, 2.0]);
+        a.fill(9.0);
+        assert_eq!(a.as_slice(), &[9.0, 9.0]);
+    }
+}

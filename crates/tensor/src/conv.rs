@@ -1,0 +1,401 @@
+//! Convolution lowering: zero padding, im2col / col2im, and a direct
+//! reference convolution.
+//!
+//! Layers in `qsnc-nn` lower convolution to GEMM through [`im2col`]; the
+//! direct [`conv2d_direct`] implementation stays as the oracle the tests
+//! compare against, and as the form the crossbar mapper mirrors (each filter
+//! becomes one crossbar column over an im2col'd input vector).
+
+use crate::linalg::gemm;
+use crate::tensor::Tensor;
+
+/// Spatial geometry of a 2-D convolution or pooling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Conv2dSpec {
+    /// Kernel height and width (square kernels only, matching the paper).
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub padding: usize,
+}
+
+impl Conv2dSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(kernel: usize, stride: usize, padding: usize) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        assert!(stride > 0, "stride must be positive");
+        Conv2dSpec { kernel, stride, padding }
+    }
+
+    /// Output spatial size for an input of extent `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window does not fit the padded input.
+    pub fn output_size(&self, input: usize) -> usize {
+        let padded = input + 2 * self.padding;
+        assert!(
+            padded >= self.kernel,
+            "kernel {} larger than padded input {}",
+            self.kernel,
+            padded
+        );
+        (padded - self.kernel) / self.stride + 1
+    }
+}
+
+/// Pads a `[n, c, h, w]` tensor with `pad` zeros on each spatial border.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 4.
+pub fn pad2d(x: &Tensor, pad: usize) -> Tensor {
+    assert_eq!(x.shape().rank(), 4, "pad2d requires [n,c,h,w], got {}", x.shape());
+    if pad == 0 {
+        return x.clone();
+    }
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (hp, wp) = (h + 2 * pad, w + 2 * pad);
+    let mut out = Tensor::zeros([n, c, hp, wp]);
+    let src = x.as_slice();
+    let dst = out.as_mut_slice();
+    for in_ in 0..n {
+        for ic in 0..c {
+            for ih in 0..h {
+                let src_off = ((in_ * c + ic) * h + ih) * w;
+                let dst_off = ((in_ * c + ic) * hp + ih + pad) * wp + pad;
+                dst[dst_off..dst_off + w].copy_from_slice(&src[src_off..src_off + w]);
+            }
+        }
+    }
+    out
+}
+
+/// Removes `pad` elements from each spatial border of a `[n, c, h, w]` tensor.
+///
+/// Inverse of [`pad2d`] for the interior region.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 4 or the padded extent is too small.
+pub fn unpad2d(x: &Tensor, pad: usize) -> Tensor {
+    assert_eq!(x.shape().rank(), 4, "unpad2d requires [n,c,h,w]");
+    if pad == 0 {
+        return x.clone();
+    }
+    let (n, c, hp, wp) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    assert!(hp > 2 * pad && wp > 2 * pad, "padding larger than tensor");
+    let (h, w) = (hp - 2 * pad, wp - 2 * pad);
+    let mut out = Tensor::zeros([n, c, h, w]);
+    let src = x.as_slice();
+    let dst = out.as_mut_slice();
+    for in_ in 0..n {
+        for ic in 0..c {
+            for ih in 0..h {
+                let src_off = ((in_ * c + ic) * hp + ih + pad) * wp + pad;
+                let dst_off = ((in_ * c + ic) * h + ih) * w;
+                dst[dst_off..dst_off + w].copy_from_slice(&src[src_off..src_off + w]);
+            }
+        }
+    }
+    out
+}
+
+/// Lowers a `[n, c, h, w]` input to a `[c·k·k, n·oh·ow]` column matrix.
+///
+/// Column `j` holds the receptive field of output pixel `j` (outputs ordered
+/// `n`-major, then row-major over the output map), so a convolution becomes
+/// `W[f, c·k·k] · cols`.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 4 or the kernel does not fit.
+pub fn im2col(x: &Tensor, spec: Conv2dSpec) -> Tensor {
+    assert_eq!(x.shape().rank(), 4, "im2col requires [n,c,h,w], got {}", x.shape());
+    let padded = pad2d(x, spec.padding);
+    let (n, c, hp, wp) = (
+        padded.dims()[0],
+        padded.dims()[1],
+        padded.dims()[2],
+        padded.dims()[3],
+    );
+    let k = spec.kernel;
+    let oh = spec.output_size(x.dims()[2]);
+    let ow = spec.output_size(x.dims()[3]);
+    let rows = c * k * k;
+    let cols_n = n * oh * ow;
+    let mut cols = vec![0.0f32; rows * cols_n];
+    let src = padded.as_slice();
+
+    for in_ in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let col = (in_ * oh + oy) * ow + ox;
+                let base_y = oy * spec.stride;
+                let base_x = ox * spec.stride;
+                for ic in 0..c {
+                    for ky in 0..k {
+                        let src_off = ((in_ * c + ic) * hp + base_y + ky) * wp + base_x;
+                        for kx in 0..k {
+                            let row = (ic * k + ky) * k + kx;
+                            cols[row * cols_n + col] = src[src_off + kx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(cols, [rows, cols_n])
+}
+
+/// Scatters a `[c·k·k, n·oh·ow]` column matrix back to a `[n, c, h, w]`
+/// image, accumulating overlaps. Adjoint of [`im2col`]; used by the
+/// convolution backward pass.
+///
+/// # Panics
+///
+/// Panics if `cols` is not rank 2 or its shape disagrees with the geometry.
+pub fn col2im(
+    cols: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    spec: Conv2dSpec,
+) -> Tensor {
+    assert_eq!(cols.shape().rank(), 2, "col2im requires rank-2 columns");
+    let k = spec.kernel;
+    let oh = spec.output_size(h);
+    let ow = spec.output_size(w);
+    assert_eq!(cols.dims()[0], c * k * k, "col2im row count mismatch");
+    assert_eq!(cols.dims()[1], n * oh * ow, "col2im column count mismatch");
+
+    let (hp, wp) = (h + 2 * spec.padding, w + 2 * spec.padding);
+    let mut padded = vec![0.0f32; n * c * hp * wp];
+    let src = cols.as_slice();
+    let cols_n = n * oh * ow;
+
+    for in_ in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let col = (in_ * oh + oy) * ow + ox;
+                let base_y = oy * spec.stride;
+                let base_x = ox * spec.stride;
+                for ic in 0..c {
+                    for ky in 0..k {
+                        let dst_off = ((in_ * c + ic) * hp + base_y + ky) * wp + base_x;
+                        for kx in 0..k {
+                            let row = (ic * k + ky) * k + kx;
+                            padded[dst_off + kx] += src[row * cols_n + col];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let padded_t = Tensor::from_vec(padded, [n, c, hp, wp]);
+    unpad2d(&padded_t, spec.padding)
+}
+
+/// Convolves `x` `[n, c, h, w]` with filters `w` `[f, c, k, k]` via
+/// im2col + GEMM, adding per-filter `bias` `[f]` if provided.
+///
+/// Returns `[n, f, oh, ow]`.
+///
+/// # Panics
+///
+/// Panics on rank or channel mismatches.
+pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSpec) -> Tensor {
+    assert_eq!(x.shape().rank(), 4, "conv2d input must be [n,c,h,w]");
+    assert_eq!(weight.shape().rank(), 4, "conv2d weight must be [f,c,k,k]");
+    let (n, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+    let (f, wc, k, k2) = (
+        weight.dims()[0],
+        weight.dims()[1],
+        weight.dims()[2],
+        weight.dims()[3],
+    );
+    assert_eq!(c, wc, "conv2d channel mismatch: input {c}, weight {wc}");
+    assert_eq!(k, k2, "conv2d kernels must be square");
+    assert_eq!(k, spec.kernel, "spec kernel disagrees with weight");
+
+    let oh = spec.output_size(h);
+    let ow = spec.output_size(w);
+    let cols = im2col(x, spec);
+    let cols_n = n * oh * ow;
+
+    // [f, c·k·k] × [c·k·k, n·oh·ow] → [f, n·oh·ow]
+    let mut out = vec![0.0f32; f * cols_n];
+    gemm(f, c * k * k, cols_n, weight.as_slice(), cols.as_slice(), &mut out);
+
+    // Reorder [f, n, oh, ow] → [n, f, oh, ow], adding bias.
+    let mut reordered = vec![0.0f32; n * f * oh * ow];
+    for fi in 0..f {
+        let b = bias.map_or(0.0, |t| t.as_slice()[fi]);
+        for in_ in 0..n {
+            for p in 0..oh * ow {
+                reordered[((in_ * f) + fi) * oh * ow + p] =
+                    out[(fi * n + in_) * oh * ow + p] + b;
+            }
+        }
+    }
+    Tensor::from_vec(reordered, [n, f, oh, ow])
+}
+
+/// Direct (nested-loop) convolution; reference oracle for [`conv2d`].
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`conv2d`].
+pub fn conv2d_direct(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    spec: Conv2dSpec,
+) -> Tensor {
+    assert_eq!(x.shape().rank(), 4);
+    assert_eq!(weight.shape().rank(), 4);
+    let padded = pad2d(x, spec.padding);
+    let (n, c, hp, wp) = (
+        padded.dims()[0],
+        padded.dims()[1],
+        padded.dims()[2],
+        padded.dims()[3],
+    );
+    let f = weight.dims()[0];
+    let k = spec.kernel;
+    let oh = spec.output_size(x.dims()[2]);
+    let ow = spec.output_size(x.dims()[3]);
+    let xs = padded.as_slice();
+    let ws = weight.as_slice();
+    let mut out = Tensor::zeros([n, f, oh, ow]);
+    let os = out.as_mut_slice();
+    for in_ in 0..n {
+        for fi in 0..f {
+            let b = bias.map_or(0.0, |t| t.as_slice()[fi]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ic in 0..c {
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = oy * spec.stride + ky;
+                                let ix = ox * spec.stride + kx;
+                                acc += xs[((in_ * c + ic) * hp + iy) * wp + ix]
+                                    * ws[((fi * c + ic) * k + ky) * k + kx];
+                            }
+                        }
+                    }
+                    os[((in_ * f + fi) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_tensor(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let len: usize = dims.iter().product();
+        Tensor::from_vec((0..len).map(|_| rng.gen_range(-1.0..1.0)).collect(), dims)
+    }
+
+    #[test]
+    fn spec_output_size() {
+        let s = Conv2dSpec::new(3, 1, 1);
+        assert_eq!(s.output_size(8), 8);
+        let s = Conv2dSpec::new(5, 1, 0);
+        assert_eq!(s.output_size(28), 24);
+        let s = Conv2dSpec::new(2, 2, 0);
+        assert_eq!(s.output_size(8), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must be positive")]
+    fn zero_kernel_panics() {
+        Conv2dSpec::new(0, 1, 0);
+    }
+
+    #[test]
+    fn pad_unpad_round_trip() {
+        let x = rand_tensor(&[2, 3, 4, 5], 1);
+        let p = pad2d(&x, 2);
+        assert_eq!(p.dims(), &[2, 3, 8, 9]);
+        assert_eq!(unpad2d(&p, 2), x);
+        // Border must be zero.
+        assert_eq!(p.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(p.at(&[1, 2, 7, 8]), 0.0);
+    }
+
+    #[test]
+    fn im2col_shape_and_content() {
+        // 1×1×3×3 input, 2×2 kernel, stride 1, no pad → 4 output pixels.
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), [1, 1, 3, 3]);
+        let cols = im2col(&x, Conv2dSpec::new(2, 1, 0));
+        assert_eq!(cols.dims(), &[4, 4]);
+        // First column = top-left window [1,2,4,5].
+        assert_eq!(cols.at(&[0, 0]), 1.0);
+        assert_eq!(cols.at(&[1, 0]), 2.0);
+        assert_eq!(cols.at(&[2, 0]), 4.0);
+        assert_eq!(cols.at(&[3, 0]), 5.0);
+        // Last column = bottom-right window [5,6,8,9].
+        assert_eq!(cols.at(&[0, 3]), 5.0);
+        assert_eq!(cols.at(&[3, 3]), 9.0);
+    }
+
+    #[test]
+    fn conv2d_matches_direct() {
+        for &(n, c, h, w, f, k, stride, pad) in &[
+            (1, 1, 5, 5, 1, 3, 1, 0),
+            (2, 3, 8, 8, 4, 3, 1, 1),
+            (1, 2, 7, 9, 3, 5, 2, 2),
+            (3, 4, 6, 6, 2, 1, 1, 0),
+        ] {
+            let x = rand_tensor(&[n, c, h, w], 11);
+            let wt = rand_tensor(&[f, c, k, k], 13);
+            let b = rand_tensor(&[f], 17);
+            let spec = Conv2dSpec::new(k, stride, pad);
+            let fast = conv2d(&x, &wt, Some(&b), spec);
+            let slow = conv2d_direct(&x, &wt, Some(&b), spec);
+            assert_eq!(fast.dims(), slow.dims());
+            for (a, bv) in fast.iter().zip(slow.iter()) {
+                assert!((a - bv).abs() < 1e-4, "{a} vs {bv}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // Single 2×2 averaging-ish filter over a 2×2 input.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]);
+        let w = Tensor::ones([1, 1, 2, 2]);
+        let y = conv2d(&x, &w, None, Conv2dSpec::new(2, 1, 0));
+        assert_eq!(y.dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.as_slice()[0], 10.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property the backward pass relies on.
+        let spec = Conv2dSpec::new(3, 2, 1);
+        let (n, c, h, w) = (2, 2, 6, 5);
+        let x = rand_tensor(&[n, c, h, w], 3);
+        let cols = im2col(&x, spec);
+        let y = rand_tensor(cols.dims(), 5);
+        let lhs: f32 = cols.iter().zip(y.iter()).map(|(&a, &b)| a * b).sum();
+        let back = col2im(&y, n, c, h, w, spec);
+        let rhs: f32 = x.iter().zip(back.iter()).map(|(&a, &b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

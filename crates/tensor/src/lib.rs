@@ -1,0 +1,47 @@
+//! # qsnc-tensor
+//!
+//! Dense `f32` tensor math underpinning the qsnc reproduction of
+//! *"Towards Accurate and High-Speed Spiking Neuromorphic Systems with Data
+//! Quantization-Aware Deep Networks"* (Liu & Liu, DAC 2018).
+//!
+//! The crate provides exactly what the simulator stack above it needs — and
+//! nothing more — so that every numerical path is short and auditable:
+//!
+//! - [`Shape`] / [`Tensor`]: row-major dense storage with explicit index
+//!   arithmetic.
+//! - Element-wise arithmetic and operator overloads (`arith`).
+//! - Blocked GEMM, mat-vec, transpose, outer products ([`linalg`]).
+//! - Convolution lowering: [`pad2d`], [`im2col`], [`col2im`], [`conv2d`]
+//!   plus a direct reference convolution ([`conv`]).
+//! - Reductions, histograms and a stable softmax ([`reduce`]).
+//! - Deterministic RNG and Xavier/He initializers ([`init`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use qsnc_tensor::{conv2d, Conv2dSpec, Tensor, TensorRng};
+//! use qsnc_tensor::init::he_normal;
+//!
+//! let mut rng = TensorRng::seed(0);
+//! let image = qsnc_tensor::init::uniform([1, 1, 8, 8], 0.0, 1.0, &mut rng);
+//! let filters = he_normal([4, 1, 3, 3], 9, &mut rng);
+//! let feature_maps = conv2d(&image, &filters, None, Conv2dSpec::new(3, 1, 1));
+//! assert_eq!(feature_maps.dims(), &[1, 4, 8, 8]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod arith;
+pub mod conv;
+pub mod init;
+pub mod linalg;
+pub mod reduce;
+mod shape;
+mod tensor;
+
+pub use conv::{col2im, conv2d, conv2d_direct, im2col, pad2d, unpad2d, Conv2dSpec};
+pub use init::TensorRng;
+pub use linalg::{dot, matmul, matmul_naive, matvec, outer, transpose};
+pub use reduce::softmax_rows;
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,256 @@
+//! Dense linear algebra: GEMM, matrix-vector products, and transposes.
+//!
+//! The blocked GEMM here is the computational core of the whole simulator:
+//! convolution lowers to it via im2col, fully connected layers call it
+//! directly, and the memristor crossbar model validates against it.
+
+use crate::tensor::Tensor;
+
+/// Cache-blocking tile edge for [`matmul`]. Chosen so three `f32` tiles fit
+/// comfortably in L1 (3 · 64² · 4 B = 48 KiB).
+const BLOCK: usize = 64;
+
+/// Computes `C = A · B` for row-major matrices.
+///
+/// `a` must be `[m, k]` and `b` must be `[k, n]`; the result is `[m, n]`.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 2 or the inner dimensions disagree.
+///
+/// # Examples
+///
+/// ```
+/// use qsnc_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+/// let id = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
+/// assert_eq!(matmul(&a, &id), a);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2, got {}", a.shape());
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2, got {}", b.shape());
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dims disagree: {} vs {}", k, k2);
+
+    let mut c = vec![0.0f32; m * n];
+    gemm(m, k, n, a.as_slice(), b.as_slice(), &mut c);
+    Tensor::from_vec(c, [m, n])
+}
+
+/// Raw blocked GEMM on slices: `c[m×n] += a[m×k] · b[k×n]`.
+///
+/// `c` must be zero-initialized by the caller if a pure product is wanted.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the stated dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs slice length mismatch");
+    assert_eq!(b.len(), k * n, "rhs slice length mismatch");
+    assert_eq!(c.len(), m * n, "output slice length mismatch");
+
+    for i0 in (0..m).step_by(BLOCK) {
+        let i_end = (i0 + BLOCK).min(m);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k_end = (k0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j_end = (j0 + BLOCK).min(n);
+                for i in i0..i_end {
+                    for kk in k0..k_end {
+                        let aik = a[i * k + kk];
+                        if aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[kk * n + j0..kk * n + j_end];
+                        let crow = &mut c[i * n + j0..i * n + j_end];
+                        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Naive triple-loop matrix product, kept as a reference oracle for tests
+/// and benchmarks.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`matmul`].
+pub fn matmul_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2);
+    assert_eq!(b.shape().rank(), 2);
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dims disagree");
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for kk in 0..k {
+                acc += av[i * k + kk] * bv[kk * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(c, [m, n])
+}
+
+/// Computes `y = A · x` for a `[m, k]` matrix and length-`k` vector.
+///
+/// # Panics
+///
+/// Panics if `a` is not rank 2 or `x` is not rank 1 of matching length.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matvec lhs must be rank 2");
+    assert_eq!(x.shape().rank(), 1, "matvec rhs must be rank 1");
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    assert_eq!(k, x.dims()[0], "matvec dims disagree");
+    let av = a.as_slice();
+    let xv = x.as_slice();
+    let mut y = vec![0.0f32; m];
+    for i in 0..m {
+        let row = &av[i * k..(i + 1) * k];
+        y[i] = row.iter().zip(xv.iter()).map(|(&a, &b)| a * b).sum();
+    }
+    Tensor::from_slice(&y)
+}
+
+/// Transposes a rank-2 tensor.
+///
+/// # Panics
+///
+/// Panics if `a` is not rank 2.
+pub fn transpose(a: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "transpose requires rank 2, got {}", a.shape());
+    let (m, n) = (a.dims()[0], a.dims()[1]);
+    let av = a.as_slice();
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = av[i * n + j];
+        }
+    }
+    Tensor::from_vec(out, [n, m])
+}
+
+/// Outer product of two vectors: `[m] ⊗ [n] → [m, n]`.
+///
+/// # Panics
+///
+/// Panics if either input is not rank 1.
+pub fn outer(x: &Tensor, y: &Tensor) -> Tensor {
+    assert_eq!(x.shape().rank(), 1, "outer lhs must be rank 1");
+    assert_eq!(y.shape().rank(), 1, "outer rhs must be rank 1");
+    let (m, n) = (x.dims()[0], y.dims()[0]);
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            out[i * n + j] = x.as_slice()[i] * y.as_slice()[j];
+        }
+    }
+    Tensor::from_vec(out, [m, n])
+}
+
+/// Dot product of two equal-length rank-1 tensors.
+///
+/// # Panics
+///
+/// Panics if shapes differ or rank is not 1.
+pub fn dot(x: &Tensor, y: &Tensor) -> f32 {
+    assert_eq!(x.shape(), y.shape(), "dot shape mismatch");
+    assert_eq!(x.shape().rank(), 1, "dot requires rank 1");
+    x.iter().zip(y.iter()).map(|(&a, &b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let id = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+            [3, 3],
+        );
+        assert_eq!(matmul(&a, &id), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], [2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_matches_naive_on_odd_sizes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 17, 33), (70, 70, 70)] {
+            let a = Tensor::from_vec((0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect(), [m, k]);
+            let b = Tensor::from_vec((0..k * n).map(|_| rng.gen_range(-1.0..1.0)).collect(), [k, n]);
+            let fast = matmul(&a, &b);
+            let slow = matmul_naive(&a, &b);
+            for (x, y) in fast.iter().zip(slow.iter()) {
+                assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims disagree")]
+    fn matmul_dim_mismatch_panics() {
+        matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let x = Tensor::from_slice(&[1.0, 0.5, -1.0]);
+        let y = matvec(&a, &x);
+        assert_eq!(y.as_slice(), &[-1.0, 0.5]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), [2, 3]);
+        let t = transpose(&a);
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(transpose(&t), a);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+    }
+
+    #[test]
+    fn outer_product() {
+        let x = Tensor::from_slice(&[1.0, 2.0]);
+        let y = Tensor::from_slice(&[3.0, 4.0, 5.0]);
+        let o = outer(&x, &y);
+        assert_eq!(o.dims(), &[2, 3]);
+        assert_eq!(o.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn dot_product() {
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let y = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(dot(&x, &y), 32.0);
+    }
+
+    #[test]
+    fn gemm_accumulates_into_c() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let b = [2.0, 3.0, 4.0, 5.0];
+        let mut c = [10.0, 0.0, 0.0, 10.0];
+        gemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [12.0, 3.0, 4.0, 15.0]);
+    }
+}

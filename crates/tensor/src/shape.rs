@@ -1,0 +1,220 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use std::fmt;
+
+/// The shape of a tensor: an ordered list of dimension sizes.
+///
+/// Shapes are stored densely and indexed row-major (the last dimension is
+/// contiguous). A scalar has an empty dimension list and one element.
+///
+/// # Examples
+///
+/// ```
+/// use qsnc_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// Shape of a scalar (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns `true` if the shape holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) for each dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut off = 0;
+        let strides = self.strides();
+        for (axis, (&i, &d)) in index.iter().zip(self.dims.iter()).enumerate() {
+            assert!(i < d, "index {i} out of bounds for axis {axis} of size {d}");
+            off += i * strides[axis];
+        }
+        off
+    }
+
+    /// Converts a flat row-major offset back into a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= len()`.
+    pub fn unravel(&self, mut offset: usize) -> Vec<usize> {
+        assert!(offset < self.len().max(1), "offset {offset} out of bounds");
+        let mut idx = vec![0usize; self.dims.len()];
+        for axis in (0..self.dims.len()).rev() {
+            idx[axis] = offset % self.dims[axis];
+            offset /= self.dims[axis];
+        }
+        idx
+    }
+
+    /// Returns `true` if `self` and `other` describe the same element count,
+    /// allowing reshape between them.
+    pub fn same_len(&self, other: &Shape) -> bool {
+        self.len() == other.len()
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn len_and_rank() {
+        let s = Shape::from([4, 5, 6]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.dim(1), 5);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let s1 = Shape::from([7]);
+        assert_eq!(s1.strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::from([3, 4, 5]);
+        for flat in 0..s.len() {
+            let idx = s.unravel(flat);
+            assert_eq!(s.offset(&idx), flat);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_out_of_bounds_panics() {
+        let s = Shape::from([2, 2]);
+        s.offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn offset_wrong_rank_panics() {
+        let s = Shape::from([2, 2]);
+        s.offset(&[0]);
+    }
+
+    #[test]
+    fn empty_dim_makes_empty_shape() {
+        let s = Shape::from([2, 0, 3]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "[2, 3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Shape = vec![1, 2].into();
+        let b: Shape = [1usize, 2].into();
+        assert_eq!(a, b);
+    }
+}

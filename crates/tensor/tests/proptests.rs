@@ -1,0 +1,146 @@
+//! Property-based tests for qsnc-tensor invariants.
+
+use proptest::prelude::*;
+use qsnc_tensor::{
+    col2im, conv2d, conv2d_direct, im2col, matmul, matmul_naive, pad2d, softmax_rows, transpose,
+    unpad2d, Conv2dSpec, Shape, Tensor,
+};
+
+fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shape_offset_unravel_roundtrip(dims in proptest::collection::vec(1usize..6, 1..4)) {
+        let s = Shape::new(dims);
+        for flat in 0..s.len() {
+            prop_assert_eq!(s.offset(&s.unravel(flat)), flat);
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::from_vec((0..m*k).map(|_| rng.gen_range(-2.0..2.0)).collect(), [m, k]);
+        let b = Tensor::from_vec((0..k*n).map(|_| rng.gen_range(-2.0..2.0)).collect(), [k, n]);
+        let fast = matmul(&a, &b);
+        let slow = matmul_naive(&a, &b);
+        for (x, y) in fast.iter().zip(slow.iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut gen = |len: usize, d: [usize; 2]| {
+            Tensor::from_vec((0..len).map(|_| rng.gen_range(-1.0..1.0)).collect::<Vec<_>>(), d)
+        };
+        let a = gen(m*k, [m, k]);
+        let b = gen(k*n, [k, n]);
+        let c = gen(k*n, [k, n]);
+        let lhs = matmul(&a, &(&b + &c));
+        let rhs = &matmul(&a, &b) + &matmul(&a, &c);
+        for (x, y) in lhs.iter().zip(rhs.iter()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(m in 1usize..10, n in 1usize..10, data_seed in 0u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(data_seed);
+        let a = Tensor::from_vec((0..m*n).map(|_| rng.gen::<f32>()).collect(), [m, n]);
+        prop_assert_eq!(transpose(&transpose(&a)), a);
+    }
+
+    #[test]
+    fn pad_unpad_roundtrip(
+        n in 1usize..3, c in 1usize..3, h in 1usize..6, w in 1usize..6,
+        pad in 0usize..3, seed in 0u64..100,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::from_vec((0..n*c*h*w).map(|_| rng.gen::<f32>()).collect(), [n, c, h, w]);
+        prop_assert_eq!(unpad2d(&pad2d(&x, pad), pad), x);
+    }
+
+    #[test]
+    fn conv2d_gemm_matches_direct(
+        n in 1usize..3, c in 1usize..3, hw in 4usize..8,
+        f in 1usize..4, k in 1usize..4, pad in 0usize..2,
+        seed in 0u64..100,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::from_vec(
+            (0..n*c*hw*hw).map(|_| rng.gen_range(-1.0..1.0)).collect(), [n, c, hw, hw]);
+        let wt = Tensor::from_vec(
+            (0..f*c*k*k).map(|_| rng.gen_range(-1.0..1.0)).collect(), [f, c, k, k]);
+        let spec = Conv2dSpec::new(k, 1, pad);
+        let fast = conv2d(&x, &wt, None, spec);
+        let slow = conv2d_direct(&x, &wt, None, spec);
+        prop_assert_eq!(fast.dims(), slow.dims());
+        for (a, b) in fast.iter().zip(slow.iter()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        n in 1usize..3, c in 1usize..3, hw in 4usize..8,
+        k in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        seed in 0u64..100,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let spec = Conv2dSpec::new(k, stride, pad);
+        let x = Tensor::from_vec(
+            (0..n*c*hw*hw).map(|_| rng.gen_range(-1.0..1.0)).collect(), [n, c, hw, hw]);
+        let cols = im2col(&x, spec);
+        let y = Tensor::from_vec(
+            (0..cols.len()).map(|_| rng.gen_range(-1.0..1.0)).collect(), cols.dims());
+        let lhs: f32 = cols.iter().zip(y.iter()).map(|(&a, &b)| a * b).sum();
+        let back = col2im(&y, n, c, hw, hw, spec);
+        let rhs: f32 = x.iter().zip(back.iter()).map(|(&a, &b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one(rows in 1usize..6, cols in 1usize..8, data in tensor_strategy(48)) {
+        let need = rows * cols;
+        prop_assume!(need <= data.len());
+        let t = Tensor::from_vec(data[..need].to_vec(), [rows, cols]);
+        let s = softmax_rows(&t);
+        for r in 0..rows {
+            let sum: f32 = s.as_slice()[r*cols..(r+1)*cols].iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.as_slice()[r*cols..(r+1)*cols].iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_sum(data in tensor_strategy(24)) {
+        let t = Tensor::from_vec(data, [2, 3, 4]);
+        let r = t.reshape([4, 6]);
+        prop_assert_eq!(t.sum(), r.sum());
+    }
+
+    #[test]
+    fn histogram_total_equals_len(data in tensor_strategy(32), bins in 1usize..10) {
+        let t = Tensor::from_slice(&data);
+        let h = t.histogram(-10.0, 10.0, bins);
+        prop_assert_eq!(h.iter().sum::<usize>(), t.len());
+    }
+}

@@ -1,0 +1,76 @@
+//! Hardware design-space report: the Table 5 cost model explored across
+//! bit widths and crossbar sizes.
+//!
+//! No training involved — this example exercises the Eq. 1 mapper and the
+//! calibrated speed/energy/area model over the paper's three networks.
+//!
+//! ```bash
+//! cargo run --release --example hardware_report
+//! ```
+
+use qsnc::core::report::Table;
+use qsnc::memristor::{network_geometry, HwModel};
+use qsnc::nn::models::{build_model, ModelKind};
+use qsnc::tensor::TensorRng;
+
+fn main() {
+    let model = HwModel::calibrated();
+    let mut rng = TensorRng::seed(0);
+
+    // Table 5 shape: each network at 8-bit baseline vs 4- and 3-bit.
+    let mut t5 = Table::new(
+        "Memristor SNC evaluation (model of the paper's Table 5)",
+        &["Config", "Layers", "Crossbars", "Speed (MHz)", "Energy (µJ)", "Area (mm²)"],
+    );
+    for kind in [ModelKind::Lenet, ModelKind::Alexnet, ModelKind::Resnet] {
+        let net = build_model(kind, 1.0, 10, &mut rng);
+        let geo = network_geometry(&net.synaptic_descriptors(), 32);
+        for (label, m, n) in [("8-bit", 8, 8), ("4-bit", 4, 4), ("3-bit", 3, 3)] {
+            let r = model.evaluate(&geo, m, n);
+            t5.row(&[
+                format!("{kind} {label}"),
+                r.layers.to_string(),
+                r.crossbars.to_string(),
+                format!("{:.2}", r.speed_mhz),
+                format!("{:.2}", r.energy_uj),
+                format!("{:.2}", r.area_mm2),
+            ]);
+        }
+    }
+    println!("{}", t5.render());
+
+    // Design-space sweep: how the crossbar size changes LeNet's footprint.
+    let net = build_model(ModelKind::Lenet, 1.0, 10, &mut rng);
+    let descs = net.synaptic_descriptors();
+    let mut sweep = Table::new(
+        "Crossbar-size ablation (LeNet, 4-bit)",
+        &["Crossbar t", "Crossbars (Eq. 1)", "Area (mm²)"],
+    );
+    for t in [16usize, 32, 64, 128] {
+        let geo = network_geometry(&descs, t);
+        let r = model.evaluate(&geo, 4, 4);
+        let total: usize = geo.iter().map(|g| g.crossbars).sum();
+        sweep.row(&[
+            t.to_string(),
+            total.to_string(),
+            format!("{:.2}", r.area_mm2),
+        ]);
+    }
+    println!("{}", sweep.render());
+
+    // Bit-width sweep: Fig. 1a's speed-vs-precision curve.
+    let geo = network_geometry(&descs, 32);
+    let mut speed = Table::new(
+        "Speed vs neuron precision (LeNet, Fig. 1a shape)",
+        &["M (bits)", "Window (slots)", "Speed (MHz)"],
+    );
+    for m in 1..=8u32 {
+        let r = model.evaluate(&geo, m, 4);
+        speed.row(&[
+            m.to_string(),
+            (1u32 << m).to_string(),
+            format!("{:.2}", r.speed_mhz),
+        ]);
+    }
+    println!("{}", speed.render());
+}

@@ -1,0 +1,90 @@
+//! Mixed-precision weights: spend a fixed device budget unevenly.
+//!
+//! An extension of the paper's Eq. 4/5 analysis: layers differ in
+//! quantization sensitivity, so a fixed crossbar-device budget is better
+//! spent per layer. This example compares uniform 3-bit weights against a
+//! mixed assignment with the *same total stored bits*, and prints the
+//! per-class confusion of the uniform model.
+//!
+//! ```bash
+//! cargo run --release --example mixed_precision
+//! ```
+
+use qsnc::core::report::{pct, Table};
+use qsnc::core::{train_float, TrainSettings};
+use qsnc::data::synth_digits;
+use qsnc::nn::train::evaluate;
+use qsnc::nn::{Mode, ModelKind};
+use qsnc::quant::{
+    apply_mixed_precision, assign_mixed_precision, quantize_network_weights, WeightQuantMethod,
+};
+use qsnc::tensor::TensorRng;
+
+fn main() {
+    let mut rng = TensorRng::seed(13);
+    let (train, test) = synth_digits(4000, &mut rng).split(0.8);
+    let settings = TrainSettings {
+        epochs: 4,
+        ..TrainSettings::default()
+    };
+    println!("training fp32 LeNet…");
+    let (mut net, ideal) = train_float(ModelKind::Lenet, 0.5, &settings, &train, &test, 1);
+    let test_batches = test.batches(64, None);
+
+    // Snapshot for the uniform variant.
+    let weights: Vec<qsnc::tensor::Tensor> = net
+        .params()
+        .iter()
+        .filter(|p| p.is_weight)
+        .map(|p| p.value.clone())
+        .collect();
+    let restore = |net: &mut qsnc::nn::Sequential, snap: &[qsnc::tensor::Tensor]| {
+        let mut it = snap.iter();
+        for p in net.params() {
+            if p.is_weight {
+                *p.value = it.next().expect("snapshot").clone();
+            }
+        }
+    };
+    let total_weights: u64 = weights.iter().map(|t| t.len() as u64).sum();
+
+    // Uniform 3-bit.
+    quantize_network_weights(&mut net, 3, WeightQuantMethod::Clustered);
+    let uniform_acc = evaluate(&mut net, &test_batches);
+
+    // Mixed precision under the same budget (3 bits average).
+    restore(&mut net, &weights);
+    let assignment = assign_mixed_precision(&mut net, 2, 8, total_weights * 3);
+    let mut table = Table::new(
+        "Mixed-precision assignment (budget = 3 bits/weight average)",
+        &["Layer", "Weights", "Bits", "Quant MSE"],
+    );
+    for a in &assignment {
+        table.row(&[
+            a.name.clone(),
+            a.count.to_string(),
+            a.bits.to_string(),
+            format!("{:.2e}", a.mse),
+        ]);
+    }
+    apply_mixed_precision(&mut net, &assignment);
+    let mixed_acc = evaluate(&mut net, &test_batches);
+
+    println!("{}", table.render());
+    println!("ideal fp32      : {}", pct(ideal));
+    println!("uniform 3-bit   : {}", pct(uniform_acc));
+    println!("mixed (≤3 avg)  : {}", pct(mixed_acc));
+
+    // Confusion analysis of the mixed model.
+    let mut cm = qsnc::nn::ConfusionMatrix::new(10);
+    for batch in &test_batches {
+        let logits = net.forward(&batch.images, Mode::Eval);
+        cm.record_batch(&logits, &batch.labels);
+    }
+    println!("\noverall {} across {} examples", pct(cm.accuracy()), cm.total());
+    if let Some((a, p, n)) = cm.worst_confusion() {
+        println!("worst confusion: digit {a} read as {p} ({n} times)");
+    } else {
+        println!("no misclassifications recorded");
+    }
+}

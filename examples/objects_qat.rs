@@ -1,0 +1,62 @@
+//! Objects QAT: quantization-aware AlexNet on the CIFAR-class task.
+//!
+//! The colored-shapes task (`synth_objects`) plays the role CIFAR-10 plays
+//! in the paper: a harder, three-channel workload where low-bit
+//! quantization hurts more and the proposed recovery matters more. This
+//! example trains a width-reduced AlexNet with and without Neuron
+//! Convergence at 3 bits and reports the recovered accuracy.
+//!
+//! ```bash
+//! cargo run --release --example objects_qat
+//! ```
+
+use qsnc::core::report::{pct, Table};
+use qsnc::core::{direct_quantize, train_float, train_quant_aware, QuantConfig, TrainSettings};
+use qsnc::data::synth_objects;
+use qsnc::nn::ModelKind;
+use qsnc::tensor::TensorRng;
+
+fn main() {
+    let mut rng = TensorRng::seed(21);
+    let (train, test) = synth_objects(3000, &mut rng).split(0.8);
+    let settings = TrainSettings {
+        epochs: 4,
+        lr: 0.02,
+        verbose: true,
+        ..TrainSettings::default()
+    };
+    let width = 0.25;
+    let test_batches = test.batches(64, None);
+    let calibration = &train.batches(128, None)[0];
+
+    println!("training fp32 AlexNet (width {width}) on synthetic objects…");
+    let (mut float_net, ideal) =
+        train_float(ModelKind::Alexnet, width, &settings, &train, &test, 2);
+    println!("ideal fp32 accuracy: {}\n", pct(ideal));
+
+    let bits = 3;
+    println!("direct {bits}-bit quantization (no recovery)…");
+    let (_sw, direct_acc) = direct_quantize(
+        &mut float_net,
+        &QuantConfig::direct(bits, bits),
+        calibration,
+        &test_batches,
+    );
+
+    println!("quantization-aware training at {bits} bits…");
+    let quant = QuantConfig::paper(bits, bits);
+    let model = train_quant_aware(ModelKind::Alexnet, width, &settings, &quant, &train, &test, 2);
+
+    let mut table = Table::new(
+        format!("AlexNet on synthetic objects, {bits}-bit signals and weights"),
+        &["Variant", "Accuracy"],
+    );
+    table.row(&["ideal fp32".into(), pct(ideal)]);
+    table.row(&["w/o (direct quantization)".into(), pct(direct_acc)]);
+    table.row(&["w/ (proposed)".into(), pct(model.quantized_accuracy)]);
+    table.row(&[
+        "recovered".into(),
+        pct(model.quantized_accuracy - direct_acc),
+    ]);
+    println!("\n{}", table.render());
+}

@@ -1,0 +1,336 @@
+//! `qsnc` — command-line front end for the quantization-aware spiking
+//! neuromorphic pipeline.
+//!
+//! ```bash
+//! qsnc train     --model lenet --bits 4 --epochs 5 --out model.qsnc
+//! qsnc evaluate  --model lenet --bits 4 --checkpoint model.qsnc
+//! qsnc deploy    --model lenet --bits 4 --checkpoint model.qsnc [--write-sigma 0.05]
+//! qsnc hardware  --model alexnet --bits 4 [--crossbar 32] [--pipelined]
+//! qsnc info
+//! ```
+//!
+//! Every run is deterministic given `--seed`.
+
+use qsnc::core::{
+    deploy_to_snc, snc_accuracy, train_quant_aware, QuantConfig, TrainSettings,
+};
+use qsnc::data::{synth_digits, synth_objects, Dataset};
+use qsnc::memristor::{network_geometry, ExecutionMode, HwModel};
+use qsnc::nn::train::evaluate;
+use qsnc::nn::{load_params, save_params, ModelKind, Sequential};
+use qsnc::quant::{insert_signal_stages, ActivationQuantizer, ActivationRegularizer};
+use qsnc::tensor::TensorRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+qsnc — data quantization-aware deep networks for spiking neuromorphic systems
+
+USAGE:
+  qsnc <command> [--key value]...
+
+COMMANDS:
+  train      train a quantization-aware model and save a checkpoint
+  evaluate   evaluate a saved checkpoint (software-quantized accuracy)
+  deploy     compile a checkpoint onto the memristor substrate and measure
+  hardware   print the Table-5 style speed/energy/area model for a topology
+  info       print the workspace's reproduction summary
+
+COMMON OPTIONS:
+  --model lenet|alexnet|resnet   network topology        [lenet]
+  --bits N                       signal & weight bits    [4]
+  --width F                      channel width multiple  [0.5]
+  --epochs N                     training epochs         [4]
+  --examples N                   dataset size            [4000]
+  --seed N                       RNG seed                [2018]
+  --checkpoint PATH / --out PATH checkpoint file
+  --crossbar N                   crossbar edge (hardware) [32]
+  --pipelined                    pipelined schedule (hardware)
+  --write-sigma F                device write variation (deploy) [0]
+";
+
+/// Parsed command-line arguments: a command plus `--key value` pairs.
+#[derive(Debug, Clone, PartialEq)]
+struct Args {
+    command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Splits raw arguments into a command, `--key value` options, and bare
+/// `--flag`s. Returns an error message for malformed input.
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut iter = raw.iter().peekable();
+    let command = iter
+        .next()
+        .ok_or_else(|| "missing command".to_string())?
+        .clone();
+    if command.starts_with("--") {
+        return Err(format!("expected a command before {command}"));
+    }
+    let mut options = HashMap::new();
+    let mut flags = Vec::new();
+    while let Some(arg) = iter.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("unexpected positional argument {arg}"))?;
+        match iter.peek() {
+            Some(next) if !next.starts_with("--") => {
+                options.insert(key.to_string(), iter.next().unwrap().clone());
+            }
+            _ => flags.push(key.to_string()),
+        }
+    }
+    Ok(Args {
+        command,
+        options,
+        flags,
+    })
+}
+
+impl Args {
+    fn get_or(&self, key: &str, default: &str) -> String {
+        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{key}: {v}")),
+        }
+    }
+
+    fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+fn model_kind(name: &str) -> Result<ModelKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "lenet" => Ok(ModelKind::Lenet),
+        "alexnet" => Ok(ModelKind::Alexnet),
+        "resnet" => Ok(ModelKind::Resnet),
+        other => Err(format!("unknown model {other} (expected lenet|alexnet|resnet)")),
+    }
+}
+
+fn dataset_for(kind: ModelKind, n: usize, rng: &mut TensorRng) -> Dataset {
+    match kind {
+        ModelKind::Lenet => synth_digits(n, rng),
+        _ => synth_objects(n, rng),
+    }
+}
+
+/// Rebuilds the quantized topology used by train/evaluate/deploy.
+fn build_quantized_topology(
+    kind: ModelKind,
+    width: f32,
+    bits: u32,
+    classes: usize,
+    seed: u64,
+) -> Sequential {
+    let mut rng = TensorRng::seed(seed);
+    let mut net = qsnc::nn::models::build_model(kind, width, classes, &mut rng);
+    let (switch, _) = insert_signal_stages(
+        &mut net,
+        ActivationRegularizer::neuron_convergence(bits),
+        0.0,
+        ActivationQuantizer::new(bits),
+    );
+    switch.set_enabled(true);
+    net
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let kind = model_kind(&args.get_or("model", "lenet"))?;
+    let bits: u32 = args.parse_or("bits", 4)?;
+    let width: f32 = args.parse_or("width", 0.5)?;
+    let epochs: usize = args.parse_or("epochs", 4)?;
+    let examples: usize = args.parse_or("examples", 4000)?;
+    let seed: u64 = args.parse_or("seed", 2018)?;
+    let out = args.get_or("out", "model.qsnc");
+
+    let mut rng = TensorRng::seed(seed);
+    let (train, test) = dataset_for(kind, examples, &mut rng).split(0.8);
+    let settings = TrainSettings {
+        epochs,
+        verbose: true,
+        ..TrainSettings::default()
+    };
+    let quant = QuantConfig::paper(bits, bits);
+    eprintln!("training {bits}-bit quantization-aware {kind} (width {width})…");
+    let mut model = train_quant_aware(kind, width, &settings, &quant, &train, &test, seed);
+    println!("fp32-signal accuracy : {:.2}%", model.float_accuracy * 100.0);
+    println!("quantized accuracy   : {:.2}%", model.quantized_accuracy * 100.0);
+
+    let file = std::fs::File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    save_params(&mut model.net, file).map_err(|e| e.to_string())?;
+    println!("checkpoint written to {out}");
+    Ok(())
+}
+
+fn load_into_topology(args: &Args) -> Result<(Sequential, ModelKind, u32, u64, usize), String> {
+    let kind = model_kind(&args.get_or("model", "lenet"))?;
+    let bits: u32 = args.parse_or("bits", 4)?;
+    let width: f32 = args.parse_or("width", 0.5)?;
+    let seed: u64 = args.parse_or("seed", 2018)?;
+    let examples: usize = args.parse_or("examples", 4000)?;
+    let path = args
+        .options
+        .get("checkpoint")
+        .ok_or_else(|| "--checkpoint is required".to_string())?;
+    let mut net = build_quantized_topology(kind, width, bits, 10, seed);
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    load_params(&mut net, file).map_err(|e| e.to_string())?;
+    Ok((net, kind, bits, seed, examples))
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let (mut net, kind, _bits, seed, examples) = load_into_topology(args)?;
+    let mut rng = TensorRng::seed(seed);
+    let (_, test) = dataset_for(kind, examples, &mut rng).split(0.8);
+    let acc = evaluate(&mut net, &test.batches(64, None));
+    println!("software-quantized accuracy: {:.2}%", acc * 100.0);
+    Ok(())
+}
+
+fn cmd_deploy(args: &Args) -> Result<(), String> {
+    let (net, kind, bits, seed, examples) = load_into_topology(args)?;
+    let write_sigma: f32 = args.parse_or("write-sigma", 0.0)?;
+    let quant = QuantConfig::paper(bits, bits);
+    let snn = if write_sigma > 0.0 {
+        let mut cfg = qsnc::memristor::DeployConfig::paper(bits, bits);
+        cfg.device = cfg.device.with_noise(write_sigma, 0.0);
+        let mut noise_rng = TensorRng::seed(seed ^ 0xdead);
+        qsnc::memristor::SpikingNetwork::compile(&net, &cfg, Some(&mut noise_rng))
+            .map_err(|e| e.to_string())?
+    } else {
+        deploy_to_snc(&net, &quant, None).map_err(|e| e.to_string())?
+    };
+    println!(
+        "deployed on {} crossbars / {} devices (write σ = {write_sigma})",
+        snn.crossbar_count(),
+        snn.device_count()
+    );
+    let mut rng = TensorRng::seed(seed);
+    let (_, test) = dataset_for(kind, examples, &mut rng).split(0.8);
+    let sample = test.batches(100, None);
+    let acc = snc_accuracy(&snn, &sample[..1], None);
+    println!("spiking accuracy on 100 examples: {:.2}%", acc * 100.0);
+    Ok(())
+}
+
+fn cmd_hardware(args: &Args) -> Result<(), String> {
+    let kind = model_kind(&args.get_or("model", "lenet"))?;
+    let bits: u32 = args.parse_or("bits", 4)?;
+    let width: f32 = args.parse_or("width", 1.0)?;
+    let crossbar: usize = args.parse_or("crossbar", 32)?;
+    let mode = if args.has_flag("pipelined") {
+        ExecutionMode::Pipelined
+    } else {
+        ExecutionMode::LayerSequential
+    };
+    let mut rng = TensorRng::seed(0);
+    let net = qsnc::nn::models::build_model(kind, width, 10, &mut rng);
+    let geo = network_geometry(&net.synaptic_descriptors(), crossbar);
+    let model = HwModel::calibrated();
+    let r = model.evaluate_with_mode(&geo, bits, bits, mode);
+    let base = model.evaluate(&geo, 8, 8);
+    println!("{kind} @ {bits}-bit, {crossbar}×{crossbar} crossbars, {mode:?}:");
+    println!("  layers     : {}", r.layers);
+    println!("  crossbars  : {}", r.crossbars);
+    println!("  speed      : {:.2} MHz ({:.1}× vs 8-bit)", r.speed_mhz, r.speedup_over(&base));
+    println!("  energy     : {:.2} µJ ({:.1}% saving)", r.energy_uj, r.energy_saving_over(&base) * 100.0);
+    println!("  area       : {:.2} mm² ({:.1}% saving)", r.area_mm2, r.area_saving_over(&base) * 100.0);
+    Ok(())
+}
+
+fn cmd_info() -> Result<(), String> {
+    println!("qsnc {}", env!("CARGO_PKG_VERSION"));
+    println!("reproduction of Liu & Liu, DAC 2018 (arXiv:1805.03054)");
+    println!("see DESIGN.md for the system inventory and EXPERIMENTS.md for");
+    println!("paper-vs-measured results; regenerate tables with qsnc-bench bins.");
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() || raw[0] == "--help" || raw[0] == "help" {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let args = parse_args(&raw)?;
+    match args.command.as_str() {
+        "train" => cmd_train(&args),
+        "evaluate" => cmd_evaluate(&args),
+        "deploy" => cmd_deploy(&args),
+        "hardware" => cmd_hardware(&args),
+        "info" => cmd_info(),
+        other => Err(format!("unknown command {other}\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_command_with_options_and_flags() {
+        let a = parse_args(&args(&["train", "--model", "alexnet", "--pipelined", "--bits", "3"]))
+            .unwrap();
+        assert_eq!(a.command, "train");
+        assert_eq!(a.options["model"], "alexnet");
+        assert_eq!(a.options["bits"], "3");
+        assert!(a.has_flag("pipelined"));
+    }
+
+    #[test]
+    fn missing_command_is_error() {
+        assert!(parse_args(&args(&[])).is_err());
+        assert!(parse_args(&args(&["--model", "lenet"])).is_err());
+    }
+
+    #[test]
+    fn positional_arguments_rejected() {
+        let err = parse_args(&args(&["train", "whoops"])).unwrap_err();
+        assert!(err.contains("positional"));
+    }
+
+    #[test]
+    fn defaults_and_parse_or() {
+        let a = parse_args(&args(&["train", "--bits", "5"])).unwrap();
+        assert_eq!(a.parse_or("bits", 4u32).unwrap(), 5);
+        assert_eq!(a.parse_or("epochs", 4usize).unwrap(), 4);
+        assert_eq!(a.get_or("model", "lenet"), "lenet");
+    }
+
+    #[test]
+    fn invalid_numeric_value_is_reported() {
+        let a = parse_args(&args(&["train", "--bits", "many"])).unwrap();
+        let err = a.parse_or("bits", 4u32).unwrap_err();
+        assert!(err.contains("--bits"));
+    }
+
+    #[test]
+    fn model_kind_parsing() {
+        assert_eq!(model_kind("LeNet").unwrap(), ModelKind::Lenet);
+        assert_eq!(model_kind("resnet").unwrap(), ModelKind::Resnet);
+        assert!(model_kind("vgg").is_err());
+    }
+}

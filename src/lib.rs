@@ -1,0 +1,35 @@
+//! # qsnc — quantization-aware spiking neuromorphic computing
+//!
+//! A full reproduction of *"Towards Accurate and High-Speed Spiking
+//! Neuromorphic Systems with Data Quantization-Aware Deep Networks"*
+//! (Fuqiang Liu and Chenchen Liu, DAC 2018), built from scratch in Rust:
+//! tensor math, a neural-network training stack, the paper's Neuron
+//! Convergence and Weight Clustering quantization methods, a behavioural
+//! memristor-crossbar spiking substrate, and the hardware cost model that
+//! regenerates the paper's Table 5.
+//!
+//! This umbrella crate re-exports the component crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`tensor`] | dense `f32` tensors, GEMM, im2col convolution |
+//! | [`nn`] | layers, backprop, optimizers, the Table 1 model zoo |
+//! | [`data`] | synthetic MNIST/CIFAR stand-ins, MNIST IDX loader |
+//! | [`quant`] | Neuron Convergence, Weight Clustering, baselines |
+//! | [`memristor`] | devices, crossbars, Eq. 1 mapping, spiking pipeline, hw model |
+//! | [`core`] | end-to-end train → quantize → deploy flows |
+//!
+//! # Examples
+//!
+//! See `examples/quickstart.rs` for the five-minute tour:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+pub use qsnc_core as core;
+pub use qsnc_data as data;
+pub use qsnc_memristor as memristor;
+pub use qsnc_nn as nn;
+pub use qsnc_quant as quant;
+pub use qsnc_tensor as tensor;

@@ -1,0 +1,73 @@
+//! Integration test: the deeper AlexNet topology (conv stacks + three FC
+//! layers) also deploys faithfully on the spiking substrate.
+
+use qsnc::core::{deploy_to_snc, train_quant_aware, QuantConfig, TrainSettings};
+use qsnc::data::synth_objects;
+use qsnc::nn::{Mode, ModelKind};
+use qsnc::tensor::{Tensor, TensorRng};
+
+#[test]
+fn alexnet_spiking_matches_software_quantized() {
+    let mut rng = TensorRng::seed(42);
+    let (train, test) = synth_objects(800, &mut rng).split(0.8);
+    let settings = TrainSettings {
+        epochs: 1,
+        lr: 0.02,
+        ..TrainSettings::default()
+    };
+    let quant = QuantConfig {
+        finetune_epochs: 0,
+        ..QuantConfig::paper(4, 4)
+    };
+    let model =
+        train_quant_aware(ModelKind::Alexnet, 0.25, &settings, &quant, &train, &test, 11);
+    let snn = deploy_to_snc(&model.net, &quant, None).expect("deploy alexnet");
+    assert!(snn.crossbar_count() > 10, "alexnet needs many crossbars");
+
+    // Per-example logit agreement between software-quantized and spiking.
+    let mut net = model.net;
+    let config = qsnc::memristor::DeployConfig::paper(4, 4);
+    for i in 0..5 {
+        let (x, _) = test.example(i);
+        let coded = config.input_quantizer.quantize(&x);
+        let sw = net.forward(&coded, Mode::Eval);
+        let hw = snn.infer(&x, None);
+        let sw_pred = sw.argmax();
+        let hw_pred = hw.argmax();
+        assert_eq!(
+            sw_pred, hw_pred,
+            "example {i}: software predicts {sw_pred}, hardware {hw_pred}"
+        );
+        for (a, b) in sw.iter().zip(hw.iter()) {
+            assert!(
+                (a - b).abs() < 5e-2 * (1.0 + a.abs()),
+                "example {i}: logit mismatch {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn maxpool_and_multiple_fc_layers_survive_compilation() {
+    // Structural check without training: every AlexNet stage kind is
+    // representable (conv, relu+stage, pools, flatten, 3 FC layers).
+    use qsnc::quant::{
+        insert_signal_stages, quantize_network_weights, ActivationQuantizer,
+        ActivationRegularizer, WeightQuantMethod,
+    };
+    let mut rng = TensorRng::seed(3);
+    let mut net = qsnc::nn::models::alexnet(0.125, 10, &mut rng);
+    let (switch, stages) = insert_signal_stages(
+        &mut net,
+        ActivationRegularizer::neuron_convergence(4),
+        0.0,
+        ActivationQuantizer::new(4),
+    );
+    assert_eq!(stages, 7, "AlexNet has 7 ReLUs");
+    switch.set_enabled(true);
+    quantize_network_weights(&mut net, 4, WeightQuantMethod::Clustered);
+    let config = qsnc::memristor::DeployConfig::paper(4, 4);
+    let snn = qsnc::memristor::SpikingNetwork::compile(&net, &config, None).expect("compile");
+    let logits = snn.infer(&Tensor::zeros([1, 3, 32, 32]), None);
+    assert_eq!(logits.dims(), &[1, 10]);
+}

@@ -1,0 +1,62 @@
+//! Integration test: persistence interoperates with training, quantization
+//! and deployment.
+
+use qsnc::core::{train_quant_aware, QuantConfig, TrainSettings};
+use qsnc::data::synth_digits;
+use qsnc::nn::train::evaluate;
+use qsnc::nn::{load_params, save_params, ModelKind};
+use qsnc::quant::{insert_signal_stages, ActivationQuantizer, ActivationRegularizer};
+use qsnc::tensor::TensorRng;
+
+#[test]
+fn trained_quantized_model_survives_save_load() {
+    let mut rng = TensorRng::seed(77);
+    let (train, test) = synth_digits(1000, &mut rng).split(0.8);
+    let settings = TrainSettings {
+        epochs: 2,
+        ..TrainSettings::default()
+    };
+    let quant = QuantConfig {
+        finetune_epochs: 0,
+        ..QuantConfig::paper(4, 4)
+    };
+    let mut model = train_quant_aware(ModelKind::Lenet, 0.5, &settings, &quant, &train, &test, 9);
+    let test_batches = test.batches(50, None);
+    let acc_before = evaluate(&mut model.net, &test_batches);
+
+    // Serialize.
+    let mut blob = Vec::new();
+    save_params(&mut model.net, &mut blob).expect("save");
+
+    // Rebuild the same topology (fresh weights) and restore.
+    let mut rng2 = TensorRng::seed(1234);
+    let mut rebuilt = qsnc::nn::models::lenet(0.5, 10, &mut rng2);
+    let (switch, _) = insert_signal_stages(
+        &mut rebuilt,
+        ActivationRegularizer::neuron_convergence(4),
+        0.0,
+        ActivationQuantizer::new(4),
+    );
+    switch.set_enabled(true);
+    load_params(&mut rebuilt, blob.as_slice()).expect("load");
+
+    let acc_after = evaluate(&mut rebuilt, &test_batches);
+    assert_eq!(
+        acc_before, acc_after,
+        "restored model must reproduce the quantized accuracy exactly"
+    );
+
+    // And the restored model deploys identically.
+    let snn_a = qsnc::core::deploy_to_snc(&model.net, &quant, None).expect("deploy original");
+    let snn_b = qsnc::core::deploy_to_snc(&rebuilt, &quant, None).expect("deploy restored");
+    let hw_a = snn_a.evaluate(&test_batches[..1], None);
+    let hw_b = snn_b.evaluate(&test_batches[..1], None);
+    assert_eq!(hw_a, hw_b);
+}
+
+#[test]
+fn checkpoint_blob_is_versioned_and_rejects_garbage() {
+    let mut rng = TensorRng::seed(5);
+    let mut net = qsnc::nn::models::lenet(0.25, 10, &mut rng);
+    assert!(load_params(&mut net, &b"garbage-bytes"[..]).is_err());
+}

@@ -15,7 +15,7 @@ use crate::spike::Ifc;
 use qsnc_nn::layers::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Relu, Residual};
 use qsnc_nn::{Batch, Layer, Sequential};
 use qsnc_quant::{cluster_weights, ActivationQuantizer, SignalStage};
-use qsnc_tensor::{im2col, Conv2dSpec, Tensor, TensorRng};
+use qsnc_tensor::{im2col, parallel, Conv2dSpec, Tensor, TensorRng};
 use std::fmt;
 
 /// Deployment parameters.
@@ -111,6 +111,13 @@ pub struct SpikingNetwork {
     stages: Vec<Stage>,
     input_quant: ActivationQuantizer,
 }
+
+// Batch-parallel evaluation shares `&SpikingNetwork` across worker threads;
+// keep the network free of interior mutability.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<SpikingNetwork>()
+};
 
 struct Compiler<'a> {
     config: &'a DeployConfig,
@@ -430,9 +437,17 @@ impl SpikingNetwork {
 
     /// Classification accuracy over batches (examples run one at a time, as
     /// the physical pipeline would).
+    ///
+    /// Without a noise `rng` the examples are independent, so they are
+    /// sharded across the [`qsnc_tensor::parallel`] worker threads, each
+    /// running `infer` against the shared (immutable) network; exact integer
+    /// correct counts are summed, so the accuracy is identical at any thread
+    /// count. With `rng` the single noise stream is inherently sequential and
+    /// the examples run serially in order, preserving reproducibility of
+    /// seeded noisy evaluations.
     pub fn evaluate(&self, batches: &[Batch], mut rng: Option<&mut TensorRng>) -> f32 {
-        let mut correct = 0usize;
-        let mut total = 0usize;
+        // Slice every example out up front; both paths share the extraction.
+        let mut examples: Vec<(Tensor, usize)> = Vec::new();
         for batch in batches {
             let dims = batch.images.dims();
             let stride: usize = dims[1..].iter().product();
@@ -443,18 +458,29 @@ impl SpikingNetwork {
                     batch.images.as_slice()[i * stride..(i + 1) * stride].to_vec(),
                     ex_dims,
                 );
-                let logits = self.infer(&x, rng.as_deref_mut());
-                if logits.argmax() == label {
-                    correct += 1;
-                }
-                total += 1;
+                examples.push((x, label));
             }
         }
-        if total == 0 {
-            0.0
-        } else {
-            correct as f32 / total as f32
+        if examples.is_empty() {
+            return 0.0;
         }
+        let total = examples.len();
+        let correct: usize = if rng.is_some() || parallel::num_threads() == 1 {
+            examples
+                .iter()
+                .filter(|(x, label)| self.infer(x, rng.as_deref_mut()).argmax() == *label)
+                .count()
+        } else {
+            parallel::par_map_shards(&examples, |_, shard| {
+                shard
+                    .iter()
+                    .filter(|(x, label)| self.infer(x, None).argmax() == *label)
+                    .count()
+            })
+            .into_iter()
+            .sum()
+        };
+        correct as f32 / total as f32
     }
 
     /// Total crossbars programmed (matches Eq. 1 summed over layers).

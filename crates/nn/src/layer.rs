@@ -72,7 +72,13 @@ pub enum LayerDesc {
 /// The trait is object-safe: networks store `Box<dyn Layer>`, which lets the
 /// quantization crate interleave its fake-quantization and regularizer
 /// layers with the standard ones defined here.
-pub trait Layer: std::fmt::Debug + Send {
+///
+/// `Send + Sync` are supertraits so a network can be shared immutably with
+/// worker threads, which then make their own mutable copies via
+/// [`clone_layer`](Layer::clone_layer) for batch-parallel evaluation. Layers
+/// hold plain data (or thread-safe handles like the quantization switch), so
+/// this costs implementations nothing.
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Short human-readable layer kind, e.g. `"conv2d"`.
     fn name(&self) -> &'static str;
 
@@ -83,6 +89,16 @@ pub trait Layer: std::fmt::Debug + Send {
     /// Mutable upcast for downcasting, used by calibration passes that
     /// rewrite layer internals in place.
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Boxed deep copy of the layer: parameters, configuration, and running
+    /// statistics. Cached training activations may or may not be copied —
+    /// a clone is only guaranteed ready for `forward`, not `backward`.
+    ///
+    /// Batch-parallel evaluation relies on this to give every worker thread
+    /// its own copy of the network, since `forward` takes `&mut self`.
+    /// Stages sharing state through handles (e.g. a quantization switch)
+    /// share that state with their clones.
+    fn clone_layer(&self) -> Box<dyn Layer>;
 
     /// Computes the layer output for `x`.
     ///

@@ -9,7 +9,7 @@ use qsnc_tensor::Tensor;
 /// regularizer acts on; the layer therefore exposes its most recent output
 /// through [`Layer::output_tap`] so experiment code can histogram it
 /// (Fig. 4).
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
     tap: Option<Tensor>,
@@ -29,6 +29,10 @@ impl Layer for Relu {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -64,7 +68,7 @@ impl Layer for Relu {
 }
 
 /// Identity layer — useful as a placeholder shortcut in residual blocks.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Identity;
 
 impl Identity {
@@ -81,6 +85,10 @@ impl Layer for Identity {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {

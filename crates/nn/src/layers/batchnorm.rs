@@ -8,7 +8,7 @@ use qsnc_tensor::Tensor;
 /// Needed to train the ResNet variant of Table 1 to convergence. Running
 /// statistics follow the usual exponential moving average with the given
 /// `momentum`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BatchNorm2d {
     label: String,
     channels: usize,
@@ -24,7 +24,7 @@ pub struct BatchNorm2d {
     cache: Option<BnCache>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct BnCache {
     x_hat: Tensor,
     inv_std: Vec<f32>,
@@ -111,6 +111,10 @@ impl Layer for BatchNorm2d {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {

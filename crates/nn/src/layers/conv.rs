@@ -8,7 +8,7 @@ use qsnc_tensor::{col2im, im2col, matmul, transpose, Conv2dSpec, Tensor, TensorR
 ///
 /// Weights are stored `[f, c, k, k]`; biases `[f]`. Initialization is
 /// Kaiming/He normal, appropriate for the ReLU networks of the paper.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Conv2d {
     label: String,
     weight: Tensor,
@@ -90,6 +90,10 @@ impl Layer for Conv2d {
         self
     }
 
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
     fn name(&self) -> &'static str {
         "conv2d"
     }
@@ -104,6 +108,11 @@ impl Layer for Conv2d {
             self.in_channels,
             x.dims()[1]
         );
+        if mode == Mode::Eval {
+            // Inference needs no cached columns: use the batch-parallel
+            // per-image lowering, which skips the output reorder entirely.
+            return qsnc_tensor::conv2d(x, &self.weight, Some(&self.bias), self.spec);
+        }
         let (n, _, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
         let oh = self.spec.output_size(h);
         let ow = self.spec.output_size(w);

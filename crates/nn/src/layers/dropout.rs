@@ -5,7 +5,7 @@ use qsnc_tensor::{Tensor, TensorRng};
 
 /// Inverted dropout: during training, zeroes each activation with
 /// probability `p` and scales survivors by `1/(1-p)`; a no-op at eval time.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Dropout {
     p: f32,
     rng: TensorRng,
@@ -31,6 +31,10 @@ impl Layer for Dropout {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {

@@ -4,7 +4,7 @@ use crate::layer::{Layer, Mode};
 use qsnc_tensor::Tensor;
 
 /// Flattens `[n, c, h, w]` (or any rank ≥ 2) to `[n, c·h·w]`.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Flatten {
     input_dims: Option<Vec<usize>>,
 }
@@ -23,6 +23,10 @@ impl Layer for Flatten {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {

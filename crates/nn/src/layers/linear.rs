@@ -7,7 +7,7 @@ use qsnc_tensor::{matmul, transpose, Tensor, TensorRng};
 ///
 /// Weights are stored `[out, in]` so each output row maps directly onto one
 /// crossbar column in the memristor deployment.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Linear {
     label: String,
     weight: Tensor,
@@ -78,6 +78,10 @@ impl Layer for Linear {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {

@@ -4,7 +4,7 @@ use crate::layer::{Layer, Mode};
 use qsnc_tensor::{Conv2dSpec, Tensor};
 
 /// Max pooling over `[n, c, h, w]` inputs with a square window.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaxPool2d {
     spec: Conv2dSpec,
     // flat input index of each output's max, plus shapes, cached for backward.
@@ -44,6 +44,10 @@ impl Layer for MaxPool2d {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {
@@ -104,7 +108,7 @@ impl Layer for MaxPool2d {
 }
 
 /// Average pooling over `[n, c, h, w]` inputs with a square window.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AvgPool2d {
     spec: Conv2dSpec,
     input_dims: Option<[usize; 4]>,
@@ -146,6 +150,10 @@ impl Layer for AvgPool2d {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {

@@ -72,6 +72,13 @@ impl Layer for Residual {
         self
     }
 
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(Residual {
+            body: self.body.iter().map(|l| l.clone_layer()).collect(),
+            shortcut: self.shortcut.iter().map(|l| l.clone_layer()).collect(),
+        })
+    }
+
     fn name(&self) -> &'static str {
         "residual"
     }

@@ -61,24 +61,38 @@ pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
     (loss, grad)
 }
 
+/// Number of correctly classified rows of `[n, classes]` logits.
+///
+/// The integer form lets evaluation sum exact counts across batches (and
+/// across worker threads) instead of re-weighting per-batch ratios — the
+/// result cannot depend on how the batches were grouped or sharded.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank 2 or the label count mismatches.
+pub fn num_correct(logits: &Tensor, labels: &[usize]) -> usize {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [n, classes]");
+    assert_eq!(labels.len(), logits.dims()[0], "label count mismatch");
+    let preds = logits.argmax_rows();
+    preds
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p == l)
+        .count()
+}
+
 /// Classification accuracy of `[n, classes]` logits against labels.
 ///
 /// # Panics
 ///
 /// Panics if `logits` is not rank 2 or the label count mismatches.
 pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
-    assert_eq!(logits.shape().rank(), 2, "logits must be [n, classes]");
-    assert_eq!(labels.len(), logits.dims()[0], "label count mismatch");
     if labels.is_empty() {
+        assert_eq!(logits.shape().rank(), 2, "logits must be [n, classes]");
+        assert_eq!(labels.len(), logits.dims()[0], "label count mismatch");
         return 0.0;
     }
-    let preds = logits.argmax_rows();
-    let correct = preds
-        .iter()
-        .zip(labels.iter())
-        .filter(|(p, l)| p == l)
-        .count();
-    correct as f32 / labels.len() as f32
+    num_correct(logits, labels) as f32 / labels.len() as f32
 }
 
 #[cfg(test)]

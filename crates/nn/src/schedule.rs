@@ -5,9 +5,10 @@
 //! paper's training recipe corresponds to [`LrSchedule::Step`].
 
 /// A deterministic learning-rate schedule.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum LrSchedule {
     /// Constant multiplier 1.
+    #[default]
     Constant,
     /// Multiply by `gamma` every `every` epochs (classic step decay).
     Step {
@@ -39,7 +40,7 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant => 1.0,
             LrSchedule::Step { gamma, every } => {
-                let steps = if every == 0 { 0 } else { epoch / every };
+                let steps = epoch.checked_div(every).unwrap_or(0);
                 gamma.powi(steps as i32)
             }
             LrSchedule::Cosine {
@@ -71,11 +72,6 @@ impl LrSchedule {
     }
 }
 
-impl Default for LrSchedule {
-    fn default() -> Self {
-        LrSchedule::Constant
-    }
-}
 
 #[cfg(test)]
 mod tests {

@@ -39,6 +39,18 @@ impl std::fmt::Debug for Sequential {
     }
 }
 
+impl Clone for Sequential {
+    /// Deep copy via [`Layer::clone_layer`]: parameters, configuration, and
+    /// running statistics are copied; shared handles (the quantization
+    /// switch) stay shared. Batch-parallel evaluation clones one network
+    /// per worker thread this way.
+    fn clone(&self) -> Self {
+        Sequential {
+            layers: self.layers.iter().map(|l| l.clone_layer()).collect(),
+        }
+    }
+}
+
 impl Sequential {
     /// Creates an empty network.
     pub fn new() -> Self {

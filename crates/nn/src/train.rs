@@ -1,10 +1,10 @@
 //! Mini-batch training loop and evaluation helpers.
 
 use crate::layer::Mode;
-use crate::loss::{accuracy, softmax_cross_entropy};
+use crate::loss::{num_correct, softmax_cross_entropy};
 use crate::optim::Optimizer;
 use crate::sequential::Sequential;
-use qsnc_tensor::Tensor;
+use qsnc_tensor::{parallel, Tensor};
 
 /// One mini-batch of examples: images `[n, …]` and integer class labels.
 #[derive(Debug, Clone)]
@@ -72,7 +72,7 @@ pub fn train_epoch(
 ) -> EpochStats {
     let mut total_data = 0.0;
     let mut total_reg = 0.0;
-    let mut correct = 0.0;
+    let mut correct = 0usize;
     let mut count = 0usize;
     for batch in batches {
         net.zero_grad();
@@ -84,7 +84,7 @@ pub fn train_epoch(
 
         total_data += data_loss;
         total_reg += reg_loss;
-        correct += accuracy(&logits, &batch.labels) * batch.len() as f32;
+        correct += num_correct(&logits, &batch.labels);
         count += batch.len();
     }
     let nb = batches.len().max(1) as f32;
@@ -93,24 +93,40 @@ pub fn train_epoch(
         loss: (total_data + total_reg) / nb,
         data_loss: total_data / nb,
         reg_loss: total_reg / nb,
-        accuracy: if count == 0 { 0.0 } else { correct / count as f32 },
+        accuracy: if count == 0 { 0.0 } else { correct as f32 / count as f32 },
     }
 }
 
 /// Evaluates classification accuracy over `batches` (inference mode).
+///
+/// Batches are sharded across the [`qsnc_tensor::parallel`] worker threads;
+/// each worker runs its shard through its own clone of `net` (forward takes
+/// `&mut self`), and exact per-shard correct counts are summed. The result is
+/// identical at any thread count. With one worker, `net` itself is used and
+/// no clone is made.
 pub fn evaluate(net: &mut Sequential, batches: &[Batch]) -> f32 {
-    let mut correct = 0.0;
-    let mut count = 0usize;
-    for batch in batches {
-        let logits = net.forward(&batch.images, Mode::Eval);
-        correct += accuracy(&logits, &batch.labels) * batch.len() as f32;
-        count += batch.len();
+    let total: usize = batches.iter().map(Batch::len).sum();
+    if total == 0 {
+        return 0.0;
     }
-    if count == 0 {
-        0.0
+    let correct: usize = if parallel::num_threads() == 1 || batches.len() < 2 {
+        batches
+            .iter()
+            .map(|b| num_correct(&net.forward(&b.images, Mode::Eval), &b.labels))
+            .sum()
     } else {
-        correct / count as f32
-    }
+        let template: &Sequential = net;
+        parallel::par_map_shards(batches, |_, shard| {
+            let mut worker = template.clone();
+            shard
+                .iter()
+                .map(|b| num_correct(&worker.forward(&b.images, Mode::Eval), &b.labels))
+                .sum::<usize>()
+        })
+        .into_iter()
+        .sum()
+    };
+    correct as f32 / total as f32
 }
 
 /// Configuration for [`Trainer`].

@@ -54,7 +54,7 @@ impl QuantSwitch {
 /// straight-through estimator (gradient passes unchanged inside the
 /// representable range, is zeroed where the signal was clamped) plus the
 /// regularizer's subgradient scaled by `λ`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SignalStage {
     regularizer: ActivationRegularizer,
     lambda: f32,
@@ -105,6 +105,10 @@ impl Layer for SignalStage {
 
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn clone_layer(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
     }
 
     fn name(&self) -> &'static str {

@@ -5,8 +5,18 @@
 //! direct [`conv2d_direct`] implementation stays as the oracle the tests
 //! compare against, and as the form the crossbar mapper mirrors (each filter
 //! becomes one crossbar column over an im2col'd input vector).
+//!
+//! Two paths here parallelize over the [`crate::parallel`] workers:
+//! [`im2col`] partitions the rows of the column matrix (each row is filled
+//! by exactly one thread), and [`conv2d`] partitions the batch, giving each
+//! worker a contiguous run of images whose columns it lowers and multiplies
+//! directly into that image's slice of the output — which also removes the
+//! `[f, n, ·]` → `[n, f, ·]` reorder pass the batched lowering needed. Both
+//! are pure scatters into disjoint output regions, so results do not depend
+//! on the thread count.
 
-use crate::linalg::gemm;
+use crate::linalg::gemm_serial;
+use crate::parallel;
 use crate::tensor::Tensor;
 
 /// Spatial geometry of a 2-D convolution or pooling window.
@@ -132,25 +142,55 @@ pub fn im2col(x: &Tensor, spec: Conv2dSpec) -> Tensor {
     let mut cols = vec![0.0f32; rows * cols_n];
     let src = padded.as_slice();
 
-    for in_ in 0..n {
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let col = (in_ * oh + oy) * ow + ox;
-                let base_y = oy * spec.stride;
-                let base_x = ox * spec.stride;
-                for ic in 0..c {
-                    for ky in 0..k {
-                        let src_off = ((in_ * c + ic) * hp + base_y + ky) * wp + base_x;
-                        for kx in 0..k {
-                            let row = (ic * k + ky) * k + kx;
-                            cols[row * cols_n + col] = src[src_off + kx];
-                        }
+    // Each row of the column matrix is one (channel, ky, kx) tap, filled by
+    // exactly one worker — a pure scatter, so banding cannot change results.
+    parallel::par_bands_mut(&mut cols, rows, cols_n, |row0, nrows, band| {
+        for r in 0..nrows {
+            let row = row0 + r;
+            let ic = row / (k * k);
+            let ky = (row / k) % k;
+            let kx = row % k;
+            let out_row = &mut band[r * cols_n..(r + 1) * cols_n];
+            for in_ in 0..n {
+                for oy in 0..oh {
+                    let src_off = ((in_ * c + ic) * hp + oy * spec.stride + ky) * wp + kx;
+                    let dst_off = (in_ * oh + oy) * ow;
+                    for ox in 0..ow {
+                        out_row[dst_off + ox] = src[src_off + ox * spec.stride];
+                    }
+                }
+            }
+        }
+    });
+    Tensor::from_vec(cols, [rows, cols_n])
+}
+
+/// Lowers one already-padded image `[c, hp, wp]` to `[c·k·k, oh·ow]` columns.
+/// `(hp, wp)` is the padded input size, `(oh, ow)` the output map size.
+fn im2col_image(
+    src: &[f32],
+    c: usize,
+    (hp, wp): (usize, usize),
+    (oh, ow): (usize, usize),
+    spec: Conv2dSpec,
+    cols: &mut [f32],
+) {
+    let k = spec.kernel;
+    let pix = oh * ow;
+    for ic in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let row = (ic * k + ky) * k + kx;
+                for oy in 0..oh {
+                    let src_off = (ic * hp + oy * spec.stride + ky) * wp + kx;
+                    let dst_off = row * pix + oy * ow;
+                    for ox in 0..ow {
+                        cols[dst_off + ox] = src[src_off + ox * spec.stride];
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(cols, [rows, cols_n])
 }
 
 /// Scatters a `[c·k·k, n·oh·ow]` column matrix back to a `[n, c, h, w]`
@@ -207,6 +247,13 @@ pub fn col2im(
 ///
 /// Returns `[n, f, oh, ow]`.
 ///
+/// The batch is partitioned across the [`crate::parallel`] workers: each
+/// worker lowers its images to columns and multiplies straight into that
+/// image's `[f, oh·ow]` slice of the output, which is both the parallel axis
+/// and what lets this path skip the `[f, n, ·]` → `[n, f, ·]` reorder the
+/// batched lowering required. Per-output-element accumulation order matches
+/// the batched form, so results are bit-identical at any thread count.
+///
 /// # Panics
 ///
 /// Panics on rank or channel mismatches.
@@ -226,25 +273,36 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSp
 
     let oh = spec.output_size(h);
     let ow = spec.output_size(w);
-    let cols = im2col(x, spec);
-    let cols_n = n * oh * ow;
+    let padded = pad2d(x, spec.padding);
+    let (hp, wp) = (padded.dims()[2], padded.dims()[3]);
+    let ckk = c * k * k;
+    let pix = oh * ow;
+    let src = padded.as_slice();
+    let ws = weight.as_slice();
+    let bs = bias.map(Tensor::as_slice);
 
-    // [f, c·k·k] × [c·k·k, n·oh·ow] → [f, n·oh·ow]
-    let mut out = vec![0.0f32; f * cols_n];
-    gemm(f, c * k * k, cols_n, weight.as_slice(), cols.as_slice(), &mut out);
-
-    // Reorder [f, n, oh, ow] → [n, f, oh, ow], adding bias.
-    let mut reordered = vec![0.0f32; n * f * oh * ow];
-    for fi in 0..f {
-        let b = bias.map_or(0.0, |t| t.as_slice()[fi]);
-        for in_ in 0..n {
-            for p in 0..oh * ow {
-                reordered[((in_ * f) + fi) * oh * ow + p] =
-                    out[(fi * n + in_) * oh * ow + p] + b;
+    let mut out = vec![0.0f32; n * f * pix];
+    parallel::par_bands_mut(&mut out, n, f * pix, |img0, imgs, chunk| {
+        // Column buffer reused across this worker's images; fully
+        // overwritten by each lowering.
+        let mut cols = vec![0.0f32; ckk * pix];
+        for i in 0..imgs {
+            let img_src = &src[(img0 + i) * c * hp * wp..(img0 + i + 1) * c * hp * wp];
+            im2col_image(img_src, c, (hp, wp), (oh, ow), spec, &mut cols);
+            let out_img = &mut chunk[i * f * pix..(i + 1) * f * pix];
+            // [f, c·k·k] × [c·k·k, oh·ow] → [f, oh·ow], already image-major.
+            gemm_serial(f, ckk, pix, ws, &cols, out_img);
+            if let Some(b) = bs {
+                for fi in 0..f {
+                    let bv = b[fi];
+                    for v in &mut out_img[fi * pix..(fi + 1) * pix] {
+                        *v += bv;
+                    }
+                }
             }
         }
-    }
-    Tensor::from_vec(reordered, [n, f, oh, ow])
+    });
+    Tensor::from_vec(out, [n, f, oh, ow])
 }
 
 /// Direct (nested-loop) convolution; reference oracle for [`conv2d`].

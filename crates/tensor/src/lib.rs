@@ -15,6 +15,8 @@
 //!   plus a direct reference convolution ([`conv`]).
 //! - Reductions, histograms and a stable softmax ([`reduce`]).
 //! - Deterministic RNG and Xavier/He initializers ([`init`]).
+//! - Scoped-thread parallelism primitives driving the kernels above
+//!   ([`parallel`]); results are bit-identical at any thread count.
 //!
 //! # Examples
 //!
@@ -35,13 +37,18 @@ mod arith;
 pub mod conv;
 pub mod init;
 pub mod linalg;
+pub mod parallel;
 pub mod reduce;
 mod shape;
 mod tensor;
 
 pub use conv::{col2im, conv2d, conv2d_direct, im2col, pad2d, unpad2d, Conv2dSpec};
 pub use init::TensorRng;
-pub use linalg::{dot, matmul, matmul_naive, matvec, outer, transpose};
+pub use linalg::{
+    dot, gemm, gemm_kernel, gemm_serial, matmul, matmul_naive, matmul_serial, matvec, outer,
+    set_gemm_kernel, transpose, GemmKernel,
+};
+pub use parallel::{num_threads, set_num_threads, with_num_threads};
 pub use reduce::softmax_rows;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -3,12 +3,142 @@
 //! The blocked GEMM here is the computational core of the whole simulator:
 //! convolution lowers to it via im2col, fully connected layers call it
 //! directly, and the memristor crossbar model validates against it.
+//!
+//! [`gemm`] and [`matmul`] partition output rows across the worker threads
+//! configured in [`crate::parallel`]. Each thread runs the same blocked
+//! kernel over a disjoint row band, and the kernel's per-element accumulation
+//! order (ascending `k`, in ascending blocks) never depends on which band a
+//! row lands in — so the parallel product is **bit-identical** to the serial
+//! one at every thread count. The `_serial` variants are kept as explicit
+//! single-thread oracles for tests and speedup benchmarks.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::parallel;
 use crate::tensor::Tensor;
 
 /// Cache-blocking tile edge for [`matmul`]. Chosen so three `f32` tiles fit
 /// comfortably in L1 (3 · 64² · 4 B = 48 KiB).
 const BLOCK: usize = 64;
+
+/// Minimum multiply-accumulate count (`m·k·n`) before [`gemm`] spawns
+/// threads; below this the spawn/join overhead outweighs the work.
+const GEMM_PAR_MIN_FLOPS: usize = 32 * 1024;
+
+/// Inner-loop strategy for [`gemm`], set process-wide with
+/// [`set_gemm_kernel`].
+///
+/// The quantized networks this simulator runs produce activation matrices
+/// that are often mostly zero (ReLU outputs under low-bit quantization), so
+/// skipping `a[i,k] == 0` terms can win large factors — but on dense inputs
+/// the extra branch costs ~10-20%. `Auto` samples the left operand per call
+/// and picks accordingly; see `benches/gemm.rs` for the measured tradeoff.
+///
+/// Both kernels produce bit-identical results whenever the output starts
+/// zero-initialized or non-negatively signed: skipping a term only elides
+/// `acc += 0.0 * b`, which cannot change `acc` except for flipping the sign
+/// of an exact `-0.0` accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GemmKernel {
+    /// Sample `a` each call: use `SkipZeros` when ≥ 30% of sampled entries
+    /// are zero, `Dense` otherwise. The default.
+    Auto,
+    /// Unconditional fused multiply-add inner loop.
+    Dense,
+    /// Skip inner-loop iterations where `a[i, k] == 0`.
+    SkipZeros,
+}
+
+/// Process-wide kernel choice: 0 = Auto, 1 = Dense, 2 = SkipZeros.
+static GEMM_KERNEL: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide [`GemmKernel`] used by [`gemm`] and [`matmul`].
+pub fn set_gemm_kernel(kernel: GemmKernel) {
+    let v = match kernel {
+        GemmKernel::Auto => 0,
+        GemmKernel::Dense => 1,
+        GemmKernel::SkipZeros => 2,
+    };
+    GEMM_KERNEL.store(v, Ordering::Relaxed);
+}
+
+/// Returns the process-wide [`GemmKernel`] setting.
+pub fn gemm_kernel() -> GemmKernel {
+    match GEMM_KERNEL.load(Ordering::Relaxed) {
+        1 => GemmKernel::Dense,
+        2 => GemmKernel::SkipZeros,
+        _ => GemmKernel::Auto,
+    }
+}
+
+/// `Auto` heuristic: sample up to 512 evenly strided entries of `a` and
+/// report whether at least 30% of them are zero.
+fn mostly_zero(a: &[f32]) -> bool {
+    if a.is_empty() {
+        return false;
+    }
+    let step = (a.len() / 512).max(1);
+    let mut seen = 0usize;
+    let mut zeros = 0usize;
+    let mut i = 0;
+    while i < a.len() {
+        seen += 1;
+        if a[i] == 0.0 {
+            zeros += 1;
+        }
+        i += step;
+    }
+    zeros * 10 >= seen * 3
+}
+
+/// Resolves the effective kernel for a call with left operand `a`.
+///
+/// Resolution happens once per [`gemm`] call on the full operand — never
+/// per band — so the choice (and therefore the result) cannot depend on the
+/// thread count.
+fn resolve_kernel(a: &[f32]) -> GemmKernel {
+    match gemm_kernel() {
+        GemmKernel::Auto => {
+            if mostly_zero(a) {
+                GemmKernel::SkipZeros
+            } else {
+                GemmKernel::Dense
+            }
+        }
+        k => k,
+    }
+}
+
+/// Blocked GEMM over one row band: `c[mb×n] += a[mb×k] · b[k×n]`.
+///
+/// Row indices are band-local; because the accumulation order for each
+/// output element is ascending `kk` within ascending `k0` blocks regardless
+/// of `mb`, running bands separately is bit-identical to one big call.
+fn gemm_band(kernel: GemmKernel, mb: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    let skip = kernel == GemmKernel::SkipZeros;
+    for i0 in (0..mb).step_by(BLOCK) {
+        let i_end = (i0 + BLOCK).min(mb);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k_end = (k0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j_end = (j0 + BLOCK).min(n);
+                for i in i0..i_end {
+                    for kk in k0..k_end {
+                        let aik = a[i * k + kk];
+                        if skip && aik == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[kk * n + j0..kk * n + j_end];
+                        let crow = &mut c[i * n + j0..i * n + j_end];
+                        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// Computes `C = A · B` for row-major matrices.
 ///
@@ -39,9 +169,30 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::from_vec(c, [m, n])
 }
 
+/// Single-threaded [`matmul`]: the reference oracle benches compare the
+/// parallel path against.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`matmul`].
+pub fn matmul_serial(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2, got {}", a.shape());
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2, got {}", b.shape());
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    assert_eq!(k, k2, "matmul inner dims disagree: {} vs {}", k, k2);
+
+    let mut c = vec![0.0f32; m * n];
+    gemm_serial(m, k, n, a.as_slice(), b.as_slice(), &mut c);
+    Tensor::from_vec(c, [m, n])
+}
+
 /// Raw blocked GEMM on slices: `c[m×n] += a[m×k] · b[k×n]`.
 ///
 /// `c` must be zero-initialized by the caller if a pure product is wanted.
+/// Output rows are partitioned across the [`crate::parallel`] worker threads
+/// when the product is large enough (`m·k·n ≥ 32768`); the result is
+/// bit-identical to [`gemm_serial`] at any thread count.
 ///
 /// # Panics
 ///
@@ -51,28 +202,28 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(b.len(), k * n, "rhs slice length mismatch");
     assert_eq!(c.len(), m * n, "output slice length mismatch");
 
-    for i0 in (0..m).step_by(BLOCK) {
-        let i_end = (i0 + BLOCK).min(m);
-        for k0 in (0..k).step_by(BLOCK) {
-            let k_end = (k0 + BLOCK).min(k);
-            for j0 in (0..n).step_by(BLOCK) {
-                let j_end = (j0 + BLOCK).min(n);
-                for i in i0..i_end {
-                    for kk in k0..k_end {
-                        let aik = a[i * k + kk];
-                        if aik == 0.0 {
-                            continue;
-                        }
-                        let brow = &b[kk * n + j0..kk * n + j_end];
-                        let crow = &mut c[i * n + j0..i * n + j_end];
-                        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
-                            *cv += aik * bv;
-                        }
-                    }
-                }
-            }
-        }
+    let kernel = resolve_kernel(a);
+    if m < 2 || m * k * n < GEMM_PAR_MIN_FLOPS || parallel::num_threads() == 1 {
+        gemm_band(kernel, m, k, n, a, b, c);
+        return;
     }
+    parallel::par_bands_mut(c, m, n, |row0, rows, c_band| {
+        gemm_band(kernel, rows, k, n, &a[row0 * k..(row0 + rows) * k], b, c_band);
+    });
+}
+
+/// Single-threaded [`gemm`], kept as the reference oracle for tests and
+/// serial-vs-parallel benchmarks. Kernel selection (`Auto` sampling) is
+/// shared with [`gemm`], so the two differ only in threading.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`gemm`].
+pub fn gemm_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs slice length mismatch");
+    assert_eq!(b.len(), k * n, "rhs slice length mismatch");
+    assert_eq!(c.len(), m * n, "output slice length mismatch");
+    gemm_band(resolve_kernel(a), m, k, n, a, b, c);
 }
 
 /// Naive triple-loop matrix product, kept as a reference oracle for tests
@@ -252,5 +403,64 @@ mod tests {
         let mut c = [10.0, 0.0, 0.0, 10.0];
         gemm(2, 2, 2, &a, &b, &mut c);
         assert_eq!(c, [12.0, 3.0, 4.0, 15.0]);
+    }
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64, zero_every: usize) -> Tensor {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let data = (0..rows * cols)
+            .map(|i| {
+                if zero_every > 0 && i % zero_every == 0 {
+                    0.0
+                } else {
+                    rng.gen_range(-1.0f32..1.0)
+                }
+            })
+            .collect();
+        Tensor::from_vec(data, [rows, cols])
+    }
+
+    #[test]
+    fn parallel_gemm_bit_identical_to_serial() {
+        // Sizes straddling GEMM_PAR_MIN_FLOPS and the BLOCK edge.
+        for &(m, k, n) in &[(2, 64, 256), (65, 65, 65), (128, 32, 100), (1, 300, 300)] {
+            let a = rand_mat(m, k, 21, 0);
+            let b = rand_mat(k, n, 22, 0);
+            let serial = matmul_serial(&a, &b);
+            for threads in [1, 2, 3, 8] {
+                let par = crate::parallel::with_num_threads(threads, || matmul(&a, &b));
+                for (x, y) in par.iter().zip(serial.iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "threads={threads} m={m} k={k} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dense_and_skipzero_kernels_agree_bitwise() {
+        // Zero-initialized output: skipping 0·b terms cannot change any bit.
+        let a = rand_mat(40, 50, 31, 3); // every 3rd entry exactly zero
+        let b = rand_mat(50, 60, 32, 0);
+        let mut dense = vec![0.0f32; 40 * 60];
+        let mut skip = vec![0.0f32; 40 * 60];
+        gemm_band(GemmKernel::Dense, 40, 50, 60, a.as_slice(), b.as_slice(), &mut dense);
+        gemm_band(GemmKernel::SkipZeros, 40, 50, 60, a.as_slice(), b.as_slice(), &mut skip);
+        for (x, y) in dense.iter().zip(skip.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn kernel_setting_round_trips_and_auto_samples() {
+        assert_eq!(gemm_kernel(), GemmKernel::Auto);
+        set_gemm_kernel(GemmKernel::Dense);
+        assert_eq!(gemm_kernel(), GemmKernel::Dense);
+        set_gemm_kernel(GemmKernel::Auto);
+
+        assert!(mostly_zero(&vec![0.0f32; 1000]));
+        assert!(!mostly_zero(&vec![1.0f32; 1000]));
+        let mixed: Vec<f32> = (0..1000).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        assert!(mostly_zero(&mixed));
+        assert!(!mostly_zero(&[]));
     }
 }

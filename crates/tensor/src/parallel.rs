@@ -1,0 +1,278 @@
+//! Scoped-thread parallelism primitives for the compute kernels.
+//!
+//! Everything in this crate that parallelizes — GEMM row bands, im2col row
+//! bands, per-image convolution, and the batch sharding in the crates above —
+//! funnels through the two primitives here, [`par_bands_mut`] and
+//! [`par_map_shards`]. Both partition work into **contiguous, disjoint**
+//! pieces, one per worker, and run the pieces on scoped threads
+//! (`crossbeam::thread::scope`), so no output element is ever touched by two
+//! threads and no ordering decision is left to the scheduler. Combined with
+//! kernels whose per-element accumulation order does not depend on the band
+//! they run in, this makes every parallel result **bit-identical** to the
+//! serial one at any thread count.
+//!
+//! # Thread-count resolution
+//!
+//! The worker count for a call is resolved in this order:
+//!
+//! 1. A scoped [`with_num_threads`] override on the calling thread
+//!    (used by tests to pin a count without races).
+//! 2. The process-wide value from [`set_num_threads`].
+//! 3. The `QSNC_THREADS` environment variable, read once per process.
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! A resolved count of 1 runs the closure inline on the calling thread —
+//! no threads are spawned, so serial behavior (and serial stack traces) are
+//! recovered exactly with `QSNC_THREADS=1`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide thread count from [`set_num_threads`]; 0 means "unset".
+static CONFIGURED: AtomicUsize = AtomicUsize::new(0);
+
+/// Default resolved from `QSNC_THREADS` / available parallelism, once.
+static DEFAULT: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Scoped per-thread override installed by [`with_num_threads`].
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Sets the process-wide worker thread count for all parallel kernels.
+///
+/// Passing 0 resets to the default (`QSNC_THREADS`, then available
+/// parallelism). A count of 1 disables threading entirely.
+pub fn set_num_threads(n: usize) {
+    CONFIGURED.store(n, Ordering::Relaxed);
+}
+
+/// Returns the worker thread count parallel kernels will use right now.
+pub fn num_threads() -> usize {
+    let tl = OVERRIDE.with(Cell::get);
+    if tl > 0 {
+        return tl;
+    }
+    let global = CONFIGURED.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    *DEFAULT.get_or_init(|| {
+        std::env::var("QSNC_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            })
+    })
+}
+
+/// Runs `f` with the worker count pinned to `n` on the calling thread.
+///
+/// The override only affects parallel calls made from this thread while `f`
+/// runs (it is restored even on panic), which lets concurrent tests pin
+/// different counts without interfering through the global setting.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(OVERRIDE.with(|c| c.replace(n)));
+    f()
+}
+
+/// Sizes of the per-worker pieces when `items` are split across `workers`:
+/// as even as possible, larger pieces first, in order.
+fn piece_sizes(items: usize, workers: usize) -> impl Iterator<Item = usize> {
+    let base = items / workers;
+    let rem = items % workers;
+    (0..workers).map(move |i| base + usize::from(i < rem))
+}
+
+/// Splits `data` — `rows` rows of `row_len` elements — into contiguous row
+/// bands, one per worker, and runs `f(first_row, band_rows, band)` on each
+/// band concurrently.
+///
+/// Bands are disjoint `&mut` slices, so each output row is written by exactly
+/// one thread. With one worker (or one row), `f` runs inline on the calling
+/// thread over the whole slice.
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * row_len`, or propagates a worker panic.
+pub fn par_bands_mut<T, F>(data: &mut [T], rows: usize, row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    assert_eq!(data.len(), rows * row_len, "par_bands_mut slice/geometry mismatch");
+    let workers = num_threads().min(rows).max(1);
+    if workers == 1 {
+        f(0, rows, data);
+        return;
+    }
+    crossbeam::thread::scope(|s| {
+        let mut rest = data;
+        let mut first_row = 0;
+        for band_rows in piece_sizes(rows, workers) {
+            let (band, tail) = rest.split_at_mut(band_rows * row_len);
+            rest = tail;
+            let row0 = first_row;
+            let fr = &f;
+            s.spawn(move || fr(row0, band_rows, band));
+            first_row += band_rows;
+        }
+    });
+}
+
+/// Splits `items` into contiguous shards, one per worker, maps each shard
+/// with `f(first_index, shard)` concurrently, and returns the results in
+/// shard order.
+///
+/// Use this when each worker needs its own state (e.g. a cloned network):
+/// build the state inside `f`, once per shard. With one worker the single
+/// call runs inline. An empty input yields an empty result.
+///
+/// # Panics
+///
+/// Propagates a worker panic.
+pub fn par_map_shards<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = num_threads().min(items.len()).max(1);
+    if workers == 1 {
+        return vec![f(0, items)];
+    }
+    crossbeam::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut start = 0;
+        for shard_len in piece_sizes(items.len(), workers) {
+            let shard = &items[start..start + shard_len];
+            let first = start;
+            let fr = &f;
+            handles.push(s.spawn(move || fr(first, shard)));
+            start += shard_len;
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piece_sizes_cover_exactly() {
+        for items in 0..40 {
+            for workers in 1..9 {
+                let sizes: Vec<usize> = piece_sizes(items, workers).collect();
+                assert_eq!(sizes.len(), workers);
+                assert_eq!(sizes.iter().sum::<usize>(), items);
+                // Monotone non-increasing, difference at most one.
+                for w in sizes.windows(2) {
+                    assert!(w[0] >= w[1] && w[0] - w[1] <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn with_num_threads_scopes_and_restores() {
+        let outer = num_threads();
+        let inner = with_num_threads(3, num_threads);
+        assert_eq!(inner, 3);
+        assert_eq!(num_threads(), outer);
+    }
+
+    #[test]
+    fn with_num_threads_restores_on_panic() {
+        let outer = num_threads();
+        let caught = std::panic::catch_unwind(|| with_num_threads(5, || panic!("boom")));
+        assert!(caught.is_err());
+        assert_eq!(num_threads(), outer);
+    }
+
+    #[test]
+    fn par_bands_mut_writes_every_row_once() {
+        for threads in [1, 2, 3, 7] {
+            with_num_threads(threads, || {
+                let (rows, row_len) = (13, 5);
+                let mut data = vec![0u32; rows * row_len];
+                par_bands_mut(&mut data, rows, row_len, |first, n, band| {
+                    for (r, row) in band.chunks_mut(row_len).enumerate() {
+                        assert!(r < n);
+                        row.fill((first + r) as u32);
+                    }
+                });
+                for r in 0..rows {
+                    assert!(data[r * row_len..(r + 1) * row_len].iter().all(|&v| v == r as u32));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn par_bands_mut_handles_empty_and_degenerate() {
+        let mut empty: Vec<u32> = Vec::new();
+        par_bands_mut(&mut empty, 0, 4, |_, _, _| {});
+        par_bands_mut(&mut empty, 4, 0, |_, n, band| {
+            assert_eq!(band.len(), 0);
+            assert!(n <= 4);
+        });
+        let mut one = vec![0u32; 6];
+        with_num_threads(8, || {
+            par_bands_mut(&mut one, 1, 6, |first, n, band| {
+                assert_eq!((first, n, band.len()), (0, 1, 6));
+                band.fill(9);
+            });
+        });
+        assert!(one.iter().all(|&v| v == 9));
+    }
+
+    #[test]
+    fn par_map_shards_preserves_order() {
+        for threads in [1, 2, 4, 9] {
+            with_num_threads(threads, || {
+                let items: Vec<usize> = (0..23).collect();
+                let sums = par_map_shards(&items, |first, shard| {
+                    assert_eq!(shard[0], first);
+                    shard.iter().sum::<usize>()
+                });
+                assert_eq!(sums.iter().sum::<usize>(), items.iter().sum::<usize>());
+                assert_eq!(sums.len(), threads.min(items.len()));
+            });
+        }
+        let none: Vec<usize> = Vec::new();
+        let out: Vec<usize> = par_map_shards(&none, |_, s| s.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let caught = std::panic::catch_unwind(|| {
+            with_num_threads(2, || {
+                let items = [1, 2, 3, 4];
+                par_map_shards(&items, |first, _| {
+                    if first == 0 {
+                        panic!("worker failed");
+                    }
+                    0
+                })
+            })
+        });
+        assert!(caught.is_err());
+    }
+}

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use qsnc_tensor::{
-    col2im, conv2d, conv2d_direct, im2col, matmul, matmul_naive, pad2d, softmax_rows, transpose,
-    unpad2d, Conv2dSpec, Shape, Tensor,
+    col2im, conv2d, conv2d_direct, im2col, matmul, matmul_naive, pad2d, parallel, softmax_rows,
+    transpose, unpad2d, Conv2dSpec, Shape, Tensor,
 };
 
 fn tensor_strategy(len: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -34,6 +34,34 @@ proptest! {
         let slow = matmul_naive(&a, &b);
         for (x, y) in fast.iter().zip(slow.iter()) {
             prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_bit_identical_to_naive(
+        // 0 and 1 are in range: empty products and single rows/cols must
+        // agree too, and a thread count above `m` must not misbehave.
+        m in 0usize..40, k in 0usize..40, n in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::from_vec((0..m*k).map(|_| rng.gen_range(-2.0..2.0)).collect(), [m, k]);
+        let b = Tensor::from_vec((0..k*n).map(|_| rng.gen_range(-2.0..2.0)).collect(), [k, n]);
+        let oracle = matmul_naive(&a, &b);
+        let cpus = std::thread::available_parallelism().map_or(4, |p| p.get());
+        for threads in [1, 2, cpus] {
+            let fast = parallel::with_num_threads(threads, || matmul(&a, &b));
+            prop_assert_eq!(fast.dims(), oracle.dims());
+            for (x, y) in fast.iter().zip(oracle.iter()) {
+                // Bit-for-bit: the blocked parallel GEMM accumulates every
+                // output element in the same ascending-k order as the naive
+                // triple loop, at any thread count.
+                prop_assert_eq!(
+                    x.to_bits(), y.to_bits(),
+                    "threads={} m={} k={} n={}: {} vs {}", threads, m, k, n, x, y,
+                );
+            }
         }
     }
 

@@ -1,0 +1,254 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The qsnc build environment has no access to crates.io, so this vendored
+//! crate provides the criterion API surface the `qsnc-bench` benches use —
+//! [`Criterion::bench_function`], benchmark groups, [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a simple
+//! adaptive timing loop instead of criterion's statistical machinery.
+//!
+//! Each benchmark warms up briefly, then runs batches until the measurement
+//! window is filled and reports the mean time per iteration. Environment
+//! knobs:
+//!
+//! - `QSNC_BENCH_MEASURE_MS`: measurement window per benchmark
+//!   (default 300 ms).
+//! - `QSNC_BENCH_JSON`: if set, appends one JSON line
+//!   `{"name": .., "ns_per_iter": ..}` per benchmark to the given file.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+fn measure_window() -> Duration {
+    let ms = std::env::var("QSNC_BENCH_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300)
+        .max(10);
+    Duration::from_millis(ms)
+}
+
+/// Runs one closure under the timing loop, inside [`Bencher::iter`].
+pub struct Bencher {
+    window: Duration,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean wall-clock time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: run until ~10% of the window has elapsed, and derive the
+        // batch size from the observed speed so the clock is read rarely.
+        let warmup_target = self.window / 10;
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < warmup_target || warm_iters == 0 {
+            hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est_per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let batch = ((warmup_target.as_nanos() as f64 / est_per_iter).ceil() as u64).max(1);
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            for _ in 0..batch {
+                hint::black_box(f());
+            }
+            iters += batch;
+            if start.elapsed() >= self.window {
+                break;
+            }
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, ns: f64) {
+    println!("{name:<60} time: [{}]", human(ns));
+    if let Ok(path) = std::env::var("QSNC_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(f, "{{\"name\": \"{name}\", \"ns_per_iter\": {ns:.1}}}");
+        }
+    }
+}
+
+fn run_bench(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        window: measure_window(),
+        ns_per_iter: f64::NAN,
+    };
+    f(&mut b);
+    report(name, b.ns_per_iter);
+}
+
+/// Identifies one benchmark within a group, like `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    repr: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            repr: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name: `&str`, `String`, or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The display name.
+    fn into_name(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_name(self) -> String {
+        self.repr
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_name(self) -> String {
+        self
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for criterion compatibility; the offline harness sizes its
+    /// measurement window from `QSNC_BENCH_MEASURE_MS` instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for criterion compatibility (see [`Self::sample_size`]).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.into_name()), &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: IntoBenchmarkId, P: ?Sized, F: FnMut(&mut Bencher, &P)>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, id.into_name()), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("QSNC_BENCH_MEASURE_MS", "10");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(32), &32usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+}

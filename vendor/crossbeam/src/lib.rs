@@ -1,0 +1,37 @@
+//! Offline shim for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! scoped-thread API.
+//!
+//! The qsnc build environment has no access to crates.io. The workspace uses
+//! crossbeam purely for structured scoped threads, which `std::thread::scope`
+//! has provided since Rust 1.63 with equivalent semantics (spawned threads
+//! may borrow from the enclosing scope; the scope joins them all before
+//! returning and propagates panics). This crate therefore re-exports the
+//! std implementation under the `crossbeam::thread` path the workspace
+//! imports, keeping a later swap to the real crate a one-line change.
+
+#![warn(missing_docs)]
+
+/// Scoped threads, mirroring `crossbeam::thread` via `std::thread`.
+///
+/// Note the `std` call convention: closures passed to
+/// [`Scope::spawn`](std::thread::Scope::spawn) take no argument (upstream
+/// crossbeam passes the scope back in), and `scope` returns the closure's
+/// value directly rather than a `Result`.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut data = [0u32; 8];
+        let (a, b) = data.split_at_mut(4);
+        crate::thread::scope(|s| {
+            s.spawn(|| a.iter_mut().for_each(|v| *v += 1));
+            s.spawn(|| b.iter_mut().for_each(|v| *v += 2));
+        });
+        assert_eq!(data[..4], [1, 1, 1, 1]);
+        assert_eq!(data[4..], [2, 2, 2, 2]);
+    }
+}

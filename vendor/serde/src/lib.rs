@@ -1,0 +1,37 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The qsnc build environment has no access to crates.io. The workspace only
+//! uses serde as `#[derive(Serialize, Deserialize)]` annotations on plain
+//! data types — no serializer is ever instantiated (checkpointing uses its
+//! own text format). This stub therefore provides the two traits as markers
+//! plus derive macros that emit empty impls, which keeps every annotation
+//! compiling unchanged and leaves the door open to swapping in real serde
+//! when a registry is available.
+
+#![warn(missing_docs)]
+
+/// Marker for types that can be serialized.
+///
+/// In upstream serde this carries a `serialize` method; no code in this
+/// workspace calls it, so the offline stub keeps it as a pure marker.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from a borrowed buffer.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+macro_rules! impl_primitives {
+    ($($t:ty),+) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )+};
+}
+impl_primitives!(
+    bool, char, f32, f64, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, String
+);

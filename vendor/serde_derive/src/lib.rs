@@ -1,0 +1,57 @@
+//! Derive macros for the vendored offline `serde` stub.
+//!
+//! The traits are pure markers, so the derives only need the type's name:
+//! they scan the item's tokens for `struct`/`enum`/`union`, take the
+//! following identifier, and emit an empty impl. Written against raw
+//! `proc_macro` tokens — `syn`/`quote` are unavailable offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the item being derived.
+///
+/// Walks past outer attributes, doc comments, and visibility qualifiers to
+/// the `struct` / `enum` / `union` keyword and returns the next identifier.
+/// Generic types are rejected: nothing in this workspace derives serde on a
+/// generic type, and supporting them would require real parsing.
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected item name after `{kw}`, found {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "the offline serde stub cannot derive for generic type `{name}`; \
+                             write the impl by hand in vendor/serde"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("no struct/enum/union found in derive input");
+}
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}

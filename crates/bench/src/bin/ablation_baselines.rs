@@ -10,7 +10,7 @@
 //! ```
 
 use qsnc_bench::{restore_weights, snapshot_weights, Workload, SEED};
-use qsnc_core::report::{pct, Table};
+use qsnc_core::report::{pct, Report, Table};
 use qsnc_core::train_float;
 use qsnc_nn::train::evaluate;
 use qsnc_nn::ModelKind;
@@ -47,7 +47,6 @@ fn main() {
         grids.row(&[format!("{bits}-bit"), pct(direct), pct(p2), pct(clustered)]);
     }
     restore_weights(&mut net, &snapshot);
-    println!("{}", grids.render());
 
     // Per-layer sensitivity at 2 bits (where differences are visible).
     let (sens, baseline) =
@@ -65,9 +64,14 @@ fn main() {
             pct(s.drop),
         ]);
     }
-    println!("{}", table.render());
-    println!("expected: the linear clustered grid dominates both baselines at every bit");
-    println!("width (power-of-two wastes resolution near the range edge — the paper's");
-    println!("argument for linear conductance levels), and early conv layers are the most");
-    println!("sensitive (error propagates, Eq. 4/5).");
+
+    let mut report = Report::new("Ablation — weight grids and per-layer sensitivity");
+    report
+        .table(grids)
+        .table(table)
+        .note("expected: the linear clustered grid dominates both baselines at every bit")
+        .note("width (power-of-two wastes resolution near the range edge — the paper's")
+        .note("argument for linear conductance levels), and early conv layers are the most")
+        .note("sensitive (error propagates, Eq. 4/5).");
+    report.emit();
 }

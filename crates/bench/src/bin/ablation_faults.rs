@@ -11,7 +11,7 @@
 //! ```
 
 use qsnc_bench::{restore_weights, snapshot_weights, Workload, SEED};
-use qsnc_core::report::{pct, Table};
+use qsnc_core::report::{pct, Report, Table};
 use qsnc_core::{train_quant_aware, QuantConfig};
 use qsnc_memristor::{DeployConfig, SpikingNetwork};
 use qsnc_nn::train::evaluate;
@@ -26,7 +26,8 @@ fn main() {
     let quant = QuantConfig::paper(4, 4);
     let model =
         train_quant_aware(ModelKind::Lenet, w.width, &w.settings, &quant, &w.train, &w.test, SEED);
-    println!("clean 4-bit accuracy: {}\n", pct(model.quantized_accuracy));
+    let mut report = Report::new("Ablation — device faults and write variation");
+    report.note(format!("clean 4-bit accuracy: {}", pct(model.quantized_accuracy)));
 
     let mut net = model.net;
     let snapshot = snapshot_weights(&mut net);
@@ -53,7 +54,7 @@ fn main() {
         faults.row(&[format!("{:.1}%", rate * 100.0), pct(acc0), pct(acc_max)]);
     }
     restore_weights(&mut net, &snapshot);
-    println!("{}", faults.render());
+    report.table(faults);
 
     // Device-level programming variation through the spiking pipeline.
     let mut variation = Table::new(
@@ -69,8 +70,10 @@ fn main() {
         let acc = snn.evaluate(sample, None);
         variation.row(&[format!("{sigma:.2}"), pct(acc)]);
     }
-    println!("{}", variation.render());
-    println!("expected: graceful degradation — small fault rates and σ ≤ 0.1 cost little;");
-    println!("stuck-at-max hurts more than stuck-at-0 (sparse signals tolerate missing");
-    println!("synapses better than saturated ones).");
+    report
+        .table(variation)
+        .note("expected: graceful degradation — small fault rates and σ ≤ 0.1 cost little;")
+        .note("stuck-at-max hurts more than stuck-at-0 (sparse signals tolerate missing")
+        .note("synapses better than saturated ones).");
+    report.emit();
 }

@@ -12,7 +12,7 @@
 //! ```
 
 use qsnc_bench::{Workload, SEED};
-use qsnc_core::report::{pct, Table};
+use qsnc_core::report::{pct, Report, Table};
 use qsnc_core::{train_quant_aware, QuantConfig};
 use qsnc_memristor::{network_geometry, HwModel};
 use qsnc_nn::{Mode, ModelKind};
@@ -88,7 +88,10 @@ fn main() {
             format!("{:+.1}%", (report.energy_uj / fixed.energy_uj - 1.0) * 100.0),
         ]);
     }
-    println!("{}", table.render());
-    println!("expected: the regularized network shows lower mean activity and therefore");
-    println!("lower modelled dynamic energy at equal accuracy.");
+    let mut report = Report::new("Ablation — measured sparsity in the energy model");
+    report
+        .table(table)
+        .note("expected: the regularized network shows lower mean activity and therefore")
+        .note("lower modelled dynamic energy at equal accuracy.");
+    report.emit();
 }

@@ -6,19 +6,21 @@
 //! cargo run -p qsnc-bench --bin fig1 --release
 //! ```
 
-use qsnc_bench::{restore_weights, snapshot_weights, Workload, SEED};
-use qsnc_core::report::{pct, Table};
-use qsnc_core::{calibrate_stage_maxima, train_float, visit_signal_stages};
+use qsnc_bench::{
+    calibrated_quantizer, restore_weights, snapshot_weights, splice_calibrated_stages, Workload,
+    SEED,
+};
+use qsnc_core::report::{pct, Report, Table};
+use qsnc_core::{train_float, visit_signal_stages};
 use qsnc_memristor::{network_geometry, HwModel};
 use qsnc_nn::train::evaluate;
 use qsnc_nn::ModelKind;
-use qsnc_quant::{
-    insert_signal_stages, quantize_network_weights, ActivationQuantizer, ActivationRegularizer,
-    RegKind, WeightQuantMethod,
-};
+use qsnc_quant::{quantize_network_weights, WeightQuantMethod};
 use qsnc_tensor::TensorRng;
 
 fn main() {
+    let mut report = Report::new("Fig. 1 — speed and accuracy vs precision (LeNet)");
+
     // (a) Computation speed vs neuron precision — pure hardware model.
     let model = HwModel::calibrated();
     let mut rng = TensorRng::seed(0);
@@ -38,7 +40,7 @@ fn main() {
             format!("{:.1}x", r.speed_mhz / base.speed_mhz),
         ]);
     }
-    println!("{}", fa.render());
+    report.table(fa);
 
     // (b) Accuracy loss: neurons-only vs weights-only direct quantization.
     let w = Workload::standard(ModelKind::Lenet);
@@ -49,14 +51,7 @@ fn main() {
     let snapshot = snapshot_weights(&mut net);
 
     // Splice stages once for the neuron sweep.
-    let (switch, _) = insert_signal_stages(
-        &mut net,
-        ActivationRegularizer::new(RegKind::None, 4, 0.0),
-        0.0,
-        ActivationQuantizer::new(4),
-    );
-    let maxima = calibrate_stage_maxima(&mut net, calibration);
-    let global_max = maxima.iter().copied().fold(0.0f32, f32::max).max(1e-6);
+    let (switch, global_max) = splice_calibrated_stages(&mut net, calibration);
 
     let mut fb = Table::new(
         format!("Fig. 1b — accuracy loss from direct quantization (LeNet, ideal {})", pct(ideal)),
@@ -65,8 +60,7 @@ fn main() {
     for bits in (2..=8u32).rev() {
         // Neurons only.
         switch.set_enabled(true);
-        let levels = ((1u32 << bits) - 1) as f32;
-        let q = ActivationQuantizer::with_scale(bits, levels / global_max);
+        let q = calibrated_quantizer(bits, global_max);
         visit_signal_stages(&mut net, |s| s.set_quantizer(q));
         restore_weights(&mut net, &snapshot);
         let neuron_acc = evaluate(&mut net, &test_batches);
@@ -86,7 +80,9 @@ fn main() {
         ]);
     }
     restore_weights(&mut net, &snapshot);
-    println!("{}", fb.render());
-    println!("paper Fig. 1b: neuron quantization hurts more than weight quantization at");
-    println!("the same bit width — check that 'Neuron loss' exceeds 'Weight loss' at low bits.");
+    report
+        .table(fb)
+        .note("paper Fig. 1b: neuron quantization hurts more than weight quantization at")
+        .note("the same bit width — check that 'Neuron loss' exceeds 'Weight loss' at low bits.");
+    report.emit();
 }

@@ -2,12 +2,14 @@
 //! regularizers (none, l1, truncated l1, and the proposed Neuron
 //! Convergence) at `M = 2` bits.
 //!
-//! Prints the curves as a CSV series plus a coarse ASCII plot.
+//! Emits the sampled curves as a table (one row per sample point, CSV-able
+//! via `Table::to_csv`) plus a coarse ASCII sketch.
 //!
 //! ```bash
 //! cargo run -p qsnc-bench --bin fig3 --release
 //! ```
 
+use qsnc_core::report::{Report, Table};
 use qsnc_quant::{ActivationRegularizer, RegKind};
 
 fn main() {
@@ -23,17 +25,32 @@ fn main() {
         .map(|&(name, kind)| (name, ActivationRegularizer::new(kind, bits, 0.1)))
         .collect();
 
-    // CSV for plotting.
-    println!("# Fig. 3 — rg(o) for M = {bits} (threshold = {})", regs[0].1.threshold());
-    println!("o,{}", kinds.map(|(n, _)| n).join(","));
+    let mut report = Report::new("Fig. 3 — activation regularizer shapes");
+
+    // Sampled curves, one row per o.
+    let header: Vec<&str> = std::iter::once("o")
+        .chain(kinds.iter().map(|&(n, _)| n))
+        .collect();
+    let mut curves = Table::new(
+        format!(
+            "Fig. 3 — rg(o) for M = {bits} (threshold = {})",
+            regs[0].1.threshold()
+        ),
+        &header,
+    );
     let samples: Vec<f32> = (-40..=40).map(|i| i as f32 * 0.1).collect();
     for &o in &samples {
-        let row: Vec<String> = regs.iter().map(|(_, r)| format!("{:.4}", r.value(o))).collect();
-        println!("{o:.1},{}", row.join(","));
+        let mut row = vec![format!("{o:.1}")];
+        row.extend(regs.iter().map(|(_, r)| format!("{:.4}", r.value(o))));
+        curves.row(&row);
     }
+    report.table(curves);
 
     // Coarse ASCII rendering of the positive half-axis.
-    println!("\n# ASCII sketch (o in [0, 4], column height ∝ rg(o))");
+    let mut sketch = Table::new(
+        "Fig. 3 — ASCII sketch (o in [0, 4], column height ∝ rg(o))",
+        &["Regularizer", "rg(o) profile"],
+    );
     for (name, reg) in &regs {
         let bar: String = (0..=40)
             .map(|i| {
@@ -49,8 +66,11 @@ fn main() {
                 }
             })
             .collect();
-        println!("{name:>13} |{bar}|");
+        sketch.row(&[name.to_string(), format!("|{bar}|")]);
     }
-    println!("\nexpected: 'proposed' rises gently (α·|o|) inside |o| < 2^(M−1) = 2 and");
-    println!("steeply outside — sparsity AND range-fixing; truncated_l1 is flat inside.");
+    report
+        .table(sketch)
+        .note("expected: 'proposed' rises gently (α·|o|) inside |o| < 2^(M−1) = 2 and")
+        .note("steeply outside — sparsity AND range-fixing; truncated_l1 is flat inside.");
+    report.emit();
 }

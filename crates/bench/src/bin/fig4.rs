@@ -7,6 +7,7 @@
 //! ```
 
 use qsnc_bench::{Workload, SEED};
+use qsnc_core::report::{pct, Report, Table};
 use qsnc_core::{train_quant_aware, QuantConfig};
 use qsnc_nn::{Mode, ModelKind};
 use qsnc_quant::{ActivationRegularizer, RegKind, WeightQuantMethod};
@@ -23,6 +24,13 @@ fn main() {
         ("truncated l1", RegKind::TruncatedL1, 1e-4),
         ("proposed", RegKind::NeuronConvergence, 1e-4),
     ];
+
+    let bins = 16usize;
+    let mut summary = Table::new(
+        format!("Fig. 4 — first-hidden-layer signal statistics (LeNet, M = {bits}, θ = {theta})"),
+        &["Regularizer", "λ", "Accuracy", "Max signal", "Nonzero", "Within [0, θ)"],
+    );
+    let mut histograms: Vec<(&str, Vec<usize>)> = Vec::new();
 
     for (name, kind, lambda) in kinds {
         eprintln!("training LeNet with {name} regularization (λ = {lambda:.0e})…");
@@ -45,25 +53,44 @@ fn main() {
         let first = &taps[0];
         let nonzero = 1.0 - first.sparsity();
         let in_range = first.count(|v| v < theta) as f32 / first.len() as f32;
-        let hist = first.histogram(0.0, 2.0 * theta, 16);
-        let peak = *hist.iter().max().unwrap() as f32;
-
-        println!("\n== {name} (λ = {lambda:.0e}) ==");
-        println!(
-            "accuracy {:.2}%  |  max signal {:.2}  |  nonzero {:.1}%  |  within [0, {theta}) {:.1}%",
-            model.quantized_accuracy * 100.0,
-            first.max(),
-            nonzero * 100.0,
-            in_range * 100.0
-        );
-        println!("histogram over [0, {:.0}), 16 bins (last bin clamps the tail):", 2.0 * theta);
-        for (i, &count) in hist.iter().enumerate() {
-            let lo = i as f32 * theta / 8.0;
-            let bar_len = ((count as f32 / peak) * 50.0).round() as usize;
-            println!("  [{lo:5.2}..) {:>7} |{}", count, "#".repeat(bar_len));
-        }
+        summary.row(&[
+            name.to_string(),
+            format!("{lambda:.0e}"),
+            pct(model.quantized_accuracy),
+            format!("{:.2}", first.max()),
+            format!("{:.1}%", nonzero * 100.0),
+            format!("{:.1}%", in_range * 100.0),
+        ]);
+        histograms.push((name, first.histogram(0.0, 2.0 * theta, bins)));
     }
-    println!("\nexpected (paper Fig. 4): 'proposed' concentrates mass at zero AND inside");
-    println!("[0, 2^(M−1)); 'l1' is sparse but unbounded; 'truncated l1' bounded but dense;");
-    println!("'none' is both unbounded and dense.");
+
+    // One histogram table: rows are bins, one count+bar column pair per
+    // regularizer, each bar normalized to its own peak.
+    let header: Vec<String> = std::iter::once("Bin".to_string())
+        .chain(histograms.iter().map(|(n, _)| n.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut hist_table = Table::new(
+        format!("Fig. 4 — signal histograms over [0, {:.0}), {bins} bins (last bin clamps the tail)", 2.0 * theta),
+        &header_refs,
+    );
+    for i in 0..bins {
+        let lo = i as f32 * theta / 8.0;
+        let mut row = vec![format!("[{lo:5.2}..)")];
+        for (_, hist) in &histograms {
+            let peak = *hist.iter().max().unwrap() as f32;
+            let bar_len = ((hist[i] as f32 / peak) * 20.0).round() as usize;
+            row.push(format!("{:>7} {}", hist[i], "#".repeat(bar_len)));
+        }
+        hist_table.row(&row);
+    }
+
+    let mut report = Report::new("Fig. 4 — inter-layer signal distributions");
+    report
+        .table(summary)
+        .table(hist_table)
+        .note("expected (paper Fig. 4): 'proposed' concentrates mass at zero AND inside")
+        .note("[0, 2^(M−1)); 'l1' is sparse but unbounded; 'truncated l1' bounded but dense;")
+        .note("'none' is both unbounded and dense.");
+    report.emit();
 }

@@ -5,11 +5,12 @@
 //! ```
 
 use qsnc_bench::{Workload, SEED};
-use qsnc_core::report::{pct, Table};
+use qsnc_core::report::{pct, Report, Table};
 use qsnc_core::train_float;
 use qsnc_nn::{LayerDesc, ModelKind};
 
 fn main() {
+    let mut report = Report::new("Table 1 — Neural network models and ideal accuracy");
     let mut table = Table::new(
         "Table 1 — Neural network models and ideal accuracy",
         &["Model", "Dataset", "Input", "Conv layers", "FC layers", "Weights", "Ideal acc."],
@@ -54,6 +55,8 @@ fn main() {
         ]);
         let _ = &mut net;
     }
-    println!("{}", table.render());
-    println!("paper (real MNIST/CIFAR-10, full-width nets): Lenet 98.16%, Alexnet 85.35%, Resnet 93.05%");
+    report.table(table).note(
+        "paper (real MNIST/CIFAR-10, full-width nets): Lenet 98.16%, Alexnet 85.35%, Resnet 93.05%",
+    );
+    report.emit();
 }

@@ -5,16 +5,17 @@
 //! cargo run -p qsnc-bench --bin table2 --release
 //! ```
 
-use qsnc_bench::{Workload, SEED, TABLE_BITS};
-use qsnc_core::report::{pct, pct_delta, Table};
-use qsnc_core::{
-    calibrate_stage_maxima, train_float, train_quant_aware, visit_signal_stages, QuantConfig,
+use qsnc_bench::{
+    calibrated_quantizer, recovery_row, splice_calibrated_stages, Workload, RECOVERY_HEADER, SEED,
+    TABLE_BITS,
 };
+use qsnc_core::report::{pct, Report, Table};
+use qsnc_core::{train_float, train_quant_aware, visit_signal_stages, QuantConfig};
 use qsnc_nn::train::evaluate;
 use qsnc_nn::ModelKind;
-use qsnc_quant::{insert_signal_stages, ActivationQuantizer, ActivationRegularizer, RegKind};
 
 fn main() {
+    let mut report = Report::new("Table 2 — neuron quantization (weights fp32)");
     for kind in [ModelKind::Lenet, ModelKind::Alexnet, ModelKind::Resnet] {
         let w = Workload::standard(kind);
         let test_batches = w.test.batches(64, None);
@@ -25,23 +26,15 @@ fn main() {
             train_float(kind, w.width, &w.settings, &w.train, &w.test, SEED);
 
         // "w/o": splice unregularized stages once, recalibrate per width.
-        let (switch, _) = insert_signal_stages(
-            &mut float_net,
-            ActivationRegularizer::new(RegKind::None, 4, 0.0),
-            0.0,
-            ActivationQuantizer::new(4),
-        );
-        let maxima = calibrate_stage_maxima(&mut float_net, calibration);
-        let global_max = maxima.iter().copied().fold(0.0f32, f32::max).max(1e-6);
+        let (switch, global_max) = splice_calibrated_stages(&mut float_net, calibration);
         switch.set_enabled(true);
 
         let mut table = Table::new(
             format!("Table 2 — {kind}: neuron quantization (weights fp32), ideal {}", pct(ideal)),
-            &["Bits", "w/o", "w/", "Recovered acc.", "Acc. drop"],
+            &RECOVERY_HEADER,
         );
         for bits in TABLE_BITS {
-            let levels = ((1u32 << bits) - 1) as f32;
-            let q = ActivationQuantizer::with_scale(bits, levels / global_max);
+            let q = calibrated_quantizer(bits, global_max);
             visit_signal_stages(&mut float_net, |s| s.set_quantizer(q));
             let without = evaluate(&mut float_net, &test_batches);
 
@@ -52,17 +45,12 @@ fn main() {
             };
             let model =
                 train_quant_aware(kind, w.width, &w.settings, &quant, &w.train, &w.test, SEED);
-            let with = model.quantized_accuracy;
-            table.row(&[
-                format!("{bits}-bit"),
-                pct(without),
-                pct(with),
-                pct(with - without),
-                pct_delta(with, ideal),
-            ]);
+            recovery_row(&mut table, bits, without, model.quantized_accuracy, ideal);
         }
-        println!("{}", table.render());
+        report.table(table);
     }
-    println!("paper Table 2 (MNIST/CIFAR-10): e.g. Lenet 3-bit w/o 92.9% → w/ 98.13%;");
-    println!("Resnet 3-bit w/o 26.57% → w/ 88.95% (recovery grows as bits shrink).");
+    report
+        .note("paper Table 2 (MNIST/CIFAR-10): e.g. Lenet 3-bit w/o 92.9% → w/ 98.13%;")
+        .note("Resnet 3-bit w/o 26.57% → w/ 88.95% (recovery grows as bits shrink).");
+    report.emit();
 }

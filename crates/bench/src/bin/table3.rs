@@ -5,14 +5,17 @@
 //! cargo run -p qsnc-bench --bin table3 --release
 //! ```
 
-use qsnc_bench::{restore_weights, snapshot_weights, Workload, SEED, TABLE_BITS};
-use qsnc_core::report::{pct, pct_delta, Table};
+use qsnc_bench::{
+    recovery_row, restore_weights, snapshot_weights, Workload, SEED, TABLE_BITS,
+};
+use qsnc_core::report::{pct, Report, Table};
 use qsnc_core::train_float;
 use qsnc_nn::train::evaluate;
 use qsnc_nn::ModelKind;
 use qsnc_quant::{quantize_network_weights, WeightQuantMethod};
 
 fn main() {
+    let mut report = Report::new("Table 3 — weight quantization (signals fp32)");
     for kind in [ModelKind::Lenet, ModelKind::Alexnet, ModelKind::Resnet] {
         let w = Workload::standard(kind);
         let test_batches = w.test.batches(64, None);
@@ -34,16 +37,12 @@ fn main() {
             quantize_network_weights(&mut net, bits, WeightQuantMethod::Clustered);
             let with = evaluate(&mut net, &test_batches);
 
-            table.row(&[
-                format!("{bits}-bit"),
-                pct(without),
-                pct(with),
-                pct(with - without),
-                pct_delta(with, ideal),
-            ]);
+            recovery_row(&mut table, bits, without, with, ideal);
         }
-        println!("{}", table.render());
+        report.table(table);
     }
-    println!("paper Table 3 (MNIST/CIFAR-10): e.g. Lenet 3-bit w/o 94.52% → w/ 97.79%;");
-    println!("Resnet 3-bit w/o 29% → w/ 88.1% (clustering recovers most of the loss).");
+    report
+        .note("paper Table 3 (MNIST/CIFAR-10): e.g. Lenet 3-bit w/o 94.52% → w/ 97.79%;")
+        .note("Resnet 3-bit w/o 29% → w/ 88.1% (clustering recovers most of the loss).");
+    report.emit();
 }

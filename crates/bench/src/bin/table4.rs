@@ -6,20 +6,20 @@
 //! cargo run -p qsnc-bench --bin table4 --release
 //! ```
 
-use qsnc_bench::{restore_weights, snapshot_weights, Workload, SEED, TABLE_BITS};
-use qsnc_core::report::{pct, pct_delta, Table};
+use qsnc_bench::{
+    calibrated_quantizer, recovery_row, restore_weights, snapshot_weights,
+    splice_calibrated_stages, Workload, RECOVERY_HEADER, SEED, TABLE_BITS,
+};
+use qsnc_core::report::{pct, Report, Table};
 use qsnc_core::{
-    calibrate_stage_maxima, dynamic_fixed_baseline, train_float, train_quant_aware,
-    visit_signal_stages, QuantConfig,
+    dynamic_fixed_baseline, train_float, train_quant_aware, visit_signal_stages, QuantConfig,
 };
 use qsnc_nn::train::evaluate;
 use qsnc_nn::ModelKind;
-use qsnc_quant::{
-    insert_signal_stages, quantize_network_weights, ActivationQuantizer, ActivationRegularizer,
-    RegKind, WeightQuantMethod,
-};
+use qsnc_quant::{quantize_network_weights, WeightQuantMethod};
 
 fn main() {
+    let mut report = Report::new("Table 4 — signals AND weights quantized");
     for kind in [ModelKind::Lenet, ModelKind::Alexnet, ModelKind::Resnet] {
         let w = Workload::standard(kind);
         let test_batches = w.test.batches(64, None);
@@ -39,14 +39,7 @@ fn main() {
         // "w/o" sweep: splice unregularized stages once, then per bit width
         // restore float weights, recalibrate the uniform signal scale, and
         // direct-quantize the weights.
-        let (switch, _) = insert_signal_stages(
-            &mut float_net,
-            ActivationRegularizer::new(RegKind::None, 4, 0.0),
-            0.0,
-            ActivationQuantizer::new(4),
-        );
-        let maxima = calibrate_stage_maxima(&mut float_net, calibration);
-        let global_max = maxima.iter().copied().fold(0.0f32, f32::max).max(1e-6);
+        let (switch, global_max) = splice_calibrated_stages(&mut float_net, calibration);
 
         let mut table = Table::new(
             format!(
@@ -54,12 +47,11 @@ fn main() {
                 pct(ideal),
                 pct(dyn8)
             ),
-            &["Bits", "w/o", "w/", "Recovered acc.", "Acc. drop"],
+            &RECOVERY_HEADER,
         );
         for bits in TABLE_BITS {
             restore_weights(&mut float_net, &snapshot);
-            let levels = ((1u32 << bits) - 1) as f32;
-            let q = ActivationQuantizer::with_scale(bits, levels / global_max);
+            let q = calibrated_quantizer(bits, global_max);
             visit_signal_stages(&mut float_net, |s| s.set_quantizer(q));
             quantize_network_weights(&mut float_net, bits, WeightQuantMethod::DirectFixedPoint);
             switch.set_enabled(true);
@@ -69,18 +61,12 @@ fn main() {
             let quant = QuantConfig::paper(bits, bits);
             let model =
                 train_quant_aware(kind, w.width, &w.settings, &quant, &w.train, &w.test, SEED);
-            let with = model.quantized_accuracy;
-
-            table.row(&[
-                format!("{bits}-bit"),
-                pct(without),
-                pct(with),
-                pct(with - without),
-                pct_delta(with, ideal),
-            ]);
+            recovery_row(&mut table, bits, without, model.quantized_accuracy, ideal);
         }
-        println!("{}", table.render());
+        report.table(table);
     }
-    println!("paper Table 4 (MNIST/CIFAR-10): Lenet 8-bit [23] 98.16%, 4-bit w/ 98.14%;");
-    println!("Alexnet 8-bit [23] 84.5%, 4-bit w/ 83.05%; Resnet 8-bit [23] 91.75%, 4-bit w/ 90.33%.");
+    report
+        .note("paper Table 4 (MNIST/CIFAR-10): Lenet 8-bit [23] 98.16%, 4-bit w/ 98.14%;")
+        .note("Alexnet 8-bit [23] 84.5%, 4-bit w/ 83.05%; Resnet 8-bit [23] 91.75%, 4-bit w/ 90.33%.");
+    report.emit();
 }

@@ -6,19 +6,19 @@
 //! cargo run -p qsnc-bench --bin table4_hard --release
 //! ```
 
-use qsnc_bench::{restore_weights, snapshot_weights, SEED, TABLE_BITS};
-use qsnc_core::report::{pct, pct_delta, Table};
+use qsnc_bench::{
+    calibrated_quantizer, recovery_row, restore_weights, snapshot_weights,
+    splice_calibrated_stages, RECOVERY_HEADER, SEED, TABLE_BITS,
+};
+use qsnc_core::report::{pct, Report, Table};
 use qsnc_core::{
-    calibrate_stage_maxima, dynamic_fixed_baseline, train_float, train_quant_aware,
-    visit_signal_stages, QuantConfig, TrainSettings,
+    dynamic_fixed_baseline, train_float, train_quant_aware, visit_signal_stages, QuantConfig,
+    TrainSettings,
 };
 use qsnc_data::synth_objects_hard;
 use qsnc_nn::train::evaluate;
 use qsnc_nn::ModelKind;
-use qsnc_quant::{
-    insert_signal_stages, quantize_network_weights, ActivationQuantizer, ActivationRegularizer,
-    RegKind, WeightQuantMethod,
-};
+use qsnc_quant::{quantize_network_weights, WeightQuantMethod};
 use qsnc_tensor::TensorRng;
 
 fn main() {
@@ -44,27 +44,20 @@ fn main() {
     let (mut dyn_net, _) = train_float(kind, width, &settings, &train, &test, SEED);
     let dyn8 = dynamic_fixed_baseline(&mut dyn_net, 8, calibration, &test_batches);
 
-    let (switch, _) = insert_signal_stages(
-        &mut float_net,
-        ActivationRegularizer::new(RegKind::None, 4, 0.0),
-        0.0,
-        ActivationQuantizer::new(4),
-    );
-    let maxima = calibrate_stage_maxima(&mut float_net, calibration);
-    let global_max = maxima.iter().copied().fold(0.0f32, f32::max).max(1e-6);
+    let (switch, global_max) = splice_calibrated_stages(&mut float_net, calibration);
 
+    let mut report = Report::new("Table 4 (hard objects) — signals AND weights quantized");
     let mut table = Table::new(
         format!(
             "Table 4 (hard objects) — {kind}: ideal {}, 8-bit dyn-FP {}",
             pct(ideal),
             pct(dyn8)
         ),
-        &["Bits", "w/o", "w/", "Recovered acc.", "Acc. drop"],
+        &RECOVERY_HEADER,
     );
     for bits in TABLE_BITS {
         restore_weights(&mut float_net, &snapshot);
-        let levels = ((1u32 << bits) - 1) as f32;
-        let q = ActivationQuantizer::with_scale(bits, levels / global_max);
+        let q = calibrated_quantizer(bits, global_max);
         visit_signal_stages(&mut float_net, |s| s.set_quantizer(q));
         quantize_network_weights(&mut float_net, bits, WeightQuantMethod::DirectFixedPoint);
         switch.set_enabled(true);
@@ -72,20 +65,12 @@ fn main() {
 
         eprintln!("[{kind}/hard] {bits}-bit proposed…");
         let quant = QuantConfig::paper(bits, bits);
-        let model = {
-            // train_quant_aware builds its own dataset split? No — pass ours.
-            train_quant_aware(kind, width, &settings, &quant, &train, &test, SEED)
-        };
-        let with = model.quantized_accuracy;
-        table.row(&[
-            format!("{bits}-bit"),
-            pct(without),
-            pct(with),
-            pct(with - without),
-            pct_delta(with, ideal),
-        ]);
+        let model = train_quant_aware(kind, width, &settings, &quant, &train, &test, SEED);
+        recovery_row(&mut table, bits, without, model.quantized_accuracy, ideal);
     }
-    println!("{}", table.render());
-    println!("compare the paper's CIFAR-10 AlexNet column: ideal 85.35%, 8-bit [23] 84.5%,");
-    println!("5/4/3-bit w/o 81.8/76.16/69.7%, w/ 84.47/83.05/81.53%.");
+    report
+        .table(table)
+        .note("compare the paper's CIFAR-10 AlexNet column: ideal 85.35%, 8-bit [23] 84.5%,")
+        .note("5/4/3-bit w/o 81.8/76.16/69.7%, w/ 84.47/83.05/81.53%.");
+    report.emit();
 }

@@ -10,7 +10,7 @@
 //! cargo run -p qsnc-bench --bin table5 --release
 //! ```
 
-use qsnc_core::report::Table;
+use qsnc_core::report::{Report, Table};
 use qsnc_memristor::{network_geometry, HwModel, HwReport};
 use qsnc_nn::models::build_model;
 use qsnc_nn::ModelKind;
@@ -73,8 +73,11 @@ fn main() {
         let r3 = model.evaluate(&geo, 3, 3);
         push("3-bit", &r3, paper_iter.next().unwrap());
     }
-    println!("{}", table.render());
-    println!("note: absolute energy/area differ for Alexnet/Resnet because our widths are the");
-    println!("open LeNet-class/CIFAR-class topologies, not the paper's exact channel counts;");
-    println!("the within-network ratios (speedup, savings) are the reproduced quantities.");
+    let mut report = Report::new("Table 5 — Memristor SNC system evaluation");
+    report
+        .table(table)
+        .note("note: absolute energy/area differ for Alexnet/Resnet because our widths are the")
+        .note("open LeNet-class/CIFAR-class topologies, not the paper's exact channel counts;")
+        .note("the within-network ratios (speedup, savings) are the reproduced quantities.");
+    report.emit();
 }

@@ -5,9 +5,13 @@
 //! workload definitions — dataset sizes, model widths, training settings —
 //! so the binaries agree with each other and with EXPERIMENTS.md.
 
-use qsnc_core::TrainSettings;
+use qsnc_core::report::{pct, pct_delta, Table};
+use qsnc_core::{calibrate_stage_maxima, TrainSettings};
 use qsnc_data::{synth_digits, synth_objects, Dataset};
-use qsnc_nn::{ModelKind, Sequential};
+use qsnc_nn::{Batch, ModelKind, Sequential};
+use qsnc_quant::{
+    insert_signal_stages, ActivationQuantizer, ActivationRegularizer, QuantSwitch, RegKind,
+};
 use qsnc_tensor::{Tensor, TensorRng};
 
 /// Master seed for all experiment binaries.
@@ -118,6 +122,46 @@ pub fn restore_weights(net: &mut Sequential, snapshot: &[Tensor]) {
     assert!(it.next().is_none(), "snapshot too long");
 }
 
+/// Splices unregularized signal stages into a float-trained network and
+/// calibrates one global signal maximum from a batch — the shared setup of
+/// every "w/o" (direct signal quantization) sweep in Tables 2/4 and Fig. 1b.
+///
+/// Stages start disabled; flip the returned [`QuantSwitch`] on and install
+/// a [`calibrated_quantizer`] per bit width.
+pub fn splice_calibrated_stages(net: &mut Sequential, calibration: &Batch) -> (QuantSwitch, f32) {
+    let (switch, _) = insert_signal_stages(
+        net,
+        ActivationRegularizer::new(RegKind::None, 4, 0.0),
+        0.0,
+        ActivationQuantizer::new(4),
+    );
+    let maxima = calibrate_stage_maxima(net, calibration);
+    let global_max = maxima.iter().copied().fold(0.0f32, f32::max).max(1e-6);
+    (switch, global_max)
+}
+
+/// A direct-quantization quantizer whose `2^bits − 1` levels cover
+/// `[0, global_max]` uniformly.
+pub fn calibrated_quantizer(bits: u32, global_max: f32) -> ActivationQuantizer {
+    let levels = ((1u32 << bits) - 1) as f32;
+    ActivationQuantizer::with_scale(bits, levels / global_max)
+}
+
+/// Column headers shared by the paper's recovery tables (Tables 2–4).
+pub const RECOVERY_HEADER: [&str; 5] = ["Bits", "w/o", "w/", "Recovered acc.", "Acc. drop"];
+
+/// Appends one `[Bits, w/o, w/, Recovered acc., Acc. drop]` row in the
+/// shared format of [`RECOVERY_HEADER`].
+pub fn recovery_row(table: &mut Table, bits: u32, without: f32, with: f32, ideal: f32) {
+    table.row(&[
+        format!("{bits}-bit"),
+        pct(without),
+        pct(with),
+        pct(with - without),
+        pct_delta(with, ideal),
+    ]);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +172,23 @@ mod tests {
         assert_eq!(w.train.example_dims(), [1, 28, 28]);
         let w = Workload::standard(ModelKind::Alexnet);
         assert_eq!(w.train.example_dims(), [3, 32, 32]);
+    }
+
+    #[test]
+    fn recovery_row_matches_shared_format() {
+        let mut t = Table::new("demo", &RECOVERY_HEADER);
+        recovery_row(&mut t, 4, 0.90, 0.95, 0.96);
+        assert_eq!(
+            t.rows()[0],
+            vec!["4-bit", "90.00%", "95.00%", "5.00%", "-1.00%"]
+        );
+    }
+
+    #[test]
+    fn calibrated_quantizer_tops_out_at_global_max() {
+        let q = calibrated_quantizer(4, 3.0);
+        // 15 levels spread over [0, 3]: the top code maps back to 3.0.
+        assert!((15.0 / q.scale() - 3.0).abs() < 1e-5);
     }
 
     #[test]

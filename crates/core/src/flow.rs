@@ -5,7 +5,10 @@ use crate::config::{QuantConfig, TrainSettings};
 use qsnc_data::Dataset;
 use qsnc_nn::optim::Sgd;
 use qsnc_nn::train::{evaluate, Batch};
-use qsnc_nn::{Layer, Mode, ModelKind, Sequential, TrainConfig, Trainer};
+use qsnc_nn::{
+    EpochStats, Layer, Mode, ModelKind, Sequential, StderrObserver, TelemetryObserver,
+    TrainConfig, TrainObserver, Trainer,
+};
 use qsnc_quant::{
     insert_signal_stages, quantize_network_weights, ActivationQuantizer, ActivationRegularizer,
     DynamicFixedPoint, QuantSwitch, SignalStage, WeightQuantMethod,
@@ -51,6 +54,39 @@ pub fn train_float(
     (net, acc)
 }
 
+/// The flow-level observer: forwards to [`StderrObserver`] when verbose,
+/// and when telemetry is recording also captures the training series plus
+/// the per-epoch activation-saturation rate of the QAT signal stages
+/// (`quant.qat.saturation_rate` — the quantity Eq. 3 drives down).
+struct FlowObserver {
+    stderr: Option<StderrObserver>,
+}
+
+impl TrainObserver for FlowObserver {
+    fn wants_test_accuracy(&self) -> bool {
+        self.stderr.is_some()
+    }
+
+    fn on_epoch(&mut self, net: &mut Sequential, stats: &EpochStats, lr: f32, test_acc: Option<f32>) {
+        if let Some(stderr) = self.stderr.as_mut() {
+            stderr.on_epoch(net, stats, lr, test_acc);
+        }
+        if qsnc_telemetry::enabled() {
+            TelemetryObserver.on_epoch(net, stats, lr, test_acc);
+            if let Some(rate) = qsnc_quant::network_saturation_rate(net) {
+                qsnc_telemetry::record_series(
+                    "quant.qat.saturation_rate",
+                    stats.epoch as u64,
+                    rate as f64,
+                );
+            }
+        }
+        // Saturation stats are per-epoch: clear them whether or not they
+        // were recorded, so a later epoch never aggregates an earlier one.
+        qsnc_quant::reset_network_saturation(net);
+    }
+}
+
 fn fit(
     net: &mut Sequential,
     settings: &TrainSettings,
@@ -67,7 +103,16 @@ fn fit(
     });
     let train_batches = train_data.batches(settings.batch_size, Some(rng));
     let test_batches = test_data.batches(settings.batch_size, None);
-    trainer.fit(net, &mut opt, &train_batches, &test_batches);
+    let mut obs = FlowObserver {
+        stderr: settings.verbose.then_some(StderrObserver),
+    };
+    let observer: Option<&mut dyn TrainObserver> =
+        if settings.verbose || qsnc_telemetry::enabled() {
+            Some(&mut obs)
+        } else {
+            None
+        };
+    trainer.fit_with_observer(net, &mut opt, &train_batches, &test_batches, observer);
 }
 
 /// Applies `f` to every [`SignalStage`] of the network, in forward order

@@ -40,6 +40,7 @@ mod flow;
 pub mod report;
 
 pub use config::{QuantConfig, TrainSettings};
+pub use report::{telemetry_summary_tables, Report, Table};
 pub use deploy::{deploy_to_snc, hardware_report, snc_accuracy};
 pub use flow::{
     calibrate_stage_maxima, direct_quantize, direct_quantize_signals_only,

@@ -121,11 +121,21 @@ impl TiledMatrix {
         assert_eq!(codes.len(), out_dim * in_dim, "code matrix shape mismatch");
         let row_blocks = ceil_div(in_dim, tile);
         let col_blocks = ceil_div(out_dim, tile);
+        let instrument = qsnc_telemetry::enabled();
         let mut tiles = Vec::with_capacity(row_blocks * col_blocks);
         for rb in 0..row_blocks {
             for cb in 0..col_blocks {
                 let rows = (in_dim - rb * tile).min(tile);
                 let cols = (out_dim - cb * tile).min(tile);
+                if instrument {
+                    // Fraction of the physical t×t crossbar this (possibly
+                    // partial edge) tile actually occupies.
+                    qsnc_telemetry::observe(
+                        "snc.map.tile_utilization",
+                        (rows * cols) as f64 / (tile * tile) as f64,
+                        &[0.25, 0.5, 0.75, 0.9, 1.0],
+                    );
+                }
                 // Crossbar cell (i, j) = weight of output (cb·tile + j)
                 // from input (rb·tile + i): transposed from [out, in].
                 let mut tile_codes = Vec::with_capacity(rows * cols);
@@ -144,6 +154,13 @@ impl TiledMatrix {
                     rng.as_deref_mut(),
                 ));
             }
+        }
+        if instrument {
+            qsnc_telemetry::counter_add("snc.map.crossbars", tiles.len() as u64);
+            qsnc_telemetry::counter_add(
+                "snc.map.devices",
+                tiles.iter().map(Crossbar::device_count).sum::<usize>() as u64,
+            );
         }
         TiledMatrix {
             in_dim,

@@ -325,6 +325,7 @@ impl SynapticStage {
                         os[f * oh * ow + j] = self.requant(z);
                     }
                 }
+                self.record_output_telemetry(out.as_slice());
                 out
             }
             SynKind::Fc { in_dim, out_dim } => {
@@ -342,8 +343,36 @@ impl SynapticStage {
                         self.requant(z)
                     })
                     .collect();
+                self.record_output_telemetry(&data);
                 Tensor::from_vec(data, [1, out_dim])
             }
+        }
+    }
+
+    /// Tallies output spike counts and counter saturation for telemetry.
+    ///
+    /// The IFC emits one spike per output LSB, so the spike count of each
+    /// neuron is its quantized output times the output scale; the counter
+    /// saturated when it reached `2^M − 1`. Tallied locally per stage call
+    /// and flushed as three counter adds, never per element.
+    fn record_output_telemetry(&self, out: &[f32]) {
+        if !qsnc_telemetry::enabled() {
+            return;
+        }
+        if let (true, Some(q)) = (self.rectify, self.out_quant) {
+            let max = q.max_level() as f32;
+            let mut spikes = 0u64;
+            let mut saturated = 0u64;
+            for &v in out {
+                let count = (v * q.scale()).round();
+                spikes += count as u64;
+                if count >= max {
+                    saturated += 1;
+                }
+            }
+            qsnc_telemetry::counter_add("snc.spikes", spikes);
+            qsnc_telemetry::counter_add("snc.ifc.conversions", out.len() as u64);
+            qsnc_telemetry::counter_add("snc.ifc.saturated", saturated);
         }
     }
 
@@ -416,6 +445,7 @@ impl SpikingNetwork {
         config: &DeployConfig,
         rng: Option<&mut TensorRng>,
     ) -> Result<Self, CompileError> {
+        let _span = qsnc_telemetry::span!("snc.compile");
         let mut compiler = Compiler { config, rng };
         let mut current = Some(config.input_quantizer);
         let stages = compiler.compile_stack(net.layers(), &mut current)?;
@@ -430,6 +460,7 @@ impl SpikingNetwork {
     ///
     /// Pass `rng` to enable read noise on every crossbar access.
     pub fn infer(&self, x: &Tensor, rng: Option<&mut TensorRng>) -> Tensor {
+        let _span = qsnc_telemetry::span!("snc.infer");
         let coded = self.input_quant.quantize(x);
         let mut rng = rng;
         run_stages(&self.stages, &coded, &mut rng)

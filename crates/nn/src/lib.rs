@@ -45,4 +45,6 @@ pub use metrics::{top_k_accuracy, ConfusionMatrix};
 pub use models::ModelKind;
 pub use schedule::LrSchedule;
 pub use sequential::Sequential;
-pub use train::{Batch, EpochStats, TrainConfig, Trainer};
+pub use train::{
+    Batch, EpochStats, StderrObserver, TelemetryObserver, TrainConfig, TrainObserver, Trainer,
+};

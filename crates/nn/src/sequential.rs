@@ -97,19 +97,50 @@ impl Sequential {
     }
 
     /// Runs a forward pass through every layer.
+    ///
+    /// When telemetry is recording, each layer's wall-clock time is tracked
+    /// under the span `nn.forward.{index:02}.{name}` and the network output
+    /// contributes to the `nn.forward.elements` / `nn.forward.zeros`
+    /// sparsity counters.
     pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         let mut h = x.clone();
-        for layer in &mut self.layers {
+        let instrument = qsnc_telemetry::enabled();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let _span = if instrument {
+                Some(qsnc_telemetry::start_span(format!(
+                    "nn.forward.{i:02}.{}",
+                    layer.name()
+                )))
+            } else {
+                None
+            };
             h = layer.forward(&h, mode);
+        }
+        if instrument {
+            let zeros = h.iter().filter(|&&v| v == 0.0).count() as u64;
+            qsnc_telemetry::counter_add("nn.forward.elements", h.len() as u64);
+            qsnc_telemetry::counter_add("nn.forward.zeros", zeros);
         }
         h
     }
 
     /// Propagates a loss gradient backwards through every layer,
     /// accumulating parameter gradients.
+    ///
+    /// When telemetry is recording, each layer's wall-clock time is tracked
+    /// under the span `nn.backward.{index:02}.{name}`.
     pub fn backward(&mut self, grad: &Tensor) -> Tensor {
         let mut g = grad.clone();
-        for layer in self.layers.iter_mut().rev() {
+        let instrument = qsnc_telemetry::enabled();
+        for (i, layer) in self.layers.iter_mut().enumerate().rev() {
+            let _span = if instrument {
+                Some(qsnc_telemetry::start_span(format!(
+                    "nn.backward.{i:02}.{}",
+                    layer.name()
+                )))
+            } else {
+                None
+            };
             g = layer.backward(&g);
         }
         g

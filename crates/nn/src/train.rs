@@ -70,6 +70,7 @@ pub fn train_epoch(
     batches: &[Batch],
     epoch: usize,
 ) -> EpochStats {
+    let _span = qsnc_telemetry::span!("train.epoch");
     let mut total_data = 0.0;
     let mut total_reg = 0.0;
     let mut correct = 0usize;
@@ -129,6 +130,82 @@ pub fn evaluate(net: &mut Sequential, batches: &[Batch]) -> f32 {
     correct as f32 / total as f32
 }
 
+/// Per-epoch training callback, invoked by [`Trainer`] after each epoch's
+/// statistics are computed.
+///
+/// Library code never writes to stderr on its own: progress reporting is the
+/// observer's job. [`StderrObserver`] reproduces the classic verbose lines,
+/// [`TelemetryObserver`] records time series into `qsnc-telemetry`, and
+/// callers can implement the trait to do both or neither.
+pub trait TrainObserver {
+    /// Whether [`Trainer::fit_with_observer`] should evaluate the test
+    /// batches after every epoch (an extra inference pass). Defaults to
+    /// `false`.
+    fn wants_test_accuracy(&self) -> bool {
+        false
+    }
+
+    /// Called after each epoch. `net` has finished its optimizer step,
+    /// `lr` is the learning rate the epoch ran with, and `test_acc` is
+    /// `Some` only when test accuracy was evaluated (it is `NaN` when the
+    /// caller supplied no test batches).
+    fn on_epoch(&mut self, net: &mut Sequential, stats: &EpochStats, lr: f32, test_acc: Option<f32>);
+}
+
+/// The default verbose observer: prints one progress line per epoch to
+/// stderr, in the same format the trainer used to emit directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrObserver;
+
+impl TrainObserver for StderrObserver {
+    fn wants_test_accuracy(&self) -> bool {
+        true
+    }
+
+    fn on_epoch(&mut self, _net: &mut Sequential, stats: &EpochStats, lr: f32, test_acc: Option<f32>) {
+        match test_acc {
+            Some(acc) => eprintln!(
+                "epoch {:>3}  loss {:.4} (data {:.4} + reg {:.4})  train acc {:.2}%  test acc {:.2}%",
+                stats.epoch,
+                stats.loss,
+                stats.data_loss,
+                stats.reg_loss,
+                stats.accuracy * 100.0,
+                acc * 100.0
+            ),
+            None => eprintln!(
+                "epoch {:>3}  lr {:.5}  loss {:.4}  train acc {:.2}%",
+                stats.epoch,
+                lr,
+                stats.loss,
+                stats.accuracy * 100.0
+            ),
+        }
+    }
+}
+
+/// Observer recording per-epoch `train.loss` / `train.data_loss` /
+/// `train.reg_loss` / `train.accuracy` / `train.lr` (and, when evaluated,
+/// `train.test_accuracy`) series into [`qsnc_telemetry`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TelemetryObserver;
+
+impl TrainObserver for TelemetryObserver {
+    fn on_epoch(&mut self, _net: &mut Sequential, stats: &EpochStats, lr: f32, test_acc: Option<f32>) {
+        let epoch = stats.epoch as u64;
+        qsnc_telemetry::record_series("train.loss", epoch, stats.loss as f64);
+        qsnc_telemetry::record_series("train.data_loss", epoch, stats.data_loss as f64);
+        qsnc_telemetry::record_series("train.reg_loss", epoch, stats.reg_loss as f64);
+        qsnc_telemetry::record_series("train.accuracy", epoch, stats.accuracy as f64);
+        qsnc_telemetry::record_series("train.lr", epoch, lr as f64);
+        if let Some(acc) = test_acc {
+            if !acc.is_nan() {
+                qsnc_telemetry::record_series("train.test_accuracy", epoch, acc as f64);
+            }
+        }
+    }
+}
+
 /// Configuration for [`Trainer`].
 #[derive(Debug, Clone, Copy)]
 pub struct TrainConfig {
@@ -170,7 +247,7 @@ impl Trainer {
     /// Trains with an explicit [`LrSchedule`](crate::schedule::LrSchedule):
     /// before each epoch the optimizer's rate is set to
     /// `schedule.rate(base_lr, epoch)` (ignores the config's step-decay
-    /// fields).
+    /// fields). `verbose` routes through [`StderrObserver`].
     pub fn fit_scheduled(
         &self,
         net: &mut Sequential,
@@ -180,19 +257,34 @@ impl Trainer {
         train_batches: &[Batch],
         test_batches: &[Batch],
     ) -> Vec<EpochStats> {
+        let mut stderr = StderrObserver;
+        let observer: Option<&mut dyn TrainObserver> =
+            if self.config.verbose { Some(&mut stderr) } else { None };
+        self.fit_scheduled_with_observer(net, opt, base_lr, schedule, train_batches, test_batches, observer)
+    }
+
+    /// [`Trainer::fit_scheduled`] with an explicit per-epoch observer.
+    ///
+    /// As before, the schedule path never evaluates `test_batches`; the
+    /// observer always receives `test_acc = None`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_scheduled_with_observer(
+        &self,
+        net: &mut Sequential,
+        opt: &mut dyn Optimizer,
+        base_lr: f32,
+        schedule: crate::schedule::LrSchedule,
+        train_batches: &[Batch],
+        test_batches: &[Batch],
+        mut observer: Option<&mut dyn TrainObserver>,
+    ) -> Vec<EpochStats> {
+        let _ = test_batches;
         let mut history = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
             opt.set_learning_rate(schedule.rate(base_lr, epoch));
             let stats = train_epoch(net, opt, train_batches, epoch);
-            if self.config.verbose {
-                eprintln!(
-                    "epoch {:>3}  lr {:.5}  loss {:.4}  train acc {:.2}%",
-                    epoch,
-                    opt.learning_rate(),
-                    stats.loss,
-                    stats.accuracy * 100.0
-                );
-                let _ = test_batches;
+            if let Some(obs) = observer.as_deref_mut() {
+                obs.on_epoch(net, &stats, opt.learning_rate(), None);
             }
             history.push(stats);
         }
@@ -200,14 +292,33 @@ impl Trainer {
     }
 
     /// Trains `net` for the configured number of epochs, returning per-epoch
-    /// statistics. If `test_batches` is non-empty, the accuracy on it is
-    /// printed when `verbose` is set.
+    /// statistics. `verbose` routes through [`StderrObserver`], which also
+    /// reports accuracy on `test_batches` when they are non-empty.
     pub fn fit(
         &self,
         net: &mut Sequential,
         opt: &mut dyn Optimizer,
         train_batches: &[Batch],
         test_batches: &[Batch],
+    ) -> Vec<EpochStats> {
+        let mut stderr = StderrObserver;
+        let observer: Option<&mut dyn TrainObserver> =
+            if self.config.verbose { Some(&mut stderr) } else { None };
+        self.fit_with_observer(net, opt, train_batches, test_batches, observer)
+    }
+
+    /// [`Trainer::fit`] with an explicit per-epoch observer.
+    ///
+    /// Test accuracy is evaluated only when the observer asks for it via
+    /// [`TrainObserver::wants_test_accuracy`]; with no test batches the
+    /// observer receives `Some(NaN)`, matching the old verbose output.
+    pub fn fit_with_observer(
+        &self,
+        net: &mut Sequential,
+        opt: &mut dyn Optimizer,
+        train_batches: &[Batch],
+        test_batches: &[Batch],
+        mut observer: Option<&mut dyn TrainObserver>,
     ) -> Vec<EpochStats> {
         let mut history = Vec::with_capacity(self.config.epochs);
         for epoch in 0..self.config.epochs {
@@ -216,21 +327,17 @@ impl Trainer {
                 opt.set_learning_rate(opt.learning_rate() * self.config.lr_decay);
             }
             let stats = train_epoch(net, opt, train_batches, epoch);
-            if self.config.verbose {
-                let test_acc = if test_batches.is_empty() {
-                    f32::NAN
+            if let Some(obs) = observer.as_deref_mut() {
+                let test_acc = if obs.wants_test_accuracy() {
+                    Some(if test_batches.is_empty() {
+                        f32::NAN
+                    } else {
+                        evaluate(net, test_batches)
+                    })
                 } else {
-                    evaluate(net, test_batches)
+                    None
                 };
-                eprintln!(
-                    "epoch {:>3}  loss {:.4} (data {:.4} + reg {:.4})  train acc {:.2}%  test acc {:.2}%",
-                    epoch,
-                    stats.loss,
-                    stats.data_loss,
-                    stats.reg_loss,
-                    stats.accuracy * 100.0,
-                    test_acc * 100.0
-                );
+                obs.on_epoch(net, &stats, opt.learning_rate(), test_acc);
             }
             history.push(stats);
         }

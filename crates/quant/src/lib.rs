@@ -44,7 +44,8 @@ pub use power_of_two::{
     power_of_two_quantize, quantize_network_power_of_two, PowerOfTwoWeights,
 };
 pub use qat::{
-    insert_signal_stages, quantize_network_weights, QuantSwitch, SignalStage, WeightQuantReport,
+    insert_signal_stages, network_saturation_rate, quantize_network_weights,
+    reset_network_saturation, QuantSwitch, SignalStage, WeightQuantReport,
 };
 pub use regularizer::{ActivationRegularizer, RegKind};
 pub use sensitivity::{weight_sensitivity, LayerSensitivity};

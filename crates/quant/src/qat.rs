@@ -63,6 +63,10 @@ pub struct SignalStage {
     cached_input: Option<Tensor>,
     last_reg_loss: f32,
     tap: Option<Tensor>,
+    /// Signals seen since the last [`SignalStage::reset_saturation_stats`].
+    stat_elements: u64,
+    /// Of those, how many sat at or above the range threshold `2^(M−1)`.
+    stat_saturated: u64,
 }
 
 impl SignalStage {
@@ -83,7 +87,27 @@ impl SignalStage {
             cached_input: None,
             last_reg_loss: 0.0,
             tap: None,
+            stat_elements: 0,
+            stat_saturated: 0,
         }
+    }
+
+    /// Fraction of signals at or above `2^(M−1)` since the last
+    /// [`SignalStage::reset_saturation_stats`] — the quantity the Neuron
+    /// Convergence regularizer (Eq. 3) is meant to drive down. Returns
+    /// `None` before any forward pass.
+    pub fn saturation_rate(&self) -> Option<f32> {
+        if self.stat_elements == 0 {
+            None
+        } else {
+            Some(self.stat_saturated as f32 / self.stat_elements as f32)
+        }
+    }
+
+    /// Clears the running saturation statistics (e.g. between epochs).
+    pub fn reset_saturation_stats(&mut self) {
+        self.stat_elements = 0;
+        self.stat_saturated = 0;
     }
 
     /// The stage's quantizer.
@@ -117,6 +141,24 @@ impl Layer for SignalStage {
 
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
         self.last_reg_loss = self.lambda * self.regularizer.tensor_value(x);
+        let theta = self.regularizer.threshold();
+        let mut saturated = 0u64;
+        let mut zeros = 0u64;
+        for &v in x.iter() {
+            if v.abs() >= theta {
+                saturated += 1;
+            }
+            if v == 0.0 {
+                zeros += 1;
+            }
+        }
+        self.stat_elements += x.len() as u64;
+        self.stat_saturated += saturated;
+        if qsnc_telemetry::enabled() {
+            qsnc_telemetry::counter_add("quant.signal.elements", x.len() as u64);
+            qsnc_telemetry::counter_add("quant.signal.saturated", saturated);
+            qsnc_telemetry::counter_add("quant.signal.zeros", zeros);
+        }
         let y = if self.switch.is_enabled() {
             self.quantizer.quantize(x)
         } else {
@@ -202,6 +244,42 @@ pub fn insert_signal_stages(
     let make = move || SignalStage::new(regularizer, lambda, quantizer, sw.clone());
     let count = insert_stages_in_stack(net.layers_mut(), &make);
     (switch, count)
+}
+
+fn visit_stages_mut(stack: &mut Vec<Box<dyn Layer>>, f: &mut dyn FnMut(&mut SignalStage)) {
+    for layer in stack.iter_mut() {
+        if let Some(stage) = layer.as_any_mut().downcast_mut::<SignalStage>() {
+            f(stage);
+        } else {
+            for inner in layer.inner_stacks_mut() {
+                visit_stages_mut(inner, f);
+            }
+        }
+    }
+}
+
+/// Mean activation-saturation rate across every [`SignalStage`] in `net`
+/// (including stages inside residual blocks), weighted by signal count.
+/// Returns `None` if the network has no stages or none has run a forward
+/// pass since the last [`reset_network_saturation`].
+pub fn network_saturation_rate(net: &mut Sequential) -> Option<f32> {
+    let mut elements = 0u64;
+    let mut saturated = 0u64;
+    visit_stages_mut(net.layers_mut(), &mut |stage| {
+        elements += stage.stat_elements;
+        saturated += stage.stat_saturated;
+    });
+    if elements == 0 {
+        None
+    } else {
+        Some(saturated as f32 / elements as f32)
+    }
+}
+
+/// Clears the saturation statistics of every [`SignalStage`] in `net`
+/// (e.g. between epochs, so each epoch's rate is independent).
+pub fn reset_network_saturation(net: &mut Sequential) {
+    visit_stages_mut(net.layers_mut(), &mut |stage| stage.reset_saturation_stats());
 }
 
 /// Per-tensor report from [`quantize_network_weights`].
@@ -372,6 +450,76 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn saturation_rate_tracks_forward_passes() {
+        let (mut s, _) = stage(3, 0.1, false); // θ = 4
+        assert_eq!(s.saturation_rate(), None);
+        s.forward(&Tensor::from_slice(&[0.0, 1.0, 4.0, 9.0]), Mode::Eval);
+        assert!((s.saturation_rate().unwrap() - 0.5).abs() < 1e-6);
+        s.reset_saturation_stats();
+        assert_eq!(s.saturation_rate(), None);
+    }
+
+    #[test]
+    fn neuron_convergence_drives_saturation_down_across_epochs() {
+        // Direct check of the paper's Neuron Convergence claim: with the
+        // Eq. 3 regularizer active, the fraction of signals at or above
+        // 2^(M−1) shrinks as training proceeds.
+        use qsnc_nn::optim::Sgd;
+        use qsnc_nn::train::{train_epoch, Batch};
+
+        let mut rng = TensorRng::seed(7);
+        let mut net = Sequential::new();
+        net.push(Linear::new("fc1", 4, 32, &mut rng));
+        net.push(Relu::new());
+        net.push(Linear::new("fc2", 32, 2, &mut rng));
+        // Inflate the first layer so the ReLU output starts well above θ.
+        for p in net.params() {
+            if p.name == "fc1.weight" {
+                *p.value = p.value.map(|w| w * 12.0);
+            }
+        }
+        let (_, n) = insert_signal_stages(
+            &mut net,
+            ActivationRegularizer::neuron_convergence(3), // θ = 4
+            0.02,
+            ActivationQuantizer::new(3),
+        );
+        assert_eq!(n, 1);
+
+        let batches: Vec<Batch> = (0..8)
+            .map(|_| {
+                let mut images = Vec::new();
+                let mut labels = Vec::new();
+                for _ in 0..16 {
+                    let class = rng.index(2);
+                    let center = if class == 0 { -1.0 } else { 1.0 };
+                    for _ in 0..4 {
+                        images.push(center + rng.normal_with(0.0, 0.3));
+                    }
+                    labels.push(class);
+                }
+                Batch::new(Tensor::from_vec(images, [16, 4]), labels)
+            })
+            .collect();
+
+        let mut opt = Sgd::with_momentum(0.05, 0.9, 0.0);
+        let mut rates = Vec::new();
+        for epoch in 0..6 {
+            reset_network_saturation(&mut net);
+            train_epoch(&mut net, &mut opt, &batches, epoch);
+            rates.push(network_saturation_rate(&mut net).unwrap());
+        }
+        assert!(
+            rates[0] > 0.05,
+            "test net never saturated, nothing to drive down: {rates:?}"
+        );
+        assert!(
+            rates.last().unwrap() < rates.first().unwrap(),
+            "saturation did not decrease: {rates:?}"
+        );
     }
 
     #[test]

@@ -106,19 +106,22 @@ pub fn direct_fixed_point(w: &Tensor, bits: u32) -> QuantizedWeights {
 /// Panics if `bits` is outside `1..=16`.
 pub fn cluster_weights(w: &Tensor, bits: u32) -> QuantizedWeights {
     assert!((1..=16).contains(&bits), "bit width must be in 1..=16");
+    let _span = qsnc_telemetry::span!("quant.cluster");
     let bound = level_bound(bits);
     let ws = w.as_slice();
     let max_abs = w.abs_max();
     if max_abs == 0.0 {
         let codes = vec![0i32; w.len()];
-        return build(w, codes, (2.0f32).powi(-(bits as i32)));
+        return finish(build(w, codes, (2.0f32).powi(-(bits as i32))), 0);
     }
     // Initial pitch: span the weight range exactly.
     let mut scale = max_abs / bound as f32;
     let mut codes = assign(ws, scale, bound);
     let mut best = build(w, codes.clone(), scale);
+    let mut iterations = 0u64;
 
     for _ in 0..50 {
+        iterations += 1;
         // Scale update (least squares with fixed assignment).
         let num: f32 = ws.iter().zip(codes.iter()).map(|(&x, &d)| x * d as f32).sum();
         let den: f32 = codes.iter().map(|&d| (d as f32) * (d as f32)).sum();
@@ -141,7 +144,22 @@ pub fn cluster_weights(w: &Tensor, bits: u32) -> QuantizedWeights {
             break;
         }
     }
-    best
+    finish(best, iterations)
+}
+
+/// Records the clustering residual (`‖D·s − W‖²` per weight) and iteration
+/// count before handing the result back.
+fn finish(q: QuantizedWeights, iterations: u64) -> QuantizedWeights {
+    if qsnc_telemetry::enabled() {
+        qsnc_telemetry::counter_add("quant.cluster.calls", 1);
+        qsnc_telemetry::counter_add("quant.cluster.iterations", iterations);
+        qsnc_telemetry::observe(
+            "quant.cluster.residual",
+            q.mse as f64,
+            &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1],
+        );
+    }
+    q
 }
 
 /// Quantizes with the chosen method.

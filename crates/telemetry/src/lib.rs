@@ -1,0 +1,836 @@
+//! # qsnc-telemetry
+//!
+//! Process-global, env-gated observability for the qsnc pipelines:
+//! hierarchical wall-clock **spans**, atomic **counters**, fixed-bucket
+//! **histograms**, and per-step **series**, exported as JSON or rendered by
+//! `qsnc_core::report`.
+//!
+//! ## Gating
+//!
+//! Telemetry is controlled by the `QSNC_TELEMETRY` environment variable,
+//! read once per process (or overridden programmatically with
+//! [`set_mode`]):
+//!
+//! - unset / `0` / `off` — **disabled**. Every instrumentation point costs
+//!   a single relaxed atomic load; nothing is recorded or allocated.
+//! - `1` / `on` — record in memory; callers may render an ASCII summary.
+//! - `json` — record, and programs that finish a run should emit
+//!   [`export_json`] (the bench binaries and examples do).
+//!
+//! ## Recording
+//!
+//! ```
+//! let _guard = qsnc_telemetry::testing::lock();
+//! qsnc_telemetry::set_mode(qsnc_telemetry::TelemetryMode::Record);
+//! {
+//!     let _span = qsnc_telemetry::span!("train.epoch");
+//!     qsnc_telemetry::counter_add("train.batches", 1);
+//!     qsnc_telemetry::observe("quant.cluster.residual", 0.003, &[0.001, 0.01, 0.1]);
+//!     qsnc_telemetry::record_series("train.loss", 0, 2.31);
+//! }
+//! let snap = qsnc_telemetry::snapshot();
+//! assert_eq!(snap.counter("train.batches"), Some(1));
+//! qsnc_telemetry::reset();
+//! qsnc_telemetry::set_mode(qsnc_telemetry::TelemetryMode::Off);
+//! ```
+//!
+//! Span names nest: a span started while another is active on the same
+//! thread records under the joined path (`"train.epoch/nn.forward.00"`),
+//! which is how per-layer timings appear inside their epoch. Counters and
+//! histograms are flat, named by a dotted taxonomy documented in
+//! README.md § Observability — the names are a public contract.
+//!
+//! All mutation is lock-free on the hot increment paths (atomics), so the
+//! scoped worker threads of `qsnc_tensor::parallel` can record
+//! concurrently; name → instrument resolution takes a short-lived lock.
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+use json::Json;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Telemetry operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TelemetryMode {
+    /// Disabled: instrumentation points are a single relaxed atomic load.
+    Off,
+    /// Record spans/counters/histograms/series in memory.
+    Record,
+    /// Record, and signal to binaries that they should emit JSON on exit.
+    Json,
+}
+
+const MODE_UNINIT: u8 = 0;
+const MODE_OFF: u8 = 1;
+const MODE_RECORD: u8 = 2;
+const MODE_JSON: u8 = 3;
+
+/// Current mode; `MODE_UNINIT` until first query resolves `QSNC_TELEMETRY`.
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+
+fn init_mode_from_env() -> u8 {
+    let v = match std::env::var("QSNC_TELEMETRY") {
+        Ok(v) => v.trim().to_ascii_lowercase(),
+        Err(_) => String::new(),
+    };
+    let code = match v.as_str() {
+        "1" | "on" | "true" => MODE_RECORD,
+        "json" => MODE_JSON,
+        _ => MODE_OFF,
+    };
+    // A concurrent set_mode wins over the env default.
+    match MODE.compare_exchange(MODE_UNINIT, code, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => code,
+        Err(current) => current,
+    }
+}
+
+/// Returns the process-wide telemetry mode.
+pub fn mode() -> TelemetryMode {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_RECORD => TelemetryMode::Record,
+        MODE_JSON => TelemetryMode::Json,
+        MODE_OFF => TelemetryMode::Off,
+        _ => match init_mode_from_env() {
+            MODE_RECORD => TelemetryMode::Record,
+            MODE_JSON => TelemetryMode::Json,
+            _ => TelemetryMode::Off,
+        },
+    }
+}
+
+/// Whether telemetry is recording. This is the hot-path guard: after the
+/// first call it is one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_OFF => false,
+        MODE_RECORD | MODE_JSON => true,
+        _ => mode() != TelemetryMode::Off,
+    }
+}
+
+/// Overrides the mode (tests, or programs enabling telemetry explicitly).
+pub fn set_mode(m: TelemetryMode) {
+    let code = match m {
+        TelemetryMode::Off => MODE_OFF,
+        TelemetryMode::Record => MODE_RECORD,
+        TelemetryMode::Json => MODE_JSON,
+    };
+    MODE.store(code, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// Aggregate timing for one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// A fixed-bucket histogram with explicit underflow/overflow buckets.
+///
+/// For sorted edges `e₀ < e₁ < … < eₙ₋₁` there are `n + 1` buckets:
+/// bucket 0 counts `v < e₀`, bucket `i` counts `eᵢ₋₁ ≤ v < eᵢ`, and the
+/// last bucket counts `v ≥ eₙ₋₁`.
+#[derive(Debug)]
+struct Histogram {
+    edges: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum of observed values, stored as `f64` bits (CAS loop).
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    fn new(edges: &[f64]) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one bucket edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing"
+        );
+        Histogram {
+            edges: edges.to_vec(),
+            buckets: (0..=edges.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    fn observe(&self, value: f64) {
+        let idx = self.edges.partition_point(|&e| e <= value);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+    spans: Mutex<HashMap<String, SpanStat>>,
+    series: Mutex<HashMap<String, Vec<(u64, f64)>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+thread_local! {
+    /// Active span names on this thread, innermost last.
+    static SPAN_STACK: std::cell::RefCell<Vec<String>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// An RAII guard recording wall-clock time from creation to drop under the
+/// hierarchical path active at creation. Created by [`start_span`] or the
+/// [`span!`] macro.
+#[derive(Debug)]
+pub struct SpanGuard {
+    /// `None` when telemetry was disabled at creation: drop is a no-op.
+    started: Option<Instant>,
+    path: String,
+}
+
+impl SpanGuard {
+    /// The full hierarchical path this guard records under.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(started) = self.started else { return };
+        let elapsed_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        SPAN_STACK.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+        let mut spans = registry().spans.lock().unwrap();
+        let stat = spans.entry(std::mem::take(&mut self.path)).or_default();
+        stat.count += 1;
+        stat.total_ns += elapsed_ns;
+        stat.max_ns = stat.max_ns.max(elapsed_ns);
+        stat.min_ns = if stat.count == 1 {
+            elapsed_ns
+        } else {
+            stat.min_ns.min(elapsed_ns)
+        };
+    }
+}
+
+/// Starts a span named `name`, nested under any span already active on this
+/// thread. Returns an inert guard when telemetry is disabled; prefer the
+/// [`span!`] macro, which also skips the name allocation in that case.
+pub fn start_span(name: impl Into<String>) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            started: None,
+            path: String::new(),
+        };
+    }
+    let name = name.into();
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = if stack.is_empty() {
+            name.clone()
+        } else {
+            format!("{}/{}", stack.join("/"), name)
+        };
+        stack.push(name);
+        path
+    });
+    SpanGuard {
+        started: Some(Instant::now()),
+        path,
+    }
+}
+
+/// Starts a span with a `format!`-style name, paying for the formatting and
+/// the guard only when telemetry is enabled.
+///
+/// Evaluates to `Option<SpanGuard>`; bind it (`let _span = span!(…)`) so it
+/// lives to the end of the scope.
+#[macro_export]
+macro_rules! span {
+    ($($arg:tt)*) => {
+        if $crate::enabled() {
+            Some($crate::start_span(format!($($arg)*)))
+        } else {
+            None
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Counters / histograms / series
+// ---------------------------------------------------------------------------
+
+/// Adds `n` to the named counter. No-op when telemetry is disabled.
+#[inline]
+pub fn counter_add(name: &str, n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    let reg = registry();
+    if let Some(c) = reg.counters.read().unwrap().get(name) {
+        c.fetch_add(n, Ordering::Relaxed);
+        return;
+    }
+    let mut counters = reg.counters.write().unwrap();
+    counters
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+        .fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records `value` into the named fixed-bucket histogram. The first call
+/// for a name fixes its bucket edges; later calls ignore `edges`. No-op
+/// when telemetry is disabled.
+///
+/// # Panics
+///
+/// Panics if a first call passes empty or unsorted `edges`.
+pub fn observe(name: &str, value: f64, edges: &[f64]) {
+    if !enabled() {
+        return;
+    }
+    let reg = registry();
+    if let Some(h) = reg.histograms.read().unwrap().get(name) {
+        h.observe(value);
+        return;
+    }
+    let mut histograms = reg.histograms.write().unwrap();
+    histograms
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(Histogram::new(edges)))
+        .observe(value);
+}
+
+/// Appends `(step, value)` to the named time series (e.g. per-epoch loss).
+/// No-op when telemetry is disabled.
+pub fn record_series(name: &str, step: u64, value: f64) {
+    if !enabled() {
+        return;
+    }
+    registry()
+        .series
+        .lock()
+        .unwrap()
+        .entry(name.to_string())
+        .or_default()
+        .push((step, value));
+}
+
+/// Clears all recorded telemetry (spans, counters, histograms, series).
+/// The mode is unchanged.
+pub fn reset() {
+    let reg = registry();
+    reg.counters.write().unwrap().clear();
+    reg.histograms.write().unwrap().clear();
+    reg.spans.lock().unwrap().clear();
+    reg.series.lock().unwrap().clear();
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + export
+// ---------------------------------------------------------------------------
+
+/// Aggregate timing of one span path in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanSnapshot {
+    /// Hierarchical path, segments joined by `/`.
+    pub path: String,
+    /// Number of completed spans under this path.
+    pub count: u64,
+    /// Total wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Fastest single span.
+    pub min_ns: u64,
+    /// Slowest single span.
+    pub max_ns: u64,
+}
+
+/// One histogram in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Histogram name.
+    pub name: String,
+    /// Bucket edges (strictly increasing).
+    pub edges: Vec<f64>,
+    /// Bucket counts, `edges.len() + 1` entries: `[underflow, …, overflow]`.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+/// A point-in-time copy of everything recorded, sorted by name for
+/// deterministic output.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Span aggregates.
+    pub spans: Vec<SpanSnapshot>,
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// Time series, each a list of `(step, value)`.
+    pub series: Vec<(String, Vec<(u64, f64)>)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a span aggregate by exact path.
+    pub fn span(&self, path: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Looks up a series by name.
+    pub fn series(&self, name: &str) -> Option<&[(u64, f64)]> {
+        self.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, points)| points.as_slice())
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.series.is_empty()
+    }
+
+    /// Converts to the JSON export shape (see [`export_json`]).
+    pub fn to_json(&self) -> Json {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                Json::obj(vec![
+                    ("path", Json::Str(s.path.clone())),
+                    ("count", Json::Num(s.count as f64)),
+                    ("total_ns", Json::Num(s.total_ns as f64)),
+                    ("mean_ns", Json::Num(s.total_ns as f64 / s.count.max(1) as f64)),
+                    ("min_ns", Json::Num(s.min_ns as f64)),
+                    ("max_ns", Json::Num(s.max_ns as f64)),
+                ])
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, value)| {
+                Json::obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    ("value", Json::Num(*value as f64)),
+                ])
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                Json::obj(vec![
+                    ("name", Json::Str(h.name.clone())),
+                    ("edges", Json::Arr(h.edges.iter().map(|&e| Json::Num(e)).collect())),
+                    (
+                        "buckets",
+                        Json::Arr(h.buckets.iter().map(|&b| Json::Num(b as f64)).collect()),
+                    ),
+                    ("count", Json::Num(h.count as f64)),
+                    ("sum", Json::Num(h.sum)),
+                ])
+            })
+            .collect();
+        let series = self
+            .series
+            .iter()
+            .map(|(name, points)| {
+                Json::obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    (
+                        "steps",
+                        Json::Arr(points.iter().map(|&(s, _)| Json::Num(s as f64)).collect()),
+                    ),
+                    (
+                        "values",
+                        Json::Arr(points.iter().map(|&(_, v)| Json::Num(v)).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("source", Json::Str("qsnc-telemetry".into())),
+            ("version", Json::Num(1.0)),
+            ("spans", Json::Arr(spans)),
+            ("counters", Json::Arr(counters)),
+            ("histograms", Json::Arr(histograms)),
+            ("series", Json::Arr(series)),
+        ])
+    }
+
+    /// Parses a snapshot back from its JSON export (inverse of
+    /// [`Snapshot::to_json`], up to f64 rounding of counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error string for malformed JSON or a missing field.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let root = Json::parse(text).map_err(|e| e.to_string())?;
+        let arr = |key: &str| -> Result<Vec<Json>, String> {
+            Ok(root
+                .get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("missing array field `{key}`"))?
+                .to_vec())
+        };
+        let str_field = |v: &Json, key: &str| -> Result<String, String> {
+            Ok(v.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("missing string field `{key}`"))?
+                .to_string())
+        };
+        let num_field = |v: &Json, key: &str| -> Result<f64, String> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing number field `{key}`"))
+        };
+        let num_list = |v: &Json, key: &str| -> Result<Vec<f64>, String> {
+            v.get(key)
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("missing array field `{key}`"))?
+                .iter()
+                .map(|x| x.as_f64().ok_or_else(|| format!("non-number in `{key}`")))
+                .collect()
+        };
+
+        let mut snap = Snapshot::default();
+        for s in arr("spans")? {
+            snap.spans.push(SpanSnapshot {
+                path: str_field(&s, "path")?,
+                count: num_field(&s, "count")? as u64,
+                total_ns: num_field(&s, "total_ns")? as u64,
+                min_ns: num_field(&s, "min_ns")? as u64,
+                max_ns: num_field(&s, "max_ns")? as u64,
+            });
+        }
+        for c in arr("counters")? {
+            snap.counters
+                .push((str_field(&c, "name")?, num_field(&c, "value")? as u64));
+        }
+        for h in arr("histograms")? {
+            snap.histograms.push(HistogramSnapshot {
+                name: str_field(&h, "name")?,
+                edges: num_list(&h, "edges")?,
+                buckets: num_list(&h, "buckets")?.into_iter().map(|b| b as u64).collect(),
+                count: num_field(&h, "count")? as u64,
+                sum: num_field(&h, "sum")?,
+            });
+        }
+        for s in arr("series")? {
+            let steps = num_list(&s, "steps")?;
+            let values = num_list(&s, "values")?;
+            if steps.len() != values.len() {
+                return Err("series steps/values length mismatch".into());
+            }
+            snap.series.push((
+                str_field(&s, "name")?,
+                steps
+                    .into_iter()
+                    .map(|x| x as u64)
+                    .zip(values)
+                    .collect(),
+            ));
+        }
+        Ok(snap)
+    }
+}
+
+/// Copies out everything recorded so far, sorted by name/path.
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    let mut spans: Vec<SpanSnapshot> = reg
+        .spans
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(path, s)| SpanSnapshot {
+            path: path.clone(),
+            count: s.count,
+            total_ns: s.total_ns,
+            min_ns: s.min_ns,
+            max_ns: s.max_ns,
+        })
+        .collect();
+    spans.sort_by(|a, b| a.path.cmp(&b.path));
+    let mut counters: Vec<(String, u64)> = reg
+        .counters
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+        .collect();
+    counters.sort();
+    let mut histograms: Vec<HistogramSnapshot> = reg
+        .histograms
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(name, h)| HistogramSnapshot {
+            name: name.clone(),
+            edges: h.edges.clone(),
+            buckets: h.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: h.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+        })
+        .collect();
+    histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut series: Vec<(String, Vec<(u64, f64)>)> = reg
+        .series
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, points)| (name.clone(), points.clone()))
+        .collect();
+    series.sort_by(|a, b| a.0.cmp(&b.0));
+    Snapshot {
+        spans,
+        counters,
+        histograms,
+        series,
+    }
+}
+
+/// Renders the current snapshot as a pretty-printed JSON document in the
+/// BENCH_*.json house shape (`source`/`version` header plus `spans`,
+/// `counters`, `histograms`, `series` sections).
+pub fn export_json() -> String {
+    snapshot().to_json().render_pretty(2)
+}
+
+/// Test support: serializing access to the process-global registry/mode.
+pub mod testing {
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    /// Serializes tests that toggle [`super::set_mode`] or call
+    /// [`super::reset`] within one test binary. Lock, set the mode, run,
+    /// reset, restore `Off` — see the crate-level example.
+    pub fn lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(Mutex::default)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_recording<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = testing::lock();
+        set_mode(TelemetryMode::Record);
+        reset();
+        let out = f();
+        reset();
+        set_mode(TelemetryMode::Off);
+        out
+    }
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let _guard = testing::lock();
+        set_mode(TelemetryMode::Off);
+        reset();
+        {
+            let _span = span!("ghost.{}", 1);
+            counter_add("ghost.counter", 5);
+            observe("ghost.hist", 1.0, &[0.5]);
+            record_series("ghost.series", 0, 1.0);
+        }
+        let snap = snapshot();
+        assert!(snap.is_empty(), "{snap:?}");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        with_recording(|| {
+            counter_add("a", 2);
+            counter_add("a", 3);
+            counter_add("b", 1);
+            counter_add("zero", 0); // no-op, not even registered
+            let snap = snapshot();
+            assert_eq!(snap.counter("a"), Some(5));
+            assert_eq!(snap.counter("b"), Some(1));
+            assert_eq!(snap.counter("zero"), None);
+        });
+    }
+
+    #[test]
+    fn spans_nest_into_paths() {
+        with_recording(|| {
+            {
+                let outer = start_span("outer");
+                assert_eq!(outer.path(), "outer");
+                let inner = start_span("inner");
+                assert_eq!(inner.path(), "outer/inner");
+            }
+            {
+                let _again = start_span("outer");
+            }
+            let snap = snapshot();
+            let outer = snap.span("outer").unwrap();
+            assert_eq!(outer.count, 2);
+            assert!(outer.min_ns <= outer.max_ns);
+            assert!(outer.total_ns >= outer.max_ns);
+            assert_eq!(snap.span("outer/inner").unwrap().count, 1);
+            // The stack unwound: a fresh span is top-level again.
+            let fresh = start_span("fresh");
+            assert_eq!(fresh.path(), "fresh");
+        });
+    }
+
+    #[test]
+    fn histogram_buckets_cover_underflow_and_overflow() {
+        with_recording(|| {
+            let edges = [0.0, 1.0, 2.0];
+            observe("h", -5.0, &edges); // underflow: v < 0.0
+            observe("h", 0.0, &edges); // [0, 1)
+            observe("h", 0.99, &edges); // [0, 1)
+            observe("h", 1.0, &edges); // [1, 2)
+            observe("h", 2.0, &edges); // overflow: v >= 2.0
+            observe("h", 100.0, &edges); // overflow
+            let h = snapshot().histogram("h").unwrap().clone();
+            assert_eq!(h.buckets, vec![1, 2, 1, 2]);
+            assert_eq!(h.count, 6);
+            assert!((h.sum - 99.0 + 0.01).abs() < 1e-9, "sum {}", h.sum);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn histogram_rejects_unsorted_edges() {
+        let _h = Histogram::new(&[1.0, 1.0]);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_exact() {
+        with_recording(|| {
+            const THREADS: usize = 4;
+            const PER_THREAD: u64 = 10_000;
+            std::thread::scope(|s| {
+                for _ in 0..THREADS {
+                    s.spawn(|| {
+                        for _ in 0..PER_THREAD {
+                            counter_add("conc", 1);
+                            observe("conc.h", 1.5, &[1.0, 2.0]);
+                        }
+                    });
+                }
+            });
+            let snap = snapshot();
+            assert_eq!(snap.counter("conc"), Some(THREADS as u64 * PER_THREAD));
+            let h = snap.histogram("conc.h").unwrap();
+            assert_eq!(h.count, THREADS as u64 * PER_THREAD);
+            assert_eq!(h.buckets[1], THREADS as u64 * PER_THREAD);
+            assert!((h.sum - 1.5 * (THREADS as u64 * PER_THREAD) as f64).abs() < 1e-6);
+        });
+    }
+
+    #[test]
+    fn series_preserve_order() {
+        with_recording(|| {
+            record_series("loss", 0, 2.0);
+            record_series("loss", 1, 1.5);
+            record_series("loss", 2, 1.1);
+            let snap = snapshot();
+            assert_eq!(snap.series("loss").unwrap(), &[(0, 2.0), (1, 1.5), (2, 1.1)]);
+        });
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        with_recording(|| {
+            counter_add("c.one", 7);
+            observe("h.one", 0.5, &[0.0, 1.0]);
+            record_series("s.one", 3, 0.25);
+            {
+                let _sp = start_span("root");
+                let _in = start_span("leaf");
+            }
+            let snap = snapshot();
+            let text = snap.to_json().render_pretty(2);
+            let back = Snapshot::from_json(&text).expect("parse own export");
+            assert_eq!(back, snap);
+            // Export contains the contractual top-level keys.
+            let root = Json::parse(&text).unwrap();
+            for key in ["source", "version", "spans", "counters", "histograms", "series"] {
+                assert!(root.get(key).is_some(), "missing {key}");
+            }
+        });
+    }
+
+    #[test]
+    fn span_macro_skips_formatting_when_off() {
+        let _guard = testing::lock();
+        set_mode(TelemetryMode::Off);
+        let guard = span!("never.{}", 1);
+        assert!(guard.is_none());
+    }
+
+    #[test]
+    fn env_values_parse() {
+        // Exercised via set_mode since MODE is already initialized here.
+        for (m, on) in [
+            (TelemetryMode::Off, false),
+            (TelemetryMode::Record, true),
+            (TelemetryMode::Json, true),
+        ] {
+            let _guard = testing::lock();
+            set_mode(m);
+            assert_eq!(enabled(), on);
+            assert_eq!(mode(), m);
+            set_mode(TelemetryMode::Off);
+        }
+    }
+}

@@ -97,7 +97,7 @@ fn mostly_zero(a: &[f32]) -> bool {
 /// per band — so the choice (and therefore the result) cannot depend on the
 /// thread count.
 fn resolve_kernel(a: &[f32]) -> GemmKernel {
-    match gemm_kernel() {
+    let kernel = match gemm_kernel() {
         GemmKernel::Auto => {
             if mostly_zero(a) {
                 GemmKernel::SkipZeros
@@ -106,7 +106,17 @@ fn resolve_kernel(a: &[f32]) -> GemmKernel {
             }
         }
         k => k,
+    };
+    if qsnc_telemetry::enabled() {
+        qsnc_telemetry::counter_add("tensor.gemm.calls", 1);
+        let name = match kernel {
+            GemmKernel::Dense => "tensor.gemm.kernel.dense",
+            GemmKernel::SkipZeros => "tensor.gemm.kernel.skip_zeros",
+            GemmKernel::Auto => unreachable!("Auto resolves to a concrete kernel"),
+        };
+        qsnc_telemetry::counter_add(name, 1);
     }
+    kernel
 }
 
 /// Blocked GEMM over one row band: `c[mb×n] += a[mb×k] · b[k×n]`.

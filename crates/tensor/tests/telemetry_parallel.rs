@@ -1,0 +1,62 @@
+//! Telemetry counters must stay exact when increments arrive from the
+//! scoped worker threads of `qsnc_tensor::parallel` — the same threads the
+//! instrumented gemm/forward paths run on under `QSNC_THREADS > 1`.
+
+use qsnc_telemetry::{testing, TelemetryMode};
+use qsnc_tensor::parallel::{par_map_shards, with_num_threads};
+
+#[test]
+fn counters_are_exact_across_parallel_shards() {
+    let _guard = testing::lock();
+    qsnc_telemetry::set_mode(TelemetryMode::Record);
+    qsnc_telemetry::reset();
+
+    let items: Vec<u64> = (0..1000).collect();
+    let expected_sum: u64 = items.iter().sum();
+    let shard_lens = with_num_threads(4, || {
+        par_map_shards(&items, |_, shard| {
+            // Per-item increments from worker threads: the worst case for
+            // a lossy counter implementation.
+            let mut local = 0u64;
+            for &v in shard {
+                qsnc_telemetry::counter_add("test.parallel.items", 1);
+                local += v;
+            }
+            // Flushed-local pattern the instrumentation itself uses.
+            qsnc_telemetry::counter_add("test.parallel.sum", local);
+            shard.len()
+        })
+    });
+    let snap = qsnc_telemetry::snapshot();
+    qsnc_telemetry::reset();
+    qsnc_telemetry::set_mode(TelemetryMode::Off);
+
+    assert_eq!(shard_lens.iter().sum::<usize>(), items.len());
+    assert_eq!(snap.counter("test.parallel.items"), Some(items.len() as u64));
+    assert_eq!(snap.counter("test.parallel.sum"), Some(expected_sum));
+}
+
+#[test]
+fn gemm_kernel_counters_survive_threaded_gemm() {
+    let _guard = testing::lock();
+    qsnc_telemetry::set_mode(TelemetryMode::Record);
+    qsnc_telemetry::reset();
+
+    let mut rng = qsnc_tensor::TensorRng::seed(7);
+    // Large enough (m·k·n ≥ 32768) that gemm takes its banded parallel path.
+    let (m, k, n) = (64usize, 64usize, 16usize);
+    let a: Vec<f32> = (0..m * k).map(|_| rng.normal()).collect();
+    let b: Vec<f32> = (0..k * n).map(|_| rng.normal()).collect();
+    let calls = 5u64;
+    with_num_threads(4, || {
+        for _ in 0..calls {
+            let mut c = vec![0.0f32; m * n];
+            qsnc_tensor::gemm(m, k, n, &a, &b, &mut c);
+        }
+    });
+    let snap = qsnc_telemetry::snapshot();
+    qsnc_telemetry::reset();
+    qsnc_telemetry::set_mode(TelemetryMode::Off);
+
+    assert_eq!(snap.counter("tensor.gemm.calls"), Some(calls));
+}

@@ -18,6 +18,7 @@
 //! | [`quant`] | Neuron Convergence, Weight Clustering, baselines |
 //! | [`memristor`] | devices, crossbars, Eq. 1 mapping, spiking pipeline, hw model |
 //! | [`core`] | end-to-end train → quantize → deploy flows |
+//! | [`telemetry`] | spans, counters, histograms (`QSNC_TELEMETRY`) |
 //!
 //! # Examples
 //!
@@ -32,4 +33,5 @@ pub use qsnc_data as data;
 pub use qsnc_memristor as memristor;
 pub use qsnc_nn as nn;
 pub use qsnc_quant as quant;
+pub use qsnc_telemetry as telemetry;
 pub use qsnc_tensor as tensor;

@@ -7,7 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qsnc_tensor::{
-    gemm, gemm_serial, matmul, matmul_serial, parallel, set_gemm_kernel, GemmKernel, Tensor,
+    gemm, gemm_serial, igemm, igemm_wx, matmul, matmul_serial, parallel, set_gemm_kernel,
+    GemmKernel, PackedCodes, Tensor,
 };
 use rand::{Rng, SeedableRng};
 
@@ -115,11 +116,62 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Integer fast-path GEMM (packed i8 codes × i32 spike counts) against the
+/// float GEMM on the same conv-shaped product, all pinned to one thread —
+/// the configuration the deployment benchmarks run in. `int_wx` is the
+/// weights-times-columns orientation the inference engine uses (inner loop
+/// streams pixels); `int_rows` is the row-major orientation, kept to show
+/// why the engine does not use it for conv.
+fn bench_igemm_vs_float(c: &mut Criterion) {
+    // LeNet conv-like shape: W[f, c·k·k] × cols[c·k·k, oh·ow].
+    let (out, k, pix) = (16usize, 200usize, 576usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+    let cols: Vec<i32> = (0..k * pix).map(|_| rng.gen_range(0..16)).collect();
+    let codes: Vec<i32> = (0..out * k).map(|_| rng.gen_range(-8..=8)).collect();
+    let packed = PackedCodes::try_pack(&codes, out, k).expect("codes fit i8");
+    let cols_f: Vec<f32> = cols.iter().map(|&v| v as f32).collect();
+    let codes_f: Vec<f32> = codes.iter().map(|&v| v as f32).collect();
+    // Row-major variant consumes the counts as [pix, k] rows.
+    let mut rows = vec![0i32; pix * k];
+    for kk in 0..k {
+        for p in 0..pix {
+            rows[p * k + kk] = cols[kk * pix + p];
+        }
+    }
+    let mut out_i = vec![0i32; out * pix];
+    let mut out_f = vec![0.0f32; out * pix];
+    let mut group = c.benchmark_group("igemm_conv_shape");
+    group.bench_function("int_wx", |bch| {
+        bch.iter(|| {
+            parallel::with_num_threads(1, || {
+                out_i.fill(0);
+                igemm_wx(out, k, pix, &packed, &cols, &mut out_i);
+            })
+        })
+    });
+    group.bench_function("int_rows", |bch| {
+        bch.iter(|| {
+            parallel::with_num_threads(1, || {
+                out_i.fill(0);
+                igemm(pix, k, out, &rows, &packed, &mut out_i);
+            })
+        })
+    });
+    group.bench_function("float_f32", |bch| {
+        bch.iter(|| {
+            out_f.fill(0.0);
+            gemm_serial(out, k, pix, &codes_f, &cols_f, &mut out_f);
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_serial_vs_parallel,
     bench_kernels_dense_input,
     bench_kernels_sparse_input,
-    bench_thread_scaling
+    bench_thread_scaling,
+    bench_igemm_vs_float
 );
 criterion_main!(benches);

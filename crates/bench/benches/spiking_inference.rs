@@ -40,6 +40,30 @@ fn bench_spiking_vs_software(c: &mut Criterion) {
     group.finish();
 }
 
+/// Integer fast-path engine vs the exact float pipeline on the same
+/// compiled network. `int_engine` is the allocation-free `infer_into`
+/// entry point; `float_reference` is the float oracle it is bit-identical
+/// to. Their ratio is the speedup the integer representation buys.
+fn bench_int_engine_vs_float(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(4);
+    let (net, _switch) = quantized_lenet(&mut rng);
+    let config = DeployConfig::paper(4, 4);
+    let snn = SpikingNetwork::compile(&net, &config, None).expect("compile");
+    assert!(snn.has_fast_path(), "4-bit LeNet must compile the integer engine");
+    let x = init::uniform([1, 1, 28, 28], 0.0, 1.0, &mut rng);
+    let mut out = Vec::new();
+
+    let mut group = c.benchmark_group("inference_lenet_4bit");
+    group.sample_size(20);
+    group.bench_function("int_engine", |b| {
+        b.iter(|| snn.infer_into(std::hint::black_box(&x), &mut out))
+    });
+    group.bench_function("float_reference", |b| {
+        b.iter(|| snn.infer_reference(std::hint::black_box(&x)))
+    });
+    group.finish();
+}
+
 fn bench_spiking_with_read_noise(c: &mut Criterion) {
     let mut rng = TensorRng::seed(1);
     let (net, _switch) = quantized_lenet(&mut rng);
@@ -72,6 +96,7 @@ fn bench_compile_time(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_spiking_vs_software,
+    bench_int_engine_vs_float,
     bench_spiking_with_read_noise,
     bench_compile_time
 );

@@ -1,0 +1,392 @@
+//! Integer fast-path inference engine.
+//!
+//! A deployable network is exactly integer-valued: weights are clustered
+//! grid codes (Eq. 6) and inter-layer signals are `M`-bit spike counts.
+//! [`IntEngine`] exploits that — it compiles the pipeline's stages down to
+//! packed `i8` code matrices ([`qsnc_tensor::PackedCodes`]), runs every
+//! synaptic product through the `i32` [`qsnc_tensor::igemm`] kernels, and
+//! replaces the per-call IFC float math with per-neuron integer threshold
+//! tables built once at compile time. All working buffers come from the
+//! [`qsnc_tensor::scratch`] arena, so steady-state inference performs zero
+//! heap allocations (measured by the allocation-count benchmarks).
+//!
+//! **Bit-exactness.** The engine is bit-identical to the float pipeline
+//! with exact synaptic sums ([`crate::SpikingNetwork::infer_reference`]):
+//! every accumulator is an integer bounded below `2^24`, so the float
+//! path's `f32` sums are exact and equal the engine's `i32` sums; the
+//! requant thresholds are found by binary search over the *identical* float
+//! expressions the pipeline evaluates, so each neuron's spike count agrees
+//! on every possible accumulator value; and count → activation round trips
+//! (`round((c/s)·s) == c`) plus the monotone max-pool commute exactly. The
+//! proptests in `tests/engine_bit_identity.rs` assert this across
+//! `M, N ∈ {2..8}` including the IFC saturation boundary.
+//!
+//! The engine is built only when the whole network is expressible in this
+//! integer form — conv/FC/max-pool/flatten stages, ideal (noise-free)
+//! programming, codes that fit `i8`, accumulators under `2^24` — and is
+//! used only for noise-free reads; anything else falls back to the float
+//! substrate simulation.
+
+use crate::pipeline::{Stage, SynKind, SynapticStage};
+use qsnc_quant::ActivationQuantizer;
+use qsnc_tensor::{igemm, igemm_wx, im2col_i32, scratch, PackedCodes, Tensor};
+
+/// Accumulator magnitude bound guaranteeing `f32` exactness of the float
+/// oracle's sums (every partial sum stays an integer below `2^24`).
+const EXACT_F32_BOUND: i64 = 1 << 24;
+
+/// How a synaptic stage's accumulator becomes the stage output.
+enum EngineOut {
+    /// Intermediate stage: IFC + `M`-bit counter, precompiled to ascending
+    /// per-neuron thresholds. `thresholds[f · max_level + (c−1)]` is the
+    /// smallest accumulator for which neuron `f` counts at least `c`
+    /// (`i32::MAX` when unreachable), so the count for accumulator `y` is
+    /// the number of thresholds `≤ y`.
+    Counts {
+        max_level: u32,
+        out_scale: f32,
+        thresholds: Vec<i32>,
+        /// Whether the float path tallies spike telemetry here (it does
+        /// only for rectifying counter stages).
+        record: bool,
+    },
+    /// Final stage: evaluate the float pre-activation per neuron and apply
+    /// the stage's requant, exactly as the float pipeline does.
+    Analog,
+}
+
+/// One synaptic stage in integer form.
+struct EngineSyn {
+    kind: SynKind,
+    packed: PackedCodes,
+    weight_scale: f32,
+    in_scale: f32,
+    bias: Vec<f32>,
+    rectify: bool,
+    out_quant: Option<ActivationQuantizer>,
+    out: EngineOut,
+}
+
+enum EngineStage {
+    Syn(EngineSyn),
+    MaxPool { window: usize, stride: usize },
+    Flatten,
+}
+
+/// Signal geometry threaded through the stages: `[1, c, h, w]` while
+/// spatial, `[1, c]` (with `h = w = 1`) once flattened.
+#[derive(Clone, Copy)]
+pub(crate) struct SignalShape {
+    pub c: usize,
+    pub h: usize,
+    pub w: usize,
+    pub flat: bool,
+}
+
+impl SignalShape {
+    fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Output tensor dims matching what the float pipeline returns.
+    pub(crate) fn dims(&self) -> Vec<usize> {
+        if self.flat {
+            vec![1, self.len()]
+        } else {
+            vec![1, self.c, self.h, self.w]
+        }
+    }
+}
+
+/// The compiled integer engine for one [`crate::SpikingNetwork`].
+pub(crate) struct IntEngine {
+    stages: Vec<EngineStage>,
+    input_quant: ActivationQuantizer,
+}
+
+/// Spike count of `stage` output neuron `f` for exact integer accumulator
+/// `y`, `None` when the stage has no counter. Evaluates the identical float
+/// expressions as `SynapticStage::forward`/`requant`, which is what makes
+/// the precompiled thresholds bit-faithful.
+fn count_for_accum(stage: &SynapticStage, f: usize, y: f32) -> Option<u32> {
+    let z = stage.weight_scale * y / stage.in_quant.scale() + stage.bias[f];
+    match (stage.rectify, stage.out_quant) {
+        (true, Some(q)) => {
+            let ifc = crate::spike::Ifc::new(1.0 / q.scale(), q.max_level());
+            Some(ifc.convert(z.max(0.0)))
+        }
+        (false, Some(q)) => {
+            Some((z * q.scale()).round().clamp(0.0, q.max_level() as f32) as u32)
+        }
+        _ => None,
+    }
+}
+
+/// Precomputes the per-neuron count thresholds for a counter stage: for
+/// every neuron `f` and count `c ∈ 1..=max_level`, the smallest integer
+/// accumulator `y ∈ [−bound, bound]` with `count(y) ≥ c`. The count is
+/// monotone in `y` (positive weight scale, monotone IFC), so binary search
+/// over the exact float expression finds each boundary.
+fn build_thresholds(stage: &SynapticStage, bound: i32, max_level: u32, out_dim: usize) -> Option<Vec<i32>> {
+    let mut thresholds = Vec::with_capacity(out_dim * max_level as usize);
+    for f in 0..out_dim {
+        for c in 1..=max_level {
+            let (mut lo, mut hi) = (-bound, bound + 1);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if count_for_accum(stage, f, mid as f32)? >= c {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            thresholds.push(if lo > bound { i32::MAX } else { lo });
+        }
+    }
+    Some(thresholds)
+}
+
+impl IntEngine {
+    /// Compiles `stages` to the integer representation, or `None` when any
+    /// stage falls outside the exactly-representable subset.
+    pub(crate) fn build(stages: &[Stage], input_quant: ActivationQuantizer) -> Option<IntEngine> {
+        let mut compiled = Vec::with_capacity(stages.len());
+        for (idx, stage) in stages.iter().enumerate() {
+            let last = idx == stages.len() - 1;
+            match stage {
+                Stage::Synaptic(s) => {
+                    let (in_dim, out_dim) = match s.kind {
+                        SynKind::Conv { spec, in_c, out_c } => {
+                            (spec.kernel * spec.kernel * in_c, out_c)
+                        }
+                        SynKind::Fc { in_dim, out_dim } => (in_dim, out_dim),
+                    };
+                    let packed = PackedCodes::try_pack(&s.codes, out_dim, in_dim)?;
+                    let in_max = s.in_quant.max_level();
+                    let bound = packed.max_abs_accum(in_max);
+                    if bound >= EXACT_F32_BOUND {
+                        return None;
+                    }
+                    let out = match (last, s.out_quant) {
+                        // Interior stages must produce integer counts.
+                        (false, Some(q)) => EngineOut::Counts {
+                            max_level: q.max_level(),
+                            out_scale: q.scale(),
+                            thresholds: build_thresholds(s, bound as i32, q.max_level(), out_dim)?,
+                            record: s.rectify,
+                        },
+                        (false, None) => return None,
+                        // The final stage may read out analog.
+                        (true, _) => EngineOut::Analog,
+                    };
+                    compiled.push(EngineStage::Syn(EngineSyn {
+                        kind: s.kind,
+                        packed,
+                        weight_scale: s.weight_scale,
+                        in_scale: s.in_quant.scale(),
+                        bias: s.bias.clone(),
+                        rectify: s.rectify,
+                        out_quant: s.out_quant,
+                        out,
+                    }));
+                }
+                Stage::MaxPool { window, stride } => {
+                    compiled.push(EngineStage::MaxPool { window: *window, stride: *stride });
+                }
+                Stage::Flatten => compiled.push(EngineStage::Flatten),
+                // Avg-pool, standalone requant and residual paths leave the
+                // integer-count domain; fall back to the float substrate.
+                _ => return None,
+            }
+        }
+        Some(IntEngine { stages: compiled, input_quant })
+    }
+
+    /// Runs integer inference on `[1, …]` input `x`, writing the float
+    /// output signal (channel-major, same layout as the float pipeline's
+    /// flattened output tensor) into `out` and returning its shape.
+    ///
+    /// `out` is cleared and resized; with a warm reused `out` and a warm
+    /// scratch arena the call performs zero heap allocations.
+    pub(crate) fn infer_into(&self, x: &Tensor, out: &mut Vec<f32>) -> SignalShape {
+        if qsnc_telemetry::enabled() {
+            qsnc_telemetry::counter_add("snc.engine.infer", 1);
+        }
+        let dims = x.dims();
+        let mut shape = if dims.len() == 4 {
+            SignalShape { c: dims[1], h: dims[2], w: dims[3], flat: false }
+        } else {
+            SignalShape { c: dims[1..].iter().product(), h: 1, w: 1, flat: true }
+        };
+
+        // Rate-code the input: same integer levels the float path's input
+        // quantization produces.
+        let mut cur = scratch::take_i32(shape.len());
+        for (count, &v) in cur.iter_mut().zip(x.as_slice()) {
+            *count = self.input_quant.spike_count(v) as i32;
+        }
+
+        for stage in &self.stages {
+            match stage {
+                EngineStage::Syn(syn) => {
+                    let next = self.run_synaptic(syn, &cur, &mut shape, out);
+                    scratch::put_i32(cur);
+                    match next {
+                        Some(counts) => cur = counts,
+                        // Analog readout wrote `out` directly; it is
+                        // always the final stage.
+                        None => return shape,
+                    }
+                }
+                EngineStage::MaxPool { window, stride } => {
+                    let spec = qsnc_tensor::Conv2dSpec::new(*window, *stride, 0);
+                    let (oh, ow) = (spec.output_size(shape.h), spec.output_size(shape.w));
+                    let mut next = scratch::take_i32(shape.c * oh * ow);
+                    for ch in 0..shape.c {
+                        let src = &cur[ch * shape.h * shape.w..(ch + 1) * shape.h * shape.w];
+                        let dst = &mut next[ch * oh * ow..(ch + 1) * oh * ow];
+                        for oy in 0..oh {
+                            for ox in 0..ow {
+                                let mut best = i32::MIN;
+                                for ky in 0..*window {
+                                    let row = &src[(oy * stride + ky) * shape.w..];
+                                    for kx in 0..*window {
+                                        best = best.max(row[ox * stride + kx]);
+                                    }
+                                }
+                                dst[oy * ow + ox] = best;
+                            }
+                        }
+                    }
+                    scratch::put_i32(cur);
+                    cur = next;
+                    shape.h = oh;
+                    shape.w = ow;
+                }
+                EngineStage::Flatten => {
+                    shape = SignalShape { c: shape.len(), h: 1, w: 1, flat: true };
+                }
+            }
+        }
+
+        // The network ended on an integer-count signal: decode counts to
+        // activations with the last counter's scale, exactly as the float
+        // pipeline's running tensor holds them.
+        let out_scale = self
+            .stages
+            .iter()
+            .rev()
+            .find_map(|s| match s {
+                EngineStage::Syn(EngineSyn { out: EngineOut::Counts { out_scale, .. }, .. }) => {
+                    Some(*out_scale)
+                }
+                _ => None,
+            })
+            .unwrap_or_else(|| self.input_quant.scale());
+        out.clear();
+        out.extend(cur.iter().map(|&c| c as f32 / out_scale));
+        scratch::put_i32(cur);
+        shape
+    }
+
+    /// Runs one synaptic stage. Returns the output counts for interior
+    /// stages, or `None` after writing the analog readout into `out`.
+    fn run_synaptic(
+        &self,
+        syn: &EngineSyn,
+        cur: &[i32],
+        shape: &mut SignalShape,
+        out: &mut Vec<f32>,
+    ) -> Option<Vec<i32>> {
+        // Multiply into a channel-major `[out_dim, pix]` accumulator
+        // (pix = 1 for FC, where the layouts coincide). Conv runs in the
+        // weights-times-columns orientation so the inner loop streams whole
+        // pixel rows and the zero-skip fires on sparse clustered weights.
+        let (pix, out_dim, acc) = match syn.kind {
+            SynKind::Conv { spec, in_c, out_c } => {
+                debug_assert_eq!(shape.c, in_c, "conv input channel mismatch");
+                let (oh, ow) = (spec.output_size(shape.h), spec.output_size(shape.w));
+                let pix = oh * ow;
+                let ckk = in_c * spec.kernel * spec.kernel;
+                let mut cols = scratch::take_i32(ckk * pix);
+                im2col_i32(cur, in_c, (shape.h, shape.w), spec, &mut cols);
+                let mut acc = scratch::take_i32(out_c * pix);
+                igemm_wx(out_c, ckk, pix, &syn.packed, &cols, &mut acc);
+                scratch::put_i32(cols);
+                *shape = SignalShape { c: out_c, h: oh, w: ow, flat: shape.flat };
+                (pix, out_c, acc)
+            }
+            SynKind::Fc { in_dim, out_dim } => {
+                debug_assert_eq!(cur.len(), in_dim, "fc input length mismatch");
+                let mut acc = scratch::take_i32(out_dim);
+                igemm(1, in_dim, out_dim, cur, &syn.packed, &mut acc);
+                *shape = SignalShape { c: out_dim, h: 1, w: 1, flat: true };
+                (1, out_dim, acc)
+            }
+        };
+
+        match &syn.out {
+            EngineOut::Counts { max_level, thresholds, record, .. } => {
+                let max = *max_level as usize;
+                let mut next = scratch::take_i32(out_dim * pix);
+                let mut spikes = 0u64;
+                let mut saturated = 0u64;
+                let tally = *record && qsnc_telemetry::enabled();
+                for f in 0..out_dim {
+                    let t = &thresholds[f * max..(f + 1) * max];
+                    let arow = &acc[f * pix..(f + 1) * pix];
+                    let nrow = &mut next[f * pix..(f + 1) * pix];
+                    for (nv, &y) in nrow.iter_mut().zip(arow.iter()) {
+                        let count = t.partition_point(|&t| t <= y) as i32;
+                        *nv = count;
+                        if tally {
+                            spikes += count as u64;
+                            if count as u32 >= *max_level {
+                                saturated += 1;
+                            }
+                        }
+                    }
+                }
+                if tally {
+                    qsnc_telemetry::counter_add("snc.spikes", spikes);
+                    qsnc_telemetry::counter_add("snc.ifc.conversions", (out_dim * pix) as u64);
+                    qsnc_telemetry::counter_add("snc.ifc.saturated", saturated);
+                }
+                scratch::put_i32(acc);
+                Some(next)
+            }
+            EngineOut::Analog => {
+                // Final readout: identical float expressions to the
+                // pipeline's `forward` + `requant`.
+                out.clear();
+                out.resize(out_dim * pix, 0.0);
+                for f in 0..out_dim {
+                    let arow = &acc[f * pix..(f + 1) * pix];
+                    let orow = &mut out[f * pix..(f + 1) * pix];
+                    for (ov, &y) in orow.iter_mut().zip(arow.iter()) {
+                        let z = syn.weight_scale * (y as f32) / syn.in_scale + syn.bias[f];
+                        *ov = match (syn.rectify, syn.out_quant) {
+                            (true, Some(q)) => {
+                                let ifc = crate::spike::Ifc::new(1.0 / q.scale(), q.max_level());
+                                ifc.convert(z.max(0.0)) as f32 / q.scale()
+                            }
+                            (true, None) => z.max(0.0),
+                            (false, Some(q)) => q.quantize_value(z),
+                            (false, None) => z,
+                        };
+                    }
+                }
+                scratch::put_i32(acc);
+                None
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for IntEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntEngine")
+            .field("stages", &self.stages.len())
+            .finish()
+    }
+}

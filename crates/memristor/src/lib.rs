@@ -23,6 +23,7 @@
 
 pub mod crossbar;
 pub mod device;
+mod engine;
 pub mod hwmodel;
 pub mod mapping;
 pub mod pipeline;

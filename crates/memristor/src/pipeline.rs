@@ -76,25 +76,28 @@ impl fmt::Display for CompileError {
 impl std::error::Error for CompileError {}
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum SynKind {
+pub(crate) enum SynKind {
     Conv { spec: Conv2dSpec, in_c: usize, out_c: usize },
     Fc { in_dim: usize, out_dim: usize },
 }
 
 /// One crossbar-mapped synaptic layer plus its IFC/counter stage.
 #[derive(Debug)]
-struct SynapticStage {
-    kind: SynKind,
+pub(crate) struct SynapticStage {
+    pub(crate) kind: SynKind,
     tiles: TiledMatrix,
-    weight_scale: f32,
-    bias: Vec<f32>,
-    in_quant: ActivationQuantizer,
-    rectify: bool,
-    out_quant: Option<ActivationQuantizer>,
+    pub(crate) weight_scale: f32,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) in_quant: ActivationQuantizer,
+    pub(crate) rectify: bool,
+    pub(crate) out_quant: Option<ActivationQuantizer>,
+    /// The clustered integer codes behind `tiles`, kept for the integer
+    /// fast-path engine and the exact-arithmetic float oracle.
+    pub(crate) codes: Vec<i32>,
 }
 
 #[derive(Debug)]
-enum Stage {
+pub(crate) enum Stage {
     Synaptic(SynapticStage),
     MaxPool { window: usize, stride: usize },
     AvgPool { window: usize, stride: usize },
@@ -110,6 +113,9 @@ enum Stage {
 pub struct SpikingNetwork {
     stages: Vec<Stage>,
     input_quant: ActivationQuantizer,
+    /// Integer fast path, present when the network is exactly expressible
+    /// in integer form and was programmed without write noise.
+    engine: Option<crate::engine::IntEngine>,
 }
 
 // Batch-parallel evaluation shares `&SpikingNetwork` across worker threads;
@@ -277,6 +283,7 @@ impl<'a> Compiler<'a> {
             in_quant,
             rectify: p.rectify,
             out_quant: p.out_quant,
+            codes: q.codes,
         })
     }
 }
@@ -349,6 +356,55 @@ impl SynapticStage {
         }
     }
 
+    /// Exact-arithmetic variant of [`Self::forward`]: identical float
+    /// expressions, with the crossbar's analog conductance read replaced by
+    /// the exact integer dot product `Σ code · count`. Every partial sum is
+    /// an integer below `2^24` on deployable networks, so the `f32` sums
+    /// are exact — this is the oracle the integer fast-path engine is
+    /// bit-identical to.
+    fn forward_reference(&self, x: &Tensor) -> Tensor {
+        let in_scale = self.in_quant.scale();
+        match self.kind {
+            SynKind::Conv { spec, in_c, out_c } => {
+                assert_eq!(x.dims()[1], in_c, "conv input channel mismatch");
+                let (h, w) = (x.dims()[2], x.dims()[3]);
+                let oh = spec.output_size(h);
+                let ow = spec.output_size(w);
+                let cols = im2col(x, spec);
+                let (rows, ncols) = (cols.dims()[0], cols.dims()[1]);
+                let cs = cols.as_slice();
+                let mut out = Tensor::zeros([1, out_c, oh, ow]);
+                let os = out.as_mut_slice();
+                let mut counts = vec![0.0f32; rows];
+                for j in 0..ncols {
+                    for (i, c) in counts.iter_mut().enumerate() {
+                        *c = (cs[i * ncols + j] * in_scale).round();
+                    }
+                    for f in 0..out_c {
+                        let row = &self.codes[f * rows..(f + 1) * rows];
+                        let yf: f32 = row.iter().zip(&counts).map(|(&c, &x)| c as f32 * x).sum();
+                        let z = self.weight_scale * yf / in_scale + self.bias[f];
+                        os[f * oh * ow + j] = self.requant(z);
+                    }
+                }
+                out
+            }
+            SynKind::Fc { in_dim, out_dim } => {
+                assert_eq!(x.len(), in_dim, "fc input length mismatch");
+                let counts: Vec<f32> = x.iter().map(|&v| (v * in_scale).round()).collect();
+                let data: Vec<f32> = (0..out_dim)
+                    .map(|f| {
+                        let row = &self.codes[f * in_dim..(f + 1) * in_dim];
+                        let yf: f32 = row.iter().zip(&counts).map(|(&c, &x)| c as f32 * x).sum();
+                        let z = self.weight_scale * yf / in_scale + self.bias[f];
+                        self.requant(z)
+                    })
+                    .collect();
+                Tensor::from_vec(data, [1, out_dim])
+            }
+        }
+    }
+
     /// Tallies output spike counts and counter saturation for telemetry.
     ///
     /// The IFC emits one spike per output LSB, so the spike count of each
@@ -391,10 +447,40 @@ impl SynapticStage {
     }
 }
 
+/// Same tie-breaking as [`Tensor::argmax`] (lowest index wins), for the
+/// buffer-based fast path that never materializes a logits tensor.
+fn argmax_slice(v: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &x) in v.iter().enumerate() {
+        if x > best_v {
+            best_v = x;
+            best = i;
+        }
+    }
+    best
+}
+
 fn run_stages(stages: &[Stage], x: &Tensor, rng: &mut Option<&mut TensorRng>) -> Tensor {
+    run_stages_impl(stages, x, rng, false)
+}
+
+/// [`run_stages`] with exact-arithmetic synapses (no conductance
+/// simulation, no noise): the bit-exactness oracle for the integer engine.
+fn run_stages_reference(stages: &[Stage], x: &Tensor) -> Tensor {
+    run_stages_impl(stages, x, &mut None, true)
+}
+
+fn run_stages_impl(
+    stages: &[Stage],
+    x: &Tensor,
+    rng: &mut Option<&mut TensorRng>,
+    exact: bool,
+) -> Tensor {
     let mut h = x.clone();
     for stage in stages {
         h = match stage {
+            Stage::Synaptic(s) if exact => s.forward_reference(&h),
             Stage::Synaptic(s) => s.forward(&h, rng),
             Stage::MaxPool { window, stride } => {
                 let mut pool = MaxPool2d::new(*window, *stride);
@@ -417,11 +503,11 @@ fn run_stages(stages: &[Stage], x: &Tensor, rng: &mut Option<&mut TensorRng>) ->
                 }
             }
             Stage::Residual { body, shortcut } => {
-                let main = run_stages(body, &h, rng);
+                let main = run_stages_impl(body, &h, rng, exact);
                 let skip = if shortcut.is_empty() {
                     h.clone()
                 } else {
-                    run_stages(shortcut, &h, rng)
+                    run_stages_impl(shortcut, &h, rng, exact)
                 };
                 &main + &skip
             }
@@ -446,24 +532,85 @@ impl SpikingNetwork {
         rng: Option<&mut TensorRng>,
     ) -> Result<Self, CompileError> {
         let _span = qsnc_telemetry::span!("snc.compile");
+        // Write noise perturbs the programmed conductances away from the
+        // integer codes, so the integer fast path would silently "denoise"
+        // the network — only build it for ideal programming.
+        let noisy_write = rng.is_some() && config.device.write_sigma > 0.0;
         let mut compiler = Compiler { config, rng };
         let mut current = Some(config.input_quantizer);
         let stages = compiler.compile_stack(net.layers(), &mut current)?;
+        let engine = if noisy_write {
+            None
+        } else {
+            crate::engine::IntEngine::build(&stages, config.input_quantizer)
+        };
+        if qsnc_telemetry::enabled() {
+            let name = if engine.is_some() { "snc.engine.compiled" } else { "snc.engine.fallback" };
+            qsnc_telemetry::counter_add(name, 1);
+        }
         Ok(SpikingNetwork {
             stages,
             input_quant: config.input_quantizer,
+            engine,
         })
     }
 
     /// Runs spiking inference on a single example `[1, …]`, returning the
     /// analog logits read from the final layer's bitlines.
     ///
-    /// Pass `rng` to enable read noise on every crossbar access.
+    /// Pass `rng` to enable read noise on every crossbar access. Noise-free
+    /// inference automatically takes the integer fast path when the network
+    /// compiled one (see [`Self::has_fast_path`]); its outputs are
+    /// bit-identical to [`Self::infer_reference`].
     pub fn infer(&self, x: &Tensor, rng: Option<&mut TensorRng>) -> Tensor {
         let _span = qsnc_telemetry::span!("snc.infer");
+        if rng.is_none() {
+            if let Some(engine) = &self.engine {
+                let mut out = Vec::new();
+                let shape = engine.infer_into(x, &mut out);
+                return Tensor::from_vec(out, shape.dims());
+            }
+        }
         let coded = self.input_quant.quantize(x);
         let mut rng = rng;
         run_stages(&self.stages, &coded, &mut rng)
+    }
+
+    /// Noise-free inference into a caller-owned buffer (flattened in the
+    /// same layout as [`Self::infer`]'s output tensor). On the integer fast
+    /// path this performs **zero heap allocations** once `out` and the
+    /// thread's scratch arena are warm; without a fast path it falls back
+    /// to [`Self::infer`] and copies. Returns `true` when the fast path ran.
+    pub fn infer_into(&self, x: &Tensor, out: &mut Vec<f32>) -> bool {
+        match &self.engine {
+            Some(engine) => {
+                let _span = qsnc_telemetry::span!("snc.infer");
+                engine.infer_into(x, out);
+                true
+            }
+            None => {
+                let logits = self.infer(x, None);
+                out.clear();
+                out.extend_from_slice(logits.as_slice());
+                false
+            }
+        }
+    }
+
+    /// Whether the integer fast-path engine was compiled for this network.
+    pub fn has_fast_path(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// Exact-arithmetic float oracle: the same float pipeline as
+    /// [`Self::infer`] with ideal synapses computed as exact integer dot
+    /// products instead of simulated conductance reads. The integer fast
+    /// path is bit-identical to this on every network it compiles for;
+    /// the conductance simulation differs from it only by the analog read
+    /// approximation.
+    pub fn infer_reference(&self, x: &Tensor) -> Tensor {
+        let coded = self.input_quant.quantize(x);
+        run_stages_reference(&self.stages, &coded)
     }
 
     /// Classification accuracy over batches (examples run one at a time, as
@@ -477,39 +624,57 @@ impl SpikingNetwork {
     /// the examples run serially in order, preserving reproducibility of
     /// seeded noisy evaluations.
     pub fn evaluate(&self, batches: &[Batch], mut rng: Option<&mut TensorRng>) -> f32 {
-        // Slice every example out up front; both paths share the extraction.
-        let mut examples: Vec<(Tensor, usize)> = Vec::new();
-        for batch in batches {
-            let dims = batch.images.dims();
-            let stride: usize = dims[1..].iter().product();
-            for (i, &label) in batch.labels.iter().enumerate() {
-                let mut ex_dims = vec![1usize];
-                ex_dims.extend_from_slice(&dims[1..]);
-                let x = Tensor::from_vec(
-                    batch.images.as_slice()[i * stride..(i + 1) * stride].to_vec(),
-                    ex_dims,
-                );
-                examples.push((x, label));
-            }
-        }
-        if examples.is_empty() {
+        // Flat (batch, example) index — cheap to shard, and no per-example
+        // tensor slicing up front.
+        let index: Vec<(usize, usize)> = batches
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, b)| (0..b.labels.len()).map(move |ei| (bi, ei)))
+            .collect();
+        if index.is_empty() {
             return 0.0;
         }
-        let total = examples.len();
+        let total = index.len();
+        // One example tensor and one logits buffer per run, rebuilt only
+        // when the batch shape changes: the loop body itself stays
+        // allocation-free whenever the fast path is compiled.
+        let eval_run = |shard: &[(usize, usize)], rng: &mut Option<&mut TensorRng>| -> usize {
+            let mut example: Option<Tensor> = None;
+            let mut logits: Vec<f32> = Vec::new();
+            let mut correct = 0usize;
+            for &(bi, ei) in shard {
+                let batch = &batches[bi];
+                let dims = batch.images.dims();
+                let stride: usize = dims[1..].iter().product();
+                if example.as_ref().is_none_or(|t| t.dims()[1..] != dims[1..]) {
+                    let mut ex_dims = vec![1usize];
+                    ex_dims.extend_from_slice(&dims[1..]);
+                    example = Some(Tensor::from_vec(vec![0.0; stride], ex_dims));
+                }
+                let ex = example.as_mut().expect("example tensor just ensured");
+                ex.as_mut_slice().copy_from_slice(
+                    &batch.images.as_slice()[ei * stride..(ei + 1) * stride],
+                );
+                let pred = if rng.is_none() && self.engine.is_some() {
+                    self.infer_into(ex, &mut logits);
+                    argmax_slice(&logits)
+                } else {
+                    self.infer(ex, rng.as_deref_mut()).argmax()
+                };
+                if pred == batch.labels[ei] {
+                    correct += 1;
+                }
+            }
+            correct
+        };
         let correct: usize = if rng.is_some() || parallel::num_threads() == 1 {
-            examples
-                .iter()
-                .filter(|(x, label)| self.infer(x, rng.as_deref_mut()).argmax() == *label)
-                .count()
+            // A noise rng is one sequential stream: stay serial and in order
+            // so seeded noisy evaluations reproduce exactly.
+            eval_run(&index, &mut rng)
         } else {
-            parallel::par_map_shards(&examples, |_, shard| {
-                shard
-                    .iter()
-                    .filter(|(x, label)| self.infer(x, None).argmax() == *label)
-                    .count()
-            })
-            .into_iter()
-            .sum()
+            parallel::par_map_shards(&index, |_, shard| eval_run(shard, &mut None))
+                .into_iter()
+                .sum()
         };
         correct as f32 / total as f32
     }

@@ -1,7 +1,7 @@
 //! Fully connected (dense) layer.
 
 use crate::layer::{Layer, LayerDesc, Mode, Param};
-use qsnc_tensor::{matmul, transpose, Tensor, TensorRng};
+use qsnc_tensor::{gemm_bt, matmul, transpose, Tensor, TensorRng};
 
 /// A fully connected layer: `y = x · Wᵀ + b` over `[n, in]` inputs.
 ///
@@ -98,9 +98,18 @@ impl Layer for Linear {
             self.in_features,
             x.dims()[1]
         );
-        let y = matmul(x, &transpose(&self.weight));
+        // W is stored [out, in]: gemm_bt consumes it as the transposed
+        // operand directly, so no [in, out] copy is materialized per call.
         let n = x.dims()[0];
-        let mut out = y.into_vec();
+        let mut out = vec![0.0f32; n * self.out_features];
+        gemm_bt(
+            n,
+            self.in_features,
+            self.out_features,
+            x.as_slice(),
+            self.weight.as_slice(),
+            &mut out,
+        );
         let bias = self.bias.as_slice();
         for r in 0..n {
             for (o, &b) in out[r * self.out_features..(r + 1) * self.out_features]

@@ -50,5 +50,6 @@ pub use qat::{
 pub use regularizer::{ActivationRegularizer, RegKind};
 pub use sensitivity::{weight_sensitivity, LayerSensitivity};
 pub use weight_cluster::{
-    cluster_weights, direct_fixed_point, quantize_weights, QuantizedWeights, WeightQuantMethod,
+    cluster_weights, direct_fixed_point, quantize_weights, IntWeights, QuantizedWeights,
+    WeightQuantMethod,
 };

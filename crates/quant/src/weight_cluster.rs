@@ -46,6 +46,75 @@ pub struct QuantizedWeights {
     pub mse: f32,
 }
 
+/// A weight tensor in its integer deployment form: `i8` grid levels plus an
+/// exactly-decomposed grid pitch.
+///
+/// This is what Eq. 6 actually produces — the paper's `D` (integer levels)
+/// and pitch — exported without the float rehydration that
+/// [`QuantizedWeights::tensor`] performs. The pitch is carried both as the
+/// original `f32` and as the exact pair `mantissa · 2^shift` (an odd `i32`
+/// mantissa and a power-of-two shift), so integer inference engines can
+/// reconstruct `scale` bit-for-bit and keep all per-layer arithmetic on
+/// integers until the final rescale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntWeights {
+    /// Grid level per weight, each in `[−2^(N−1), 2^(N−1)]`, row-major in
+    /// the source tensor's layout.
+    pub codes: Vec<i8>,
+    /// Odd integer mantissa of the pitch: `scale = mantissa · 2^shift`.
+    pub mantissa: i32,
+    /// Power-of-two shift of the pitch.
+    pub shift: i32,
+}
+
+impl IntWeights {
+    /// Reconstructs the grid pitch; bit-identical to the `scale` this was
+    /// derived from.
+    pub fn scale(&self) -> f32 {
+        self.mantissa as f32 * (2.0f32).powi(self.shift)
+    }
+}
+
+/// Splits a finite nonzero `f32` into `(mantissa, shift)` with an odd
+/// integer mantissa such that `mantissa · 2^shift == x` exactly.
+fn decompose_scale(x: f32) -> (i32, i32) {
+    debug_assert!(x.is_finite() && x != 0.0);
+    let bits = x.to_bits();
+    let biased_exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = (bits & 0x7F_FFFF) as i32;
+    let (mut m, mut e) = if biased_exp == 0 {
+        (frac, -126 - 23) // subnormal: no implicit leading bit
+    } else {
+        (frac | 1 << 23, biased_exp - 127 - 23)
+    };
+    while m & 1 == 0 {
+        m >>= 1;
+        e += 1;
+    }
+    if bits >> 31 != 0 {
+        m = -m;
+    }
+    (m, e)
+}
+
+impl QuantizedWeights {
+    /// Exports the integer deployment form: `i8` codes plus the exact
+    /// `mantissa · 2^shift` pitch decomposition.
+    ///
+    /// Returns `None` when a code does not fit `i8` (only possible at
+    /// `N = 8`, where the inclusive bound `2^(N−1) = 128` exceeds
+    /// `i8::MAX`) or the pitch is zero/non-finite — callers fall back to
+    /// the float path in that case.
+    pub fn int_weights(&self) -> Option<IntWeights> {
+        if !(self.scale.is_finite() && self.scale != 0.0) {
+            return None;
+        }
+        let codes: Option<Vec<i8>> = self.codes.iter().map(|&c| i8::try_from(c).ok()).collect();
+        let (mantissa, shift) = decompose_scale(self.scale);
+        Some(IntWeights { codes: codes?, mantissa, shift })
+    }
+}
+
 fn level_bound(bits: u32) -> i32 {
     1i32 << (bits - 1)
 }
@@ -282,6 +351,45 @@ mod tests {
         let e4 = cluster_weights(&w, 4).mse;
         let e6 = cluster_weights(&w, 6).mse;
         assert!(e6 < e4 && e4 < e3, "e3={e3} e4={e4} e6={e6}");
+    }
+
+    #[test]
+    fn int_weights_round_trip_scale_and_codes() {
+        let mut rng = TensorRng::seed(5);
+        let w = qsnc_tensor::init::normal([300], 0.0, 0.4, &mut rng);
+        for bits in 2..=7 {
+            let q = cluster_weights(&w, bits);
+            let iw = q.int_weights().expect("codes fit i8 for N ≤ 7");
+            // Pitch reconstructs bit-for-bit and the mantissa is odd.
+            assert_eq!(iw.scale().to_bits(), q.scale.to_bits(), "bits={bits}");
+            assert_eq!(iw.mantissa.rem_euclid(2), 1, "mantissa must be odd");
+            // Codes round-trip through i8.
+            assert_eq!(iw.codes.len(), q.codes.len());
+            for (&c8, &c32) in iw.codes.iter().zip(q.codes.iter()) {
+                assert_eq!(i32::from(c8), c32);
+            }
+        }
+    }
+
+    #[test]
+    fn int_weights_rejects_codes_beyond_i8() {
+        // N = 8 admits the inclusive bound 2^7 = 128 > i8::MAX.
+        let w = Tensor::from_slice(&[5.0, -5.0, 0.1]);
+        let q = direct_fixed_point(&w, 8);
+        assert!(q.codes.contains(&128));
+        assert!(q.int_weights().is_none());
+        // But an N = 8 tensor whose codes all stay within i8 exports fine.
+        let w = Tensor::from_slice(&[0.1, -0.2]);
+        let q = direct_fixed_point(&w, 8);
+        assert!(q.int_weights().is_some());
+    }
+
+    #[test]
+    fn decompose_scale_is_exact_on_awkward_pitches() {
+        for &s in &[0.125f32, 0.1, 1.0 / 3.0, 6.1e-5, f32::MIN_POSITIVE / 4.0, -0.75] {
+            let (m, e) = decompose_scale(s);
+            assert_eq!((m as f32 * (2.0f32).powi(e)).to_bits(), s.to_bits(), "s={s}");
+        }
     }
 
     #[test]

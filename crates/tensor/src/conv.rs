@@ -283,9 +283,10 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSp
 
     let mut out = vec![0.0f32; n * f * pix];
     parallel::par_bands_mut(&mut out, n, f * pix, |img0, imgs, chunk| {
-        // Column buffer reused across this worker's images; fully
-        // overwritten by each lowering.
-        let mut cols = vec![0.0f32; ckk * pix];
+        // Column buffer from the thread-local scratch arena, reused across
+        // this worker's images (fully overwritten by each lowering) and —
+        // on the serial path, where the thread persists — across calls.
+        let mut cols = crate::scratch::take_f32(ckk * pix);
         for i in 0..imgs {
             let img_src = &src[(img0 + i) * c * hp * wp..(img0 + i + 1) * c * hp * wp];
             im2col_image(img_src, c, (hp, wp), (oh, ow), spec, &mut cols);
@@ -301,6 +302,7 @@ pub fn conv2d(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>, spec: Conv2dSp
                 }
             }
         }
+        crate::scratch::put_f32(cols);
     });
     Tensor::from_vec(out, [n, f, oh, ow])
 }

@@ -1,0 +1,536 @@
+//! Integer GEMM for quantized inference: packed `i8` weight codes times
+//! `i32` spike counts with `i32` accumulation.
+//!
+//! A deployed network's weights are integer codes on the clustered grid
+//! (`|code| ≤ 2^(N−1)`, Eq. 6) and its signals are `M`-bit spike counts, so
+//! the synaptic products need no floating point at all. [`PackedCodes`]
+//! stores a layer's code matrix transposed once into the `[in, out]` layout
+//! the inner loop streams through, and [`igemm`] runs the same cache-blocked
+//! loop nest as the `f32` [`crate::gemm`] — including the zero-skip variant:
+//! quantized ReLU activations make the spike-count operand mostly zero, and
+//! skipping `a[i,k] == 0` terms is *exactly* result-preserving here (integer
+//! adds of zero, no `-0.0` caveat). Kernel selection honours the shared
+//! process-wide [`crate::GemmKernel`] setting and the per-shape `Auto`
+//! cache in [`crate::linalg`].
+//!
+//! [`im2row_i32`] lowers an integer image to the row-per-output-pixel
+//! matrix `igemm` consumes, folding the zero padding into the lowering so
+//! no padded copy of the input is ever materialized.
+
+use crate::conv::Conv2dSpec;
+use crate::linalg::{resolve_kernel_cached_i32, resolve_kernel_cached_i8, GemmKernel, BLOCK};
+use crate::parallel;
+
+/// A layer's weight codes packed for the integer fast path: `i8` entries in
+/// `[in, out]` (transposed) layout, prepared once at compile time.
+#[derive(Debug, Clone)]
+pub struct PackedCodes {
+    in_dim: usize,
+    out_dim: usize,
+    /// `data[i · out_dim + j]` = code of output `j` from input `i`.
+    data: Vec<i8>,
+}
+
+impl PackedCodes {
+    /// Packs a code matrix given in the repo's standard `[out, in]` layout
+    /// (as stored by `Conv2d`/`Linear` and produced by weight clustering).
+    ///
+    /// Returns `None` when any code does not fit in `i8` — possible only at
+    /// `N = 8`, whose level bound `2^7 = 128` exceeds `i8::MAX`; callers
+    /// fall back to the float path in that case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != out_dim · in_dim`.
+    pub fn try_pack(codes: &[i32], out_dim: usize, in_dim: usize) -> Option<Self> {
+        assert_eq!(codes.len(), out_dim * in_dim, "code matrix shape mismatch");
+        if codes.iter().any(|&c| i8::try_from(c).is_err()) {
+            return None;
+        }
+        let mut data = vec![0i8; in_dim * out_dim];
+        for (j, row) in codes.chunks_exact(in_dim.max(1)).enumerate() {
+            for (i, &code) in row.iter().enumerate() {
+                data[i * out_dim + j] = code as i8;
+            }
+        }
+        Some(PackedCodes { in_dim, out_dim, data })
+    }
+
+    /// Input dimension (`k` of the product).
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension (`n` of the product).
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Largest possible `|accumulator|` when the product is driven by
+    /// counts in `[0, max_count]`: `max_j Σ_i |code[i,j]| · max_count`.
+    /// Deployability checks compare this against `2^24` to guarantee the
+    /// float oracle's sums stay exactly representable.
+    pub fn max_abs_accum(&self, max_count: u32) -> i64 {
+        let mut worst = 0i64;
+        for j in 0..self.out_dim {
+            let col: i64 = (0..self.in_dim)
+                .map(|i| (self.data[i * self.out_dim + j] as i64).abs())
+                .sum();
+            worst = worst.max(col);
+        }
+        worst * max_count as i64
+    }
+}
+
+/// One row band of the integer product: `c[mb×n] += a[mb×k] · B`.
+///
+/// Mirrors the `f32` `gemm_band` loop nest; per-element accumulation order
+/// is ascending `k`, so banding cannot change results (and integer adds are
+/// associative regardless).
+fn igemm_band(kernel: GemmKernel, mb: usize, k: usize, n: usize, a: &[i32], b: &[i8], c: &mut [i32]) {
+    let skip = kernel == GemmKernel::SkipZeros;
+    for i0 in (0..mb).step_by(BLOCK) {
+        let i_end = (i0 + BLOCK).min(mb);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k_end = (k0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j_end = (j0 + BLOCK).min(n);
+                for i in i0..i_end {
+                    for kk in k0..k_end {
+                        let aik = a[i * k + kk];
+                        if skip && aik == 0 {
+                            continue;
+                        }
+                        let brow = &b[kk * n + j0..kk * n + j_end];
+                        let crow = &mut c[i * n + j0..i * n + j_end];
+                        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+                            *cv += aik * bv as i32;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Integer GEMM: `c[m×n] += a[m×k] · b` with `i32` accumulation.
+///
+/// `a` holds spike counts (row-major `[m, k]`), `b` the packed weight codes.
+/// The caller zero-initializes `c` for a pure product. Kernel selection
+/// follows the process-wide [`crate::GemmKernel`] setting; `Auto` samples
+/// `a` for zeros with the decision cached per `(m, k, n)` shape. Large
+/// products split across the [`crate::parallel`] workers by output row —
+/// integer accumulation makes banding trivially exact.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the stated dimensions.
+pub fn igemm(m: usize, k: usize, n: usize, a: &[i32], b: &PackedCodes, c: &mut [i32]) {
+    assert_eq!(k, b.in_dim, "igemm inner dim disagrees with packed codes");
+    assert_eq!(n, b.out_dim, "igemm output dim disagrees with packed codes");
+    assert_eq!(a.len(), m * k, "lhs slice length mismatch");
+    assert_eq!(c.len(), m * n, "output slice length mismatch");
+
+    let kernel = resolve_kernel_cached_i32(m, k, n, a);
+    if qsnc_telemetry::enabled() {
+        qsnc_telemetry::counter_add("tensor.igemm.calls", 1);
+        let name = match kernel {
+            GemmKernel::SkipZeros => "tensor.igemm.kernel.skip_zeros",
+            _ => "tensor.igemm.kernel.dense",
+        };
+        qsnc_telemetry::counter_add(name, 1);
+    }
+    if m < 2 || m * k * n < 32 * 1024 || parallel::num_threads() == 1 {
+        igemm_band(kernel, m, k, n, a, &b.data, c);
+        return;
+    }
+    parallel::par_bands_mut(c, m, n, |row0, rows, c_band| {
+        igemm_band(kernel, rows, k, n, &a[row0 * k..(row0 + rows) * k], &b.data, c_band);
+    });
+}
+
+/// One output-channel band of [`igemm_wx`]: `c[fb×pix] += W[fb×k] · x`.
+///
+/// `f0` is the first output channel of the band; weight reads go through the
+/// packed `[in, out]` layout (`w[f, kk] = data[kk · out + f]`), only
+/// `fb · k` scalar loads against `fb · k · pix` streamed MACs.
+#[allow(clippy::too_many_arguments)] // flat scalars keep the hot loop call free of struct plumbing
+fn igemm_wx_band(
+    kernel: GemmKernel,
+    f0: usize,
+    fb: usize,
+    out_dim: usize,
+    k: usize,
+    pix: usize,
+    w: &[i8],
+    x: &[i32],
+    c: &mut [i32],
+) {
+    let skip = kernel == GemmKernel::SkipZeros;
+    // Tile pixels and taps so the x tile (BLOCK² · 4 B = 16 KiB) stays in
+    // L1 while every output channel of the band reuses it; without the
+    // tiling each channel would stream the whole column matrix from memory.
+    for p0 in (0..pix).step_by(BLOCK) {
+        let p_end = (p0 + BLOCK).min(pix);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k_end = (k0 + BLOCK).min(k);
+            for f in 0..fb {
+                let crow = &mut c[f * pix + p0..f * pix + p_end];
+                for kk in k0..k_end {
+                    let wk = w[kk * out_dim + f0 + f] as i32;
+                    if skip && wk == 0 {
+                        continue;
+                    }
+                    let xrow = &x[kk * pix + p0..kk * pix + p_end];
+                    for (cv, &xv) in crow.iter_mut().zip(xrow.iter()) {
+                        *cv += wk * xv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Integer GEMM in weights-times-columns orientation:
+/// `c[out×pix] += W[out×k] · x[k×pix]`, with `W` the packed weight codes.
+///
+/// This is the conv fast path's orientation — the inner loop streams a whole
+/// pixel row (`pix` is `oh·ow`, typically hundreds), instead of the handful
+/// of output channels [`igemm`]'s row-major orientation would give it, and
+/// the output lands channel-major like the spiking pipeline's signals. The
+/// zero-skip here elides whole `pix`-length passes for zero weight codes,
+/// which clustered weights make common. Accumulation is exact integer
+/// arithmetic, so banding and skipping are result-preserving.
+///
+/// Kernel selection samples the **weight** operand (under `Auto`, cached per
+/// shape); large products split across the [`crate::parallel`] workers by
+/// output channel.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the stated dimensions.
+pub fn igemm_wx(out_dim: usize, k: usize, pix: usize, w: &PackedCodes, x: &[i32], c: &mut [i32]) {
+    assert_eq!(k, w.in_dim, "igemm_wx inner dim disagrees with packed codes");
+    assert_eq!(out_dim, w.out_dim, "igemm_wx output dim disagrees with packed codes");
+    assert_eq!(x.len(), k * pix, "column matrix length mismatch");
+    assert_eq!(c.len(), out_dim * pix, "output slice length mismatch");
+
+    let kernel = resolve_kernel_cached_i8(out_dim, k, pix, &w.data);
+    if qsnc_telemetry::enabled() {
+        qsnc_telemetry::counter_add("tensor.igemm.calls", 1);
+        let name = match kernel {
+            GemmKernel::SkipZeros => "tensor.igemm.kernel.skip_zeros",
+            _ => "tensor.igemm.kernel.dense",
+        };
+        qsnc_telemetry::counter_add(name, 1);
+    }
+    if out_dim < 2 || out_dim * k * pix < 32 * 1024 || parallel::num_threads() == 1 {
+        igemm_wx_band(kernel, 0, out_dim, out_dim, k, pix, &w.data, x, c);
+        return;
+    }
+    parallel::par_bands_mut(c, out_dim, pix, |f0, fb, c_band| {
+        igemm_wx_band(kernel, f0, fb, out_dim, k, pix, &w.data, x, c_band);
+    });
+}
+
+/// Lowers one integer image `[c, h, w]` to the `[c·k·k, oh·ow]` column
+/// matrix [`igemm_wx`] consumes (one row per filter tap, matching the `f32`
+/// `im2col` layout). Zero padding is folded in: taps that fall outside the
+/// image write 0, so no padded copy is built.
+///
+/// # Panics
+///
+/// Panics if `src` or `cols` disagree with the implied geometry.
+pub fn im2col_i32(
+    src: &[i32],
+    c: usize,
+    (h, w): (usize, usize),
+    spec: Conv2dSpec,
+    cols: &mut [i32],
+) {
+    let k = spec.kernel;
+    let pad = spec.padding;
+    let oh = spec.output_size(h);
+    let ow = spec.output_size(w);
+    let pix = oh * ow;
+    assert_eq!(src.len(), c * h * w, "im2col_i32 source length mismatch");
+    assert_eq!(cols.len(), c * k * k * pix, "im2col_i32 output length mismatch");
+
+    let mut r = 0;
+    for ic in 0..c {
+        for ky in 0..k {
+            for kx in 0..k {
+                let dst = &mut cols[r * pix..(r + 1) * pix];
+                r += 1;
+                for oy in 0..oh {
+                    let iy = oy * spec.stride + ky;
+                    let drow = &mut dst[oy * ow..(oy + 1) * ow];
+                    if iy < pad || iy >= h + pad {
+                        drow.fill(0);
+                        continue;
+                    }
+                    let src_row = &src[(ic * h + iy - pad) * w..(ic * h + iy - pad + 1) * w];
+                    for (ox, d) in drow.iter_mut().enumerate() {
+                        let ix = ox * spec.stride + kx;
+                        *d = if ix < pad || ix >= w + pad {
+                            0
+                        } else {
+                            src_row[ix - pad]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Lowers one integer image `[c, h, w]` to the `[oh·ow, c·k·k]` row matrix
+/// [`igemm`] consumes (one row per output pixel). Zero padding is folded in:
+/// taps that fall outside the image write 0, so no padded copy is built.
+///
+/// # Panics
+///
+/// Panics if `src` or `rows` disagree with the implied geometry.
+pub fn im2row_i32(
+    src: &[i32],
+    c: usize,
+    (h, w): (usize, usize),
+    spec: Conv2dSpec,
+    rows: &mut [i32],
+) {
+    let k = spec.kernel;
+    let pad = spec.padding;
+    let oh = spec.output_size(h);
+    let ow = spec.output_size(w);
+    let ckk = c * k * k;
+    assert_eq!(src.len(), c * h * w, "im2row_i32 source length mismatch");
+    assert_eq!(rows.len(), oh * ow * ckk, "im2row_i32 output length mismatch");
+
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let out = &mut rows[(oy * ow + ox) * ckk..(oy * ow + ox + 1) * ckk];
+            for ic in 0..c {
+                for ky in 0..k {
+                    let tap = &mut out[(ic * k + ky) * k..(ic * k + ky) * k + k];
+                    let iy = oy * spec.stride + ky;
+                    if iy < pad || iy >= h + pad {
+                        tap.fill(0);
+                        continue;
+                    }
+                    let src_row = &src[(ic * h + iy - pad) * w..(ic * h + iy - pad + 1) * w];
+                    for (kx, t) in tap.iter_mut().enumerate() {
+                        let ix = ox * spec.stride + kx;
+                        *t = if ix < pad || ix >= w + pad {
+                            0
+                        } else {
+                            src_row[ix - pad]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::{reset_gemm_kernel_for_tests, set_gemm_kernel, KERNEL_TEST_LOCK};
+
+    fn naive(m: usize, k: usize, n: usize, a: &[i32], codes: &[i32]) -> Vec<i32> {
+        // codes in [out, in] = [n, k] layout, matching try_pack's input.
+        let mut c = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * codes[j * k + kk];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn pseudo(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    #[test]
+    fn igemm_matches_naive_on_odd_shapes() {
+        let mut seed = 7u64;
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 17, 33), (70, 70, 70), (1, 400, 10)] {
+            let a: Vec<i32> = (0..m * k).map(|_| (pseudo(&mut seed) % 16) as i32).collect();
+            let codes: Vec<i32> =
+                (0..n * k).map(|_| (pseudo(&mut seed) % 17) as i32 - 8).collect();
+            let packed = PackedCodes::try_pack(&codes, n, k).expect("codes fit i8");
+            let mut c = vec![0i32; m * n];
+            igemm(m, k, n, &a, &packed, &mut c);
+            assert_eq!(c, naive(m, k, n, &a, &codes), "m={m} k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn dense_and_skipzeros_agree_exactly() {
+        let mut seed = 11u64;
+        let (m, k, n) = (40, 50, 60);
+        let a: Vec<i32> = (0..m * k)
+            .map(|i| if i % 3 == 0 { 0 } else { (pseudo(&mut seed) % 8) as i32 })
+            .collect();
+        let codes: Vec<i32> = (0..n * k).map(|_| (pseudo(&mut seed) % 5) as i32 - 2).collect();
+        let packed = PackedCodes::try_pack(&codes, n, k).unwrap();
+        let mut dense = vec![0i32; m * n];
+        let mut skip = vec![0i32; m * n];
+        igemm_band(GemmKernel::Dense, m, k, n, &a, &packed.data, &mut dense);
+        igemm_band(GemmKernel::SkipZeros, m, k, n, &a, &packed.data, &mut skip);
+        assert_eq!(dense, skip);
+    }
+
+    #[test]
+    fn igemm_accumulates_into_c() {
+        let codes = vec![1, 0, 0, 1]; // identity, [out=2, in=2]
+        let packed = PackedCodes::try_pack(&codes, 2, 2).unwrap();
+        let a = vec![2, 3];
+        let mut c = vec![10, -10];
+        igemm(1, 2, 2, &a, &packed, &mut c);
+        assert_eq!(c, vec![12, -7]);
+    }
+
+    #[test]
+    fn parallel_igemm_identical_to_serial() {
+        let mut seed = 13u64;
+        let (m, k, n) = (128, 32, 100);
+        let a: Vec<i32> = (0..m * k).map(|_| (pseudo(&mut seed) % 16) as i32).collect();
+        let codes: Vec<i32> = (0..n * k).map(|_| (pseudo(&mut seed) % 17) as i32 - 8).collect();
+        let packed = PackedCodes::try_pack(&codes, n, k).unwrap();
+        let mut serial = vec![0i32; m * n];
+        crate::parallel::with_num_threads(1, || igemm(m, k, n, &a, &packed, &mut serial));
+        for threads in [2, 3, 8] {
+            let mut par = vec![0i32; m * n];
+            crate::parallel::with_num_threads(threads, || igemm(m, k, n, &a, &packed, &mut par));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pack_rejects_codes_outside_i8() {
+        assert!(PackedCodes::try_pack(&[127, -128], 2, 1).is_some());
+        assert!(PackedCodes::try_pack(&[128, 0], 2, 1).is_none());
+        assert!(PackedCodes::try_pack(&[0, -129], 2, 1).is_none());
+    }
+
+    #[test]
+    fn pack_transposes_layout() {
+        // [out=2, in=3]: row 0 = [1,2,3], row 1 = [4,5,6].
+        let packed = PackedCodes::try_pack(&[1, 2, 3, 4, 5, 6], 2, 3).unwrap();
+        // [in, out] layout: data[i*2 + j] = codes[j*3 + i].
+        assert_eq!(packed.data, vec![1, 4, 2, 5, 3, 6]);
+        assert_eq!(packed.max_abs_accum(1), 15); // col 1: 4+5+6
+    }
+
+    #[test]
+    fn im2row_matches_im2col_transposed() {
+        use crate::conv::im2col;
+        use crate::tensor::Tensor;
+        for &(c, h, w, k, stride, pad) in
+            &[(1, 3, 3, 2, 1, 0), (2, 5, 4, 3, 1, 1), (3, 6, 6, 3, 2, 2)]
+        {
+            let spec = Conv2dSpec::new(k, stride, pad);
+            let mut seed = 3u64;
+            let src: Vec<i32> = (0..c * h * w).map(|_| (pseudo(&mut seed) % 9) as i32).collect();
+            let x = Tensor::from_vec(src.iter().map(|&v| v as f32).collect(), [1, c, h, w]);
+            let cols = im2col(&x, spec); // [c·k·k, oh·ow]
+            let (ckk, pix) = (cols.dims()[0], cols.dims()[1]);
+            let mut rows = vec![0i32; pix * ckk];
+            im2row_i32(&src, c, (h, w), spec, &mut rows);
+            for r in 0..ckk {
+                for p in 0..pix {
+                    assert_eq!(
+                        rows[p * ckk + r] as f32,
+                        cols.as_slice()[r * pix + p],
+                        "c={c} h={h} w={w} k={k} s={stride} pad={pad} tap={r} pix={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn igemm_wx_matches_naive_transposed() {
+        let mut seed = 17u64;
+        for &(out, k, pix) in &[(1, 1, 1), (3, 25, 784), (8, 75, 100), (16, 64, 33)] {
+            let x: Vec<i32> = (0..k * pix).map(|_| (pseudo(&mut seed) % 16) as i32).collect();
+            let codes: Vec<i32> =
+                (0..out * k).map(|_| (pseudo(&mut seed) % 17) as i32 - 8).collect();
+            let packed = PackedCodes::try_pack(&codes, out, k).expect("codes fit i8");
+            let mut c = vec![0i32; out * pix];
+            igemm_wx(out, k, pix, &packed, &x, &mut c);
+            for f in 0..out {
+                for p in 0..pix {
+                    let expect: i32 = (0..k).map(|kk| codes[f * k + kk] * x[kk * pix + p]).sum();
+                    assert_eq!(c[f * pix + p], expect, "out={out} k={k} pix={pix} f={f} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn igemm_wx_dense_skipzeros_and_parallel_agree() {
+        let mut seed = 19u64;
+        let (out, k, pix) = (16, 50, 128);
+        let x: Vec<i32> = (0..k * pix).map(|_| (pseudo(&mut seed) % 16) as i32).collect();
+        // Mostly-zero codes: exercise the skip branch for real.
+        let codes: Vec<i32> = (0..out * k)
+            .map(|i| if i % 4 != 0 { 0 } else { (pseudo(&mut seed) % 9) as i32 - 4 })
+            .collect();
+        let packed = PackedCodes::try_pack(&codes, out, k).unwrap();
+        let mut dense = vec![0i32; out * pix];
+        let mut skip = vec![0i32; out * pix];
+        let guard = KERNEL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_gemm_kernel(GemmKernel::Dense);
+        crate::parallel::with_num_threads(1, || igemm_wx(out, k, pix, &packed, &x, &mut dense));
+        set_gemm_kernel(GemmKernel::SkipZeros);
+        crate::parallel::with_num_threads(1, || igemm_wx(out, k, pix, &packed, &x, &mut skip));
+        reset_gemm_kernel_for_tests();
+        drop(guard);
+        assert_eq!(dense, skip);
+        for threads in [2, 3, 8] {
+            let mut par = vec![0i32; out * pix];
+            crate::parallel::with_num_threads(threads, || {
+                igemm_wx(out, k, pix, &packed, &x, &mut par)
+            });
+            assert_eq!(par, dense, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn im2col_i32_matches_f32_im2col() {
+        use crate::conv::im2col;
+        use crate::tensor::Tensor;
+        for &(c, h, w, k, stride, pad) in
+            &[(1, 3, 3, 2, 1, 0), (2, 5, 4, 3, 1, 1), (3, 6, 6, 3, 2, 2), (1, 28, 28, 5, 1, 2)]
+        {
+            let spec = Conv2dSpec::new(k, stride, pad);
+            let mut seed = 5u64;
+            let src: Vec<i32> = (0..c * h * w).map(|_| (pseudo(&mut seed) % 9) as i32).collect();
+            let x = Tensor::from_vec(src.iter().map(|&v| v as f32).collect(), [1, c, h, w]);
+            let expect = im2col(&x, spec); // [c·k·k, oh·ow]
+            let mut cols = vec![0i32; expect.as_slice().len()];
+            im2col_i32(&src, c, (h, w), spec, &mut cols);
+            let got: Vec<f32> = cols.iter().map(|&v| v as f32).collect();
+            assert_eq!(got, expect.as_slice(), "c={c} h={h} w={w} k={k} s={stride} pad={pad}");
+        }
+    }
+
+    #[test]
+    fn kernel_setting_respected() {
+        let _guard = KERNEL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_gemm_kernel(GemmKernel::SkipZeros);
+        let packed = PackedCodes::try_pack(&[1, 1], 1, 2).unwrap();
+        let mut c = vec![0i32];
+        igemm(1, 2, 1, &[0, 5], &packed, &mut c);
+        assert_eq!(c, vec![5]);
+        reset_gemm_kernel_for_tests();
+    }
+}

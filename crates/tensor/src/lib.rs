@@ -15,6 +15,9 @@
 //!   plus a direct reference convolution ([`conv`]).
 //! - Reductions, histograms and a stable softmax ([`reduce`]).
 //! - Deterministic RNG and Xavier/He initializers ([`init`]).
+//! - Integer GEMM over packed `i8` weight codes for the quantized fast
+//!   path ([`igemm`]), and a thread-local scratch arena that makes
+//!   steady-state inference allocation-free ([`scratch`]).
 //! - Scoped-thread parallelism primitives driving the kernels above
 //!   ([`parallel`]); results are bit-identical at any thread count.
 //!
@@ -35,18 +38,21 @@
 
 mod arith;
 pub mod conv;
+pub mod igemm;
 pub mod init;
 pub mod linalg;
 pub mod parallel;
 pub mod reduce;
+pub mod scratch;
 mod shape;
 mod tensor;
 
 pub use conv::{col2im, conv2d, conv2d_direct, im2col, pad2d, unpad2d, Conv2dSpec};
+pub use igemm::{igemm, igemm_wx, im2col_i32, im2row_i32, PackedCodes};
 pub use init::TensorRng;
 pub use linalg::{
-    dot, gemm, gemm_kernel, gemm_serial, matmul, matmul_naive, matmul_serial, matvec, outer,
-    set_gemm_kernel, transpose, GemmKernel,
+    dot, gemm, gemm_bt, gemm_kernel, gemm_serial, matmul, matmul_naive, matmul_serial, matvec,
+    outer, set_gemm_kernel, transpose, GemmKernel,
 };
 pub use parallel::{num_threads, set_num_threads, with_num_threads};
 pub use reduce::softmax_rows;

@@ -12,14 +12,16 @@
 //! one at every thread count. The `_serial` variants are kept as explicit
 //! single-thread oracles for tests and speedup benchmarks.
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 use crate::parallel;
 use crate::tensor::Tensor;
 
-/// Cache-blocking tile edge for [`matmul`]. Chosen so three `f32` tiles fit
-/// comfortably in L1 (3 · 64² · 4 B = 48 KiB).
-const BLOCK: usize = 64;
+/// Cache-blocking tile edge for [`matmul`] and the integer kernels in
+/// [`crate::igemm`]. Chosen so three `f32` tiles fit comfortably in L1
+/// (3 · 64² · 4 B = 48 KiB).
+pub(crate) const BLOCK: usize = 64;
 
 /// Minimum multiply-accumulate count (`m·k·n`) before [`gemm`] spawns
 /// threads; below this the spawn/join overhead outweighs the work.
@@ -49,10 +51,47 @@ pub enum GemmKernel {
     SkipZeros,
 }
 
-/// Process-wide kernel choice: 0 = Auto, 1 = Dense, 2 = SkipZeros.
-static GEMM_KERNEL: AtomicU8 = AtomicU8::new(0);
+/// Process-wide kernel override: 0 = Auto, 1 = Dense, 2 = SkipZeros,
+/// [`KERNEL_UNSET`] = defer to the `QSNC_GEMM_KERNEL` environment default.
+static GEMM_KERNEL: AtomicU8 = AtomicU8::new(KERNEL_UNSET);
 
-/// Sets the process-wide [`GemmKernel`] used by [`gemm`] and [`matmul`].
+/// Sentinel meaning "no [`set_gemm_kernel`] call yet".
+const KERNEL_UNSET: u8 = u8::MAX;
+
+/// Serializes tests (here and in [`crate::igemm`]) that mutate the
+/// process-wide kernel override, and lets them restore the unset sentinel —
+/// [`set_gemm_kernel`] can only store concrete kernels, but tests must put
+/// the env-deferral state back so the rest of the suite sees whatever
+/// `QSNC_GEMM_KERNEL` the process was launched with.
+#[cfg(test)]
+pub(crate) static KERNEL_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+pub(crate) fn reset_gemm_kernel_for_tests() {
+    GEMM_KERNEL.store(KERNEL_UNSET, Ordering::Relaxed);
+}
+
+/// Default resolved once from `QSNC_GEMM_KERNEL` (mirroring how
+/// `QSNC_THREADS` seeds [`crate::parallel`]).
+static ENV_KERNEL: OnceLock<GemmKernel> = OnceLock::new();
+
+fn env_kernel() -> GemmKernel {
+    *ENV_KERNEL.get_or_init(|| {
+        match std::env::var("QSNC_GEMM_KERNEL")
+            .map(|v| v.trim().to_ascii_lowercase())
+            .as_deref()
+        {
+            Ok("dense") => GemmKernel::Dense,
+            Ok("skipzeros") | Ok("skip_zeros") | Ok("skip-zeros") => GemmKernel::SkipZeros,
+            // "auto", unset, or unrecognized: the sampling default.
+            _ => GemmKernel::Auto,
+        }
+    })
+}
+
+/// Sets the process-wide [`GemmKernel`] used by [`gemm`], [`matmul`],
+/// [`gemm_bt`] and [`crate::igemm`], overriding any `QSNC_GEMM_KERNEL`
+/// environment default.
 pub fn set_gemm_kernel(kernel: GemmKernel) {
     let v = match kernel {
         GemmKernel::Auto => 0,
@@ -62,18 +101,22 @@ pub fn set_gemm_kernel(kernel: GemmKernel) {
     GEMM_KERNEL.store(v, Ordering::Relaxed);
 }
 
-/// Returns the process-wide [`GemmKernel`] setting.
+/// Returns the effective process-wide [`GemmKernel`]: the value from
+/// [`set_gemm_kernel`] if one was set, else the `QSNC_GEMM_KERNEL`
+/// environment variable (`auto`/`dense`/`skipzeros`, read once per
+/// process), else [`GemmKernel::Auto`].
 pub fn gemm_kernel() -> GemmKernel {
     match GEMM_KERNEL.load(Ordering::Relaxed) {
+        0 => GemmKernel::Auto,
         1 => GemmKernel::Dense,
         2 => GemmKernel::SkipZeros,
-        _ => GemmKernel::Auto,
+        _ => env_kernel(),
     }
 }
 
 /// `Auto` heuristic: sample up to 512 evenly strided entries of `a` and
 /// report whether at least 30% of them are zero.
-fn mostly_zero(a: &[f32]) -> bool {
+fn mostly_zero_impl<T: Copy + PartialEq>(a: &[T], zero: T) -> bool {
     if a.is_empty() {
         return false;
     }
@@ -83,7 +126,7 @@ fn mostly_zero(a: &[f32]) -> bool {
     let mut i = 0;
     while i < a.len() {
         seen += 1;
-        if a[i] == 0.0 {
+        if a[i] == zero {
             zeros += 1;
         }
         i += step;
@@ -91,32 +134,97 @@ fn mostly_zero(a: &[f32]) -> bool {
     zeros * 10 >= seen * 3
 }
 
-/// Resolves the effective kernel for a call with left operand `a`.
-///
-/// Resolution happens once per [`gemm`] call on the full operand — never
-/// per band — so the choice (and therefore the result) cannot depend on the
-/// thread count.
-fn resolve_kernel(a: &[f32]) -> GemmKernel {
-    let kernel = match gemm_kernel() {
-        GemmKernel::Auto => {
-            if mostly_zero(a) {
-                GemmKernel::SkipZeros
-            } else {
-                GemmKernel::Dense
-            }
+fn mostly_zero(a: &[f32]) -> bool {
+    mostly_zero_impl(a, 0.0f32)
+}
+
+/// Slots in the per-shape `Auto` decision cache. Collisions just force a
+/// resample, so a small direct-mapped table is plenty.
+const AUTO_SLOTS: usize = 64;
+
+/// Calls served from a cached `Auto` decision before the shape's left
+/// operand is resampled. Kernel choice never affects results (both kernels
+/// are result-preserving), so a stale decision costs performance only.
+const AUTO_RESAMPLE_PERIOD: u64 = 255;
+
+/// Direct-mapped cache of `Auto` sampling decisions, keyed by call-site
+/// shape. Each slot packs `(shape tag | kernel bit | remaining-call count)`
+/// into one `u64`, updated with relaxed loads/stores — a racing update
+/// merely resamples, it cannot corrupt a decision.
+static AUTO_CACHE: [AtomicU64; AUTO_SLOTS] = [const { AtomicU64::new(0) }; AUTO_SLOTS];
+
+/// FNV-1a over the product shape; `tag` separates the f32 and i32 call
+/// families so they never share a cache entry.
+fn shape_hash(m: usize, k: usize, n: usize, tag: u8) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in [m as u64, k as u64, n as u64, tag as u64] {
+        h ^= v;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Returns the cached `Auto` decision for `hash`, invoking `sample` only
+/// when the slot holds a different shape or its resample budget ran out.
+fn auto_cached(hash: u64, sample: impl FnOnce() -> bool) -> GemmKernel {
+    let slot = &AUTO_CACHE[(hash >> 16) as usize % AUTO_SLOTS];
+    // High 48 bits identify the shape; bit 63 is forced so a real tag can
+    // never look like the empty slot. Low 16 bits: kernel bit 8, count 0-7.
+    let tag = (hash | 1 << 63) & !0xFFFFu64;
+    let cur = slot.load(Ordering::Relaxed);
+    if cur & !0xFFFF == tag {
+        let count = cur & 0xFF;
+        if count > 0 {
+            slot.store((cur & !0xFFu64) | (count - 1), Ordering::Relaxed);
+            return if cur & 0x100 != 0 { GemmKernel::SkipZeros } else { GemmKernel::Dense };
         }
+    }
+    let skip = sample();
+    slot.store(tag | u64::from(skip) << 8 | AUTO_RESAMPLE_PERIOD, Ordering::Relaxed);
+    if skip { GemmKernel::SkipZeros } else { GemmKernel::Dense }
+}
+
+/// Resolves the effective kernel for an `f32` call of shape `(m, k, n)`
+/// with left operand `a`.
+///
+/// Resolution happens once per [`gemm`] call — never per band — so the
+/// choice (and therefore the result) cannot depend on the thread count.
+/// Under `Auto` the sampling decision is cached per call-site shape and
+/// refreshed every [`AUTO_RESAMPLE_PERIOD`] calls rather than resampled
+/// every call.
+fn resolve_kernel(m: usize, k: usize, n: usize, a: &[f32]) -> GemmKernel {
+    let kernel = match gemm_kernel() {
+        GemmKernel::Auto => auto_cached(shape_hash(m, k, n, 0), || mostly_zero(a)),
         k => k,
     };
     if qsnc_telemetry::enabled() {
         qsnc_telemetry::counter_add("tensor.gemm.calls", 1);
         let name = match kernel {
-            GemmKernel::Dense => "tensor.gemm.kernel.dense",
             GemmKernel::SkipZeros => "tensor.gemm.kernel.skip_zeros",
-            GemmKernel::Auto => unreachable!("Auto resolves to a concrete kernel"),
+            _ => "tensor.gemm.kernel.dense",
         };
         qsnc_telemetry::counter_add(name, 1);
     }
     kernel
+}
+
+/// Kernel resolution for the integer GEMM in [`crate::igemm`]: same
+/// process-wide setting, same per-shape `Auto` cache (tagged separately).
+pub(crate) fn resolve_kernel_cached_i32(m: usize, k: usize, n: usize, a: &[i32]) -> GemmKernel {
+    match gemm_kernel() {
+        GemmKernel::Auto => auto_cached(shape_hash(m, k, n, 1), || mostly_zero_impl(a, 0i32)),
+        k => k,
+    }
+}
+
+/// Kernel resolution for [`crate::igemm::igemm_wx`], where the skippable
+/// operand is the packed `i8` weight codes (clustered weights are often
+/// sparse). Separate cache tag from the `f32` and `i32` families.
+pub(crate) fn resolve_kernel_cached_i8(m: usize, k: usize, n: usize, a: &[i8]) -> GemmKernel {
+    match gemm_kernel() {
+        GemmKernel::Auto => auto_cached(shape_hash(m, k, n, 2), || mostly_zero_impl(a, 0i8)),
+        k => k,
+    }
 }
 
 /// Blocked GEMM over one row band: `c[mb×n] += a[mb×k] · b[k×n]`.
@@ -212,7 +320,7 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(b.len(), k * n, "rhs slice length mismatch");
     assert_eq!(c.len(), m * n, "output slice length mismatch");
 
-    let kernel = resolve_kernel(a);
+    let kernel = resolve_kernel(m, k, n, a);
     if m < 2 || m * k * n < GEMM_PAR_MIN_FLOPS || parallel::num_threads() == 1 {
         gemm_band(kernel, m, k, n, a, b, c);
         return;
@@ -233,7 +341,70 @@ pub fn gemm_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
     assert_eq!(a.len(), m * k, "lhs slice length mismatch");
     assert_eq!(b.len(), k * n, "rhs slice length mismatch");
     assert_eq!(c.len(), m * n, "output slice length mismatch");
-    gemm_band(resolve_kernel(a), m, k, n, a, b, c);
+    gemm_band(resolve_kernel(m, k, n, a), m, k, n, a, b, c);
+}
+
+/// One row band of [`gemm_bt`]: `c[mb×n] += a[mb×k] · btᵀ`.
+///
+/// Each output element starts from its current value and accumulates in
+/// ascending `k` — the same per-element order as [`gemm_band`], so the two
+/// forms are bit-identical on equal inputs.
+fn gemm_bt_band(kernel: GemmKernel, mb: usize, k: usize, n: usize, a: &[f32], bt: &[f32], c: &mut [f32]) {
+    let skip = kernel == GemmKernel::SkipZeros;
+    for i0 in (0..mb).step_by(BLOCK) {
+        let i_end = (i0 + BLOCK).min(mb);
+        for j0 in (0..n).step_by(BLOCK) {
+            let j_end = (j0 + BLOCK).min(n);
+            for i in i0..i_end {
+                let arow = &a[i * k..(i + 1) * k];
+                for j in j0..j_end {
+                    let brow = &bt[j * k..(j + 1) * k];
+                    let mut acc = c[i * n + j];
+                    if skip {
+                        for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                            if av != 0.0 {
+                                acc += av * bv;
+                            }
+                        }
+                    } else {
+                        for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                            acc += av * bv;
+                        }
+                    }
+                    c[i * n + j] = acc;
+                }
+            }
+        }
+    }
+}
+
+/// GEMM against a pre-transposed right operand: `c[m×n] += a[m×k] · btᵀ`
+/// where `bt` is `[n, k]` row-major.
+///
+/// This is the natural product for `Linear` layers, whose weights are
+/// stored `[out, in]`: calling this instead of `gemm(a, transpose(w))`
+/// skips materializing the transposed copy on every forward pass. Both
+/// operands stream row-major through a dot-product kernel, and the
+/// per-element accumulation order (ascending `k`) matches [`gemm`] exactly,
+/// so the result is **bit-identical** to `gemm(m, k, n, a, transpose(bt))`
+/// at any thread count.
+///
+/// # Panics
+///
+/// Panics if slice lengths do not match the stated dimensions.
+pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], bt: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "lhs slice length mismatch");
+    assert_eq!(bt.len(), n * k, "transposed rhs slice length mismatch");
+    assert_eq!(c.len(), m * n, "output slice length mismatch");
+
+    let kernel = resolve_kernel(m, k, n, a);
+    if m < 2 || m * k * n < GEMM_PAR_MIN_FLOPS || parallel::num_threads() == 1 {
+        gemm_bt_band(kernel, m, k, n, a, bt, c);
+        return;
+    }
+    parallel::par_bands_mut(c, m, n, |row0, rows, c_band| {
+        gemm_bt_band(kernel, rows, k, n, &a[row0 * k..(row0 + rows) * k], bt, c_band);
+    });
 }
 
 /// Naive triple-loop matrix product, kept as a reference oracle for tests
@@ -462,15 +633,91 @@ mod tests {
 
     #[test]
     fn kernel_setting_round_trips_and_auto_samples() {
-        assert_eq!(gemm_kernel(), GemmKernel::Auto);
+        // Serialize with the other kernel-mutating tests and start from the
+        // unset sentinel: gemm_kernel() must defer to QSNC_GEMM_KERNEL —
+        // checked against whatever this test process was launched with so
+        // the CI skipzeros leg passes too.
+        let _guard = KERNEL_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset_gemm_kernel_for_tests();
+        assert_eq!(gemm_kernel(), env_kernel());
         set_gemm_kernel(GemmKernel::Dense);
         assert_eq!(gemm_kernel(), GemmKernel::Dense);
         set_gemm_kernel(GemmKernel::Auto);
+        assert_eq!(gemm_kernel(), GemmKernel::Auto);
+        // Restore the "unset" sentinel so other tests see the env default.
+        reset_gemm_kernel_for_tests();
+        assert_eq!(gemm_kernel(), env_kernel());
 
         assert!(mostly_zero(&vec![0.0f32; 1000]));
         assert!(!mostly_zero(&vec![1.0f32; 1000]));
         let mixed: Vec<f32> = (0..1000).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
         assert!(mostly_zero(&mixed));
         assert!(!mostly_zero(&[]));
+    }
+
+    #[test]
+    fn auto_cache_reuses_decision_until_period_expires() {
+        // A shape no other test uses, so this slot is ours alone.
+        let hash = shape_hash(911, 913, 917, 0);
+        let mut samples = 0u32;
+        let k1 = auto_cached(hash, || {
+            samples += 1;
+            true
+        });
+        assert_eq!(k1, GemmKernel::SkipZeros);
+        assert_eq!(samples, 1);
+        // Served from cache: the closure must not run again, and the cached
+        // decision sticks even if a fresh sample would now disagree.
+        for _ in 0..AUTO_RESAMPLE_PERIOD {
+            let k = auto_cached(hash, || {
+                samples += 1;
+                false
+            });
+            assert_eq!(k, GemmKernel::SkipZeros);
+        }
+        assert_eq!(samples, 1, "cached calls must not resample");
+        // Budget exhausted: the next call resamples.
+        let k2 = auto_cached(hash, || {
+            samples += 1;
+            false
+        });
+        assert_eq!(k2, GemmKernel::Dense);
+        assert_eq!(samples, 2);
+        // A different shape (even one colliding into the same slot) always
+        // resamples on first sight: its tag cannot match the stored one.
+        let other = shape_hash(1911, 1913, 1917, 0);
+        assert_ne!(other, hash);
+        let mut hit = false;
+        auto_cached(other, || {
+            hit = true;
+            true
+        });
+        assert!(hit, "unseen shape must sample");
+    }
+
+    #[test]
+    fn gemm_bt_bit_identical_to_gemm_with_transpose() {
+        for &(m, k, n) in &[(1, 400, 10), (3, 5, 7), (65, 65, 65), (128, 32, 100)] {
+            let a = rand_mat(m, k, 41, 3);
+            let bt = rand_mat(n, k, 42, 0);
+            let b = transpose(&bt);
+            let mut via_gemm = vec![0.5f32; m * n];
+            let mut via_bt = vec![0.5f32; m * n];
+            gemm(m, k, n, a.as_slice(), b.as_slice(), &mut via_gemm);
+            gemm_bt(m, k, n, a.as_slice(), bt.as_slice(), &mut via_bt);
+            for (x, y) in via_gemm.iter().zip(via_bt.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "m={m} k={k} n={n}");
+            }
+            // And the parallel split is bit-identical too.
+            for threads in [2, 3] {
+                let mut par = vec![0.5f32; m * n];
+                crate::parallel::with_num_threads(threads, || {
+                    gemm_bt(m, k, n, a.as_slice(), bt.as_slice(), &mut par);
+                });
+                for (x, y) in par.iter().zip(via_bt.iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+                }
+            }
+        }
     }
 }

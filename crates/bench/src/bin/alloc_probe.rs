@@ -60,8 +60,29 @@ fn main() {
         )
     });
 
+    // Batched path: what a warm qsnc-serve worker runs per micro-batch.
+    const BATCH: usize = 8;
+    let xs = init::uniform([BATCH, 1, 28, 28], 0.0, 1.0, &mut rng);
+    let (batch_takes, batch_allocs) = parallel::with_num_threads(1, || {
+        let mut out = Vec::new();
+        snn.infer_batch_into(&xs, &mut out);
+        let base_takes = scratch::takes();
+        let base_allocs = scratch::fresh_allocations();
+        for _ in 0..iters {
+            snn.infer_batch_into(&xs, &mut out);
+        }
+        (
+            scratch::takes() - base_takes,
+            scratch::fresh_allocations() - base_allocs,
+        )
+    });
+
     println!(
         "steady state: {iters} inferences, {takes} scratch takes, {allocs} fresh allocations"
+    );
+    println!(
+        "steady state (batch {BATCH}): {iters} batches, {batch_takes} scratch takes, \
+         {batch_allocs} fresh allocations"
     );
     if let Ok(path) = std::env::var("QSNC_BENCH_JSON") {
         if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
@@ -70,10 +91,22 @@ fn main() {
                 "{{\"name\": \"inference_lenet_4bit/steady_state_fresh_allocs\", \
                  \"iters\": {iters}, \"scratch_takes\": {takes}, \"fresh_allocations\": {allocs}}}"
             );
+            let _ = writeln!(
+                f,
+                "{{\"name\": \"inference_lenet_4bit/steady_state_fresh_allocs_batch{BATCH}\", \
+                 \"iters\": {iters}, \"scratch_takes\": {batch_takes}, \
+                 \"fresh_allocations\": {batch_allocs}}}"
+            );
         }
     }
     if allocs != 0 {
         eprintln!("FAIL: steady-state inference performed {allocs} fresh scratch allocations");
+        std::process::exit(1);
+    }
+    if batch_allocs != 0 {
+        eprintln!(
+            "FAIL: steady-state batched inference performed {batch_allocs} fresh scratch allocations"
+        );
         std::process::exit(1);
     }
 }

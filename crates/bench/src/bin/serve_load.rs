@@ -1,0 +1,178 @@
+//! Load generator for the `qsnc-serve` batched inference server.
+//!
+//! Spawns the server in-process on an ephemeral port serving the 4-bit
+//! LeNet (the paper's flagship deployment), then drives it with closed-loop
+//! TCP clients — each sends a request, waits for the reply, repeats. Sweeps
+//! several client counts and reports throughput plus p50/p99 latency per
+//! sweep, which is where dynamic micro-batching shows up: more concurrent
+//! clients → fuller batches → higher throughput at bounded latency.
+//!
+//! **Honest caveat:** generator and server share this process and (in the
+//! single-core deployment configuration) one core, so client-side encode/
+//! decode steals CPU from the engine. Absolute numbers are a lower bound;
+//! the trend across client counts is the reproducible signal.
+//!
+//! With `QSNC_BENCH_JSON` set, appends one JSON line per client count.
+//!
+//! Usage: `serve_load [shots-per-client]` (default 200).
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qsnc_core::report::{Report, Table};
+use qsnc_memristor::{DeployConfig, SpikingNetwork};
+use qsnc_nn::models;
+use qsnc_quant::{
+    insert_signal_stages, quantize_network_weights, ActivationQuantizer, ActivationRegularizer,
+    WeightQuantMethod,
+};
+use qsnc_serve::protocol::{self, Status};
+use qsnc_serve::{ServeConfig, Server};
+use qsnc_tensor::{init, TensorRng};
+
+const CLIENT_COUNTS: [usize; 3] = [1, 4, 16];
+
+struct Sweep {
+    clients: usize,
+    ok: usize,
+    busy: usize,
+    throughput_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx] as f64
+}
+
+fn run_sweep(addr: std::net::SocketAddr, clients: usize, shots: usize) -> Sweep {
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for client in 0..clients {
+        handles.push(std::thread::spawn(move || {
+            let mut rng = TensorRng::seed(0xC11E17 + client as u64);
+            let input: Vec<f32> = init::uniform([1, 1, 28, 28], 0.0, 1.0, &mut rng)
+                .as_slice()
+                .to_vec();
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(60)))
+                .expect("read timeout");
+            let mut latencies = Vec::with_capacity(shots);
+            let mut ok = 0usize;
+            let mut busy = 0usize;
+            for _ in 0..shots {
+                let t0 = Instant::now();
+                protocol::write_request(&mut stream, &input).expect("write");
+                let reply = protocol::read_reply(&mut stream).expect("reply");
+                match reply.status {
+                    Status::Ok => {
+                        ok += 1;
+                        latencies.push(t0.elapsed().as_micros() as u64);
+                    }
+                    Status::Busy => busy += 1,
+                    other => panic!("unexpected reply status {other:?}"),
+                }
+            }
+            (latencies, ok, busy)
+        }));
+    }
+    let mut latencies = Vec::new();
+    let mut ok = 0usize;
+    let mut busy = 0usize;
+    for h in handles {
+        let (l, o, b) = h.join().expect("client thread");
+        latencies.extend(l);
+        ok += o;
+        busy += b;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    Sweep {
+        clients,
+        ok,
+        busy,
+        throughput_rps: ok as f64 / wall,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let shots: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200);
+
+    let mut rng = TensorRng::seed(0);
+    let mut net = models::lenet(0.5, 10, &mut rng);
+    let (switch, _) = insert_signal_stages(
+        &mut net,
+        ActivationRegularizer::neuron_convergence(4),
+        0.0,
+        ActivationQuantizer::new(4),
+    );
+    switch.set_enabled(true);
+    quantize_network_weights(&mut net, 4, WeightQuantMethod::Clustered);
+    let deploy = DeployConfig::paper(4, 4);
+    let snn = SpikingNetwork::compile(&net, &deploy, None).expect("compile");
+    assert!(snn.has_fast_path(), "4-bit LeNet must compile the integer engine");
+
+    let config = ServeConfig::from_env();
+    let server = Server::spawn(Arc::new(snn), &[1, 28, 28], "127.0.0.1:0", config)
+        .expect("spawn server");
+    let addr = server.local_addr();
+
+    let mut table = Table::new(
+        "qsnc-serve load sweep — 4-bit LeNet, closed-loop clients",
+        &["Clients", "Ok", "Busy", "Throughput (req/s)", "p50 (µs)", "p99 (µs)"],
+    );
+    let mut sweeps = Vec::new();
+    for &clients in &CLIENT_COUNTS {
+        // A short untimed warm-up so worker scratch arenas and per-batch
+        // tensors are sized before the measured window.
+        run_sweep(addr, clients, shots.div_ceil(10).max(5));
+        let sweep = run_sweep(addr, clients, shots);
+        table.row(&[
+            format!("{}", sweep.clients),
+            format!("{}", sweep.ok),
+            format!("{}", sweep.busy),
+            format!("{:.1}", sweep.throughput_rps),
+            format!("{:.0}", sweep.p50_us),
+            format!("{:.0}", sweep.p99_us),
+        ]);
+        sweeps.push(sweep);
+    }
+    server.shutdown();
+
+    let mut report = Report::new("qsnc-serve load generator");
+    report
+        .table(table)
+        .note(format!(
+            "config: max_batch={}, max_delay_us={}, queue_cap={}, workers={}, {} shots/client",
+            config.max_batch, config.max_delay_us, config.queue_cap, config.workers, shots
+        ))
+        .note("caveat: generator and server share one process (single-core deployment");
+    report.note("config), so absolute throughput is a lower bound; the cross-client trend");
+    report.note("is the signal. Busy replies are counted, not retried.");
+    report.emit();
+
+    if let Ok(path) = std::env::var("QSNC_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            for s in &sweeps {
+                let _ = writeln!(
+                    f,
+                    "{{\"name\": \"serve_lenet_4bit/clients_{}\", \"ok\": {}, \"busy\": {}, \
+                     \"throughput_rps\": {:.1}, \"p50_us\": {:.0}, \"p99_us\": {:.0}}}",
+                    s.clients, s.ok, s.busy, s.throughput_rps, s.p50_us, s.p99_us
+                );
+            }
+        }
+    }
+}

@@ -79,8 +79,18 @@ impl DeviceConfig {
     }
 
     /// Nearest level for a target conductance (clamped into range).
+    ///
+    /// Degenerate grids — a single level (`bits == 0` built by hand) or a
+    /// zero conductance span (`r_on == r_off`) — have `g_lsb() == 0`;
+    /// dividing by it would produce NaN, which `as u32` silently casts to
+    /// level 0. Every conductance maps to the only representable level, so
+    /// answer 0 directly instead of routing through NaN.
     pub fn nearest_level(&self, g: f32) -> u32 {
-        let idx = ((g - self.g_min()) / self.g_lsb()).round();
+        let lsb = self.g_lsb();
+        if lsb <= 0.0 {
+            return 0;
+        }
+        let idx = ((g - self.g_min()) / lsb).round();
         idx.clamp(0.0, (self.levels() - 1) as f32) as u32
     }
 }
@@ -206,5 +216,32 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_level_panics() {
         Device::program(&DeviceConfig::paper(2), 4, None);
+    }
+
+    #[test]
+    fn nearest_level_zero_span_grid_is_level_zero() {
+        // r_on == r_off: the whole grid collapses to one conductance and
+        // g_lsb() == 0. nearest_level used to divide by it, and the
+        // resulting NaN cast silently to 0 — now it short-circuits.
+        let c = DeviceConfig { r_on: 1e5, r_off: 1e5, ..DeviceConfig::paper(4) };
+        assert_eq!(c.g_lsb(), 0.0);
+        for g in [0.0, c.g_min(), c.g_max(), 1.0, f32::MAX] {
+            assert_eq!(c.nearest_level(g), 0, "zero-span grid must map {g} to level 0");
+        }
+    }
+
+    #[test]
+    fn nearest_level_single_level_grid_is_level_zero() {
+        // bits == 0 is rejected by paper() but reachable through the public
+        // fields; levels() == 1 means level 0 is the only legal answer.
+        let c = DeviceConfig { bits: 0, ..DeviceConfig::paper(4) };
+        assert_eq!(c.levels(), 1);
+        for g in [0.0, c.g_min(), (c.g_min() + c.g_max()) / 2.0, c.g_max()] {
+            let level = c.nearest_level(g);
+            assert!(level < c.levels(), "level {level} out of the 1-level grid");
+            assert_eq!(level, 0);
+        }
+        // The round-trip through level_conductance stays panic-free.
+        assert_eq!(c.level_conductance(0), c.g_min());
     }
 }

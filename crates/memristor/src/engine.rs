@@ -209,10 +209,24 @@ impl IntEngine {
     /// `out` is cleared and resized; with a warm reused `out` and a warm
     /// scratch arena the call performs zero heap allocations.
     pub(crate) fn infer_into(&self, x: &Tensor, out: &mut Vec<f32>) -> SignalShape {
+        self.infer_batch_into(x, out)
+    }
+
+    /// Batched variant of [`Self::infer_into`]: `xs` is `[B, …]` and the
+    /// per-example output signals are written back-to-back into `out`
+    /// (`B · shape.len()` floats). Each example's arithmetic is the exact
+    /// integer computation of the single-example path — FC stages run one
+    /// `igemm` with `M = B`, conv stages stream examples through shared
+    /// scratch buffers — so every example stays bit-identical to
+    /// [`crate::SpikingNetwork::infer_reference`]. With a warm reused `out`
+    /// and a warm scratch arena, a fixed batch size performs zero heap
+    /// allocations.
+    pub(crate) fn infer_batch_into(&self, xs: &Tensor, out: &mut Vec<f32>) -> SignalShape {
+        let dims = xs.dims();
+        let batch = dims[0];
         if qsnc_telemetry::enabled() {
-            qsnc_telemetry::counter_add("snc.engine.infer", 1);
+            qsnc_telemetry::counter_add("snc.engine.infer", batch as u64);
         }
-        let dims = x.dims();
         let mut shape = if dims.len() == 4 {
             SignalShape { c: dims[1], h: dims[2], w: dims[3], flat: false }
         } else {
@@ -221,15 +235,15 @@ impl IntEngine {
 
         // Rate-code the input: same integer levels the float path's input
         // quantization produces.
-        let mut cur = scratch::take_i32(shape.len());
-        for (count, &v) in cur.iter_mut().zip(x.as_slice()) {
+        let mut cur = scratch::take_i32(batch * shape.len());
+        for (count, &v) in cur.iter_mut().zip(xs.as_slice()) {
             *count = self.input_quant.spike_count(v) as i32;
         }
 
         for stage in &self.stages {
             match stage {
                 EngineStage::Syn(syn) => {
-                    let next = self.run_synaptic(syn, &cur, &mut shape, out);
+                    let next = self.run_synaptic(syn, batch, &cur, &mut shape, out);
                     scratch::put_i32(cur);
                     match next {
                         Some(counts) => cur = counts,
@@ -241,20 +255,25 @@ impl IntEngine {
                 EngineStage::MaxPool { window, stride } => {
                     let spec = qsnc_tensor::Conv2dSpec::new(*window, *stride, 0);
                     let (oh, ow) = (spec.output_size(shape.h), spec.output_size(shape.w));
-                    let mut next = scratch::take_i32(shape.c * oh * ow);
-                    for ch in 0..shape.c {
-                        let src = &cur[ch * shape.h * shape.w..(ch + 1) * shape.h * shape.w];
-                        let dst = &mut next[ch * oh * ow..(ch + 1) * oh * ow];
-                        for oy in 0..oh {
-                            for ox in 0..ow {
-                                let mut best = i32::MIN;
-                                for ky in 0..*window {
-                                    let row = &src[(oy * stride + ky) * shape.w..];
-                                    for kx in 0..*window {
-                                        best = best.max(row[ox * stride + kx]);
+                    let (in_len, out_len) = (shape.len(), shape.c * oh * ow);
+                    let mut next = scratch::take_i32(batch * out_len);
+                    for b in 0..batch {
+                        let image = &cur[b * in_len..(b + 1) * in_len];
+                        let pooled = &mut next[b * out_len..(b + 1) * out_len];
+                        for ch in 0..shape.c {
+                            let src = &image[ch * shape.h * shape.w..(ch + 1) * shape.h * shape.w];
+                            let dst = &mut pooled[ch * oh * ow..(ch + 1) * oh * ow];
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let mut best = i32::MIN;
+                                    for ky in 0..*window {
+                                        let row = &src[(oy * stride + ky) * shape.w..];
+                                        for kx in 0..*window {
+                                            best = best.max(row[ox * stride + kx]);
+                                        }
                                     }
+                                    dst[oy * ow + ox] = best;
                                 }
-                                dst[oy * ow + ox] = best;
                             }
                         }
                     }
@@ -289,67 +308,93 @@ impl IntEngine {
         shape
     }
 
-    /// Runs one synaptic stage. Returns the output counts for interior
-    /// stages, or `None` after writing the analog readout into `out`.
+    /// Runs one synaptic stage over a batch. Returns the output counts for
+    /// interior stages, or `None` after writing the analog readout into
+    /// `out`.
     fn run_synaptic(
         &self,
         syn: &EngineSyn,
+        batch: usize,
         cur: &[i32],
         shape: &mut SignalShape,
         out: &mut Vec<f32>,
     ) -> Option<Vec<i32>> {
-        // Multiply into a channel-major `[out_dim, pix]` accumulator
-        // (pix = 1 for FC, where the layouts coincide). Conv runs in the
-        // weights-times-columns orientation so the inner loop streams whole
-        // pixel rows and the zero-skip fires on sparse clustered weights.
+        // Multiply into per-example channel-major `[out_dim, pix]`
+        // accumulators (pix = 1 for FC, where the layouts coincide). Conv
+        // runs in the weights-times-columns orientation so the inner loop
+        // streams whole pixel rows and the zero-skip fires on sparse
+        // clustered weights; FC folds the whole batch into one `igemm`
+        // with `M = batch` (its `[batch, out_dim]` row-major output is
+        // exactly the concatenated per-example layout).
         let (pix, out_dim, acc) = match syn.kind {
             SynKind::Conv { spec, in_c, out_c } => {
                 debug_assert_eq!(shape.c, in_c, "conv input channel mismatch");
                 let (oh, ow) = (spec.output_size(shape.h), spec.output_size(shape.w));
                 let pix = oh * ow;
                 let ckk = in_c * spec.kernel * spec.kernel;
+                let in_len = shape.len();
                 let mut cols = scratch::take_i32(ckk * pix);
-                im2col_i32(cur, in_c, (shape.h, shape.w), spec, &mut cols);
-                let mut acc = scratch::take_i32(out_c * pix);
-                igemm_wx(out_c, ckk, pix, &syn.packed, &cols, &mut acc);
+                let mut acc = scratch::take_i32(batch * out_c * pix);
+                for b in 0..batch {
+                    im2col_i32(
+                        &cur[b * in_len..(b + 1) * in_len],
+                        in_c,
+                        (shape.h, shape.w),
+                        spec,
+                        &mut cols,
+                    );
+                    igemm_wx(
+                        out_c,
+                        ckk,
+                        pix,
+                        &syn.packed,
+                        &cols,
+                        &mut acc[b * out_c * pix..(b + 1) * out_c * pix],
+                    );
+                }
                 scratch::put_i32(cols);
                 *shape = SignalShape { c: out_c, h: oh, w: ow, flat: shape.flat };
                 (pix, out_c, acc)
             }
             SynKind::Fc { in_dim, out_dim } => {
-                debug_assert_eq!(cur.len(), in_dim, "fc input length mismatch");
-                let mut acc = scratch::take_i32(out_dim);
-                igemm(1, in_dim, out_dim, cur, &syn.packed, &mut acc);
+                debug_assert_eq!(cur.len(), batch * in_dim, "fc input length mismatch");
+                let mut acc = scratch::take_i32(batch * out_dim);
+                igemm(batch, in_dim, out_dim, cur, &syn.packed, &mut acc);
                 *shape = SignalShape { c: out_dim, h: 1, w: 1, flat: true };
                 (1, out_dim, acc)
             }
         };
 
+        let stride = out_dim * pix;
         match &syn.out {
             EngineOut::Counts { max_level, thresholds, record, .. } => {
                 let max = *max_level as usize;
-                let mut next = scratch::take_i32(out_dim * pix);
+                let mut next = scratch::take_i32(batch * stride);
                 let mut spikes = 0u64;
                 let mut saturated = 0u64;
                 let tally = *record && qsnc_telemetry::enabled();
-                for f in 0..out_dim {
-                    let t = &thresholds[f * max..(f + 1) * max];
-                    let arow = &acc[f * pix..(f + 1) * pix];
-                    let nrow = &mut next[f * pix..(f + 1) * pix];
-                    for (nv, &y) in nrow.iter_mut().zip(arow.iter()) {
-                        let count = t.partition_point(|&t| t <= y) as i32;
-                        *nv = count;
-                        if tally {
-                            spikes += count as u64;
-                            if count as u32 >= *max_level {
-                                saturated += 1;
+                for b in 0..batch {
+                    let abase = &acc[b * stride..(b + 1) * stride];
+                    let nbase = &mut next[b * stride..(b + 1) * stride];
+                    for f in 0..out_dim {
+                        let t = &thresholds[f * max..(f + 1) * max];
+                        let arow = &abase[f * pix..(f + 1) * pix];
+                        let nrow = &mut nbase[f * pix..(f + 1) * pix];
+                        for (nv, &y) in nrow.iter_mut().zip(arow.iter()) {
+                            let count = t.partition_point(|&t| t <= y) as i32;
+                            *nv = count;
+                            if tally {
+                                spikes += count as u64;
+                                if count as u32 >= *max_level {
+                                    saturated += 1;
+                                }
                             }
                         }
                     }
                 }
                 if tally {
                     qsnc_telemetry::counter_add("snc.spikes", spikes);
-                    qsnc_telemetry::counter_add("snc.ifc.conversions", (out_dim * pix) as u64);
+                    qsnc_telemetry::counter_add("snc.ifc.conversions", (batch * stride) as u64);
                     qsnc_telemetry::counter_add("snc.ifc.saturated", saturated);
                 }
                 scratch::put_i32(acc);
@@ -359,21 +404,26 @@ impl IntEngine {
                 // Final readout: identical float expressions to the
                 // pipeline's `forward` + `requant`.
                 out.clear();
-                out.resize(out_dim * pix, 0.0);
-                for f in 0..out_dim {
-                    let arow = &acc[f * pix..(f + 1) * pix];
-                    let orow = &mut out[f * pix..(f + 1) * pix];
-                    for (ov, &y) in orow.iter_mut().zip(arow.iter()) {
-                        let z = syn.weight_scale * (y as f32) / syn.in_scale + syn.bias[f];
-                        *ov = match (syn.rectify, syn.out_quant) {
-                            (true, Some(q)) => {
-                                let ifc = crate::spike::Ifc::new(1.0 / q.scale(), q.max_level());
-                                ifc.convert(z.max(0.0)) as f32 / q.scale()
-                            }
-                            (true, None) => z.max(0.0),
-                            (false, Some(q)) => q.quantize_value(z),
-                            (false, None) => z,
-                        };
+                out.resize(batch * stride, 0.0);
+                for b in 0..batch {
+                    let abase = &acc[b * stride..(b + 1) * stride];
+                    let obase = &mut out[b * stride..(b + 1) * stride];
+                    for f in 0..out_dim {
+                        let arow = &abase[f * pix..(f + 1) * pix];
+                        let orow = &mut obase[f * pix..(f + 1) * pix];
+                        for (ov, &y) in orow.iter_mut().zip(arow.iter()) {
+                            let z = syn.weight_scale * (y as f32) / syn.in_scale + syn.bias[f];
+                            *ov = match (syn.rectify, syn.out_quant) {
+                                (true, Some(q)) => {
+                                    let ifc =
+                                        crate::spike::Ifc::new(1.0 / q.scale(), q.max_level());
+                                    ifc.convert(z.max(0.0)) as f32 / q.scale()
+                                }
+                                (true, None) => z.max(0.0),
+                                (false, Some(q)) => q.quantize_value(z),
+                                (false, None) => z,
+                            };
+                        }
                     }
                 }
                 scratch::put_i32(acc);

@@ -597,6 +597,48 @@ impl SpikingNetwork {
         }
     }
 
+    /// Noise-free **batched** inference into a caller-owned buffer: `xs` is
+    /// a `[B, …]` tensor of `B` examples and the per-example output signals
+    /// are written back-to-back into `out` (`out.len() / B` floats each, in
+    /// the same layout as [`Self::infer`]'s flattened output tensor).
+    ///
+    /// On the integer fast path every example is bit-identical to
+    /// [`Self::infer_reference`] — FC stages fold the batch into a single
+    /// integer GEMM, conv stages stream examples through shared scratch
+    /// buffers — and a warm fixed-batch-size call performs **zero heap
+    /// allocations**. Without a fast path the examples fall back to
+    /// [`Self::infer`] one at a time. Returns `true` when the fast path
+    /// ran. This is the entry point the `qsnc-serve` micro-batcher drives.
+    pub fn infer_batch_into(&self, xs: &Tensor, out: &mut Vec<f32>) -> bool {
+        let batch = xs.dims()[0];
+        if batch == 0 {
+            out.clear();
+            return self.engine.is_some();
+        }
+        match &self.engine {
+            Some(engine) => {
+                let _span = qsnc_telemetry::span!("snc.infer");
+                engine.infer_batch_into(xs, out);
+                true
+            }
+            None => {
+                let stride: usize = xs.dims()[1..].iter().product();
+                let mut ex_dims = vec![1usize];
+                ex_dims.extend_from_slice(&xs.dims()[1..]);
+                let mut example = Tensor::from_vec(vec![0.0; stride], ex_dims);
+                out.clear();
+                for b in 0..batch {
+                    example
+                        .as_mut_slice()
+                        .copy_from_slice(&xs.as_slice()[b * stride..(b + 1) * stride]);
+                    let logits = self.infer(&example, None);
+                    out.extend_from_slice(logits.as_slice());
+                }
+                false
+            }
+        }
+    }
+
     /// Whether the integer fast-path engine was compiled for this network.
     pub fn has_fast_path(&self) -> bool {
         self.engine.is_some()

@@ -48,6 +48,14 @@ pub fn apply_fault(w: &mut Tensor, model: FaultModel, rng: &mut TensorRng) -> us
         FaultModel::StuckAtMax { rate } => {
             assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1]");
             let max = w.abs_max();
+            // An all-zero tensor has no magnitude to saturate to: without
+            // this guard the faulted elements would be overwritten with
+            // ±0.0, flipping sign bits (and so byte-level content) while
+            // claiming the tensor was faulted. Saturating to zero is a
+            // genuine no-op, so report zero hits.
+            if max == 0.0 {
+                return 0;
+            }
             let mut hits = 0;
             for v in w.iter_mut() {
                 if rng.chance(rate) {
@@ -129,6 +137,71 @@ mod tests {
         assert!(w.iter().all(|&v| v > 0.0));
         assert!((w.mean() - 1.0).abs() < 0.02, "mean {}", w.mean());
         assert!(w.std() > 0.05, "std {}", w.std());
+    }
+
+    fn bits_of(w: &Tensor) -> Vec<u32> {
+        w.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn rate_zero_mutates_nothing_for_every_model() {
+        for model in [
+            FaultModel::StuckAtZero { rate: 0.0 },
+            FaultModel::StuckAtMax { rate: 0.0 },
+            FaultModel::Variation { sigma: 0.0 },
+        ] {
+            let mut rng = TensorRng::seed(7);
+            let mut w = Tensor::from_slice(&[1.5, -2.25, 0.0, -0.0, f32::MIN_POSITIVE]);
+            let before = bits_of(&w);
+            assert_eq!(apply_fault(&mut w, model, &mut rng), 0, "{model:?}");
+            assert_eq!(bits_of(&w), before, "{model:?} altered bytes at rate/sigma 0");
+        }
+    }
+
+    #[test]
+    fn rate_one_hits_every_element() {
+        let mut rng = TensorRng::seed(8);
+        let mut w = Tensor::from_slice(&[0.25, -0.75, 1.0, -1.0, 0.5]);
+        let hits = apply_fault(&mut w, FaultModel::StuckAtZero { rate: 1.0 }, &mut rng);
+        assert_eq!(hits, w.len());
+        assert!(w.iter().all(|&v| v == 0.0));
+
+        let mut w = Tensor::from_slice(&[0.25, -0.75, 1.0, -1.0, 0.5]);
+        let hits = apply_fault(&mut w, FaultModel::StuckAtMax { rate: 1.0 }, &mut rng);
+        assert_eq!(hits, w.len());
+        assert!(w.iter().all(|&v| v.abs() == 1.0));
+    }
+
+    #[test]
+    fn stuck_at_max_on_all_zero_tensor_is_a_noop() {
+        let mut rng = TensorRng::seed(9);
+        // Mix +0.0 and -0.0 so a ±0 overwrite would show up at bit level.
+        let mut w = Tensor::from_slice(&[0.0, -0.0, 0.0, -0.0]);
+        let before = bits_of(&w);
+        let hits = apply_fault(&mut w, FaultModel::StuckAtMax { rate: 1.0 }, &mut rng);
+        assert_eq!(hits, 0, "saturating a zero tensor affects nothing");
+        assert_eq!(bits_of(&w), before, "sign bits of ±0.0 must survive");
+    }
+
+    #[test]
+    fn fixed_seed_gives_byte_identical_fault_masks() {
+        for model in [
+            FaultModel::StuckAtZero { rate: 0.35 },
+            FaultModel::StuckAtMax { rate: 0.35 },
+            FaultModel::Variation { sigma: 0.2 },
+        ] {
+            let base: Vec<f32> = (0..512).map(|i| (i as f32 - 256.0) / 37.0).collect();
+            let mut a = Tensor::from_slice(&base);
+            let mut b = Tensor::from_slice(&base);
+            let hits_a = apply_fault(&mut a, model, &mut TensorRng::seed(42));
+            let hits_b = apply_fault(&mut b, model, &mut TensorRng::seed(42));
+            assert_eq!(hits_a, hits_b, "{model:?}");
+            assert_eq!(bits_of(&a), bits_of(&b), "{model:?} mask not reproducible");
+            // And a different seed really does change the mask.
+            let mut c = Tensor::from_slice(&base);
+            apply_fault(&mut c, model, &mut TensorRng::seed(43));
+            assert_ne!(bits_of(&a), bits_of(&c), "{model:?} ignores the seed");
+        }
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Dynamic micro-batching over the bounded request queue.
+//!
+//! The batcher owns the receiving end of the server's bounded request
+//! queue. A batch window opens when the first request arrives and flushes
+//! when either `max_batch` requests have been collected **or**
+//! `max_delay` has elapsed since the window opened — whichever comes
+//! first. Under load the queue always has requests waiting, so batches
+//! fill to `max_batch` with no added latency; at low rates a lone request
+//! waits at most `max_delay` before running alone. This is the standard
+//! throughput/latency trade dynamic batching makes, tuned by the
+//! `QSNC_SERVE_MAX_BATCH` / `QSNC_SERVE_MAX_DELAY_US` knobs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One admitted inference request travelling from a connection thread to a
+/// worker.
+pub(crate) struct Request {
+    /// Decoded input example.
+    pub(crate) input: Vec<f32>,
+    /// Where the worker sends the result; the connection thread blocks on
+    /// the paired receiver.
+    pub(crate) reply_tx: Sender<WorkerReply>,
+    /// When the request was admitted to the queue (serve.latency_us start).
+    pub(crate) enqueued: Instant,
+}
+
+/// A finished inference result.
+pub(crate) struct WorkerReply {
+    /// Index of the largest logit.
+    pub(crate) argmax: u32,
+    /// The class logits, bit-identical to `infer_reference`.
+    pub(crate) logits: Vec<f32>,
+}
+
+/// Histogram bucket edges for `serve.batch.size`.
+pub(crate) const BATCH_SIZE_EDGES: &[f64] = &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
+/// Histogram bucket edges for `serve.queue.depth`.
+pub(crate) const QUEUE_DEPTH_EDGES: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// Histogram bucket edges for `serve.latency_us`.
+pub(crate) const LATENCY_EDGES: &[f64] = &[
+    50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0,
+];
+
+/// The consuming half of the request queue plus the batching policy.
+pub(crate) struct MicroBatcher {
+    rx: Receiver<Request>,
+    max_batch: usize,
+    max_delay: Duration,
+    /// Shared queue-occupancy gauge, decremented as requests are popped.
+    depth: Arc<AtomicUsize>,
+}
+
+impl MicroBatcher {
+    pub(crate) fn new(
+        rx: Receiver<Request>,
+        max_batch: usize,
+        max_delay: Duration,
+        depth: Arc<AtomicUsize>,
+    ) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        MicroBatcher { rx, max_batch, max_delay, depth }
+    }
+
+    fn pop(&self, req: Request, batch: &mut Vec<Request>) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        batch.push(req);
+    }
+
+    /// Blocks for the next batch. Returns `None` once every producer has
+    /// disconnected and the queue is drained — buffered requests are still
+    /// delivered first, which is what makes shutdown drain rather than
+    /// drop.
+    pub(crate) fn next_batch(&self) -> Option<Vec<Request>> {
+        let mut batch = Vec::with_capacity(self.max_batch);
+        match self.rx.recv() {
+            Ok(req) => self.pop(req, &mut batch),
+            Err(_) => return None,
+        }
+        let deadline = Instant::now() + self.max_delay;
+        while batch.len() < self.max_batch {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.rx.recv_timeout(remaining) {
+                Ok(req) => self.pop(req, &mut batch),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        if qsnc_telemetry::enabled() {
+            qsnc_telemetry::observe("serve.batch.size", batch.len() as f64, BATCH_SIZE_EDGES);
+        }
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    fn request(v: f32) -> (Request, mpsc::Receiver<WorkerReply>) {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        (
+            Request { input: vec![v], reply_tx, enqueued: Instant::now() },
+            reply_rx,
+        )
+    }
+
+    #[test]
+    fn flushes_at_max_batch_before_deadline() {
+        let (tx, rx) = mpsc::sync_channel(16);
+        let depth = Arc::new(AtomicUsize::new(0));
+        // A generous delay: the flush below must come from the size bound.
+        let batcher = MicroBatcher::new(rx, 3, Duration::from_secs(30), Arc::clone(&depth));
+        let mut replies = Vec::new();
+        for i in 0..5 {
+            let (req, rrx) = request(i as f32);
+            depth.fetch_add(1, Ordering::Relaxed);
+            tx.send(req).unwrap();
+            replies.push(rrx);
+        }
+        let start = Instant::now();
+        let batch = batcher.next_batch().expect("batch");
+        assert_eq!(batch.len(), 3);
+        assert!(start.elapsed() < Duration::from_secs(5), "flush must not wait the delay out");
+        assert_eq!(depth.load(Ordering::Relaxed), 2);
+        assert_eq!(batch[0].input, vec![0.0]);
+        assert_eq!(batch[2].input, vec![2.0]);
+    }
+
+    #[test]
+    fn flushes_partial_batch_at_deadline() {
+        let (tx, rx) = mpsc::sync_channel(16);
+        let depth = Arc::new(AtomicUsize::new(0));
+        let batcher = MicroBatcher::new(rx, 8, Duration::from_millis(20), Arc::clone(&depth));
+        let (req, _rrx) = request(7.0);
+        depth.fetch_add(1, Ordering::Relaxed);
+        tx.send(req).unwrap();
+        let batch = batcher.next_batch().expect("batch");
+        assert_eq!(batch.len(), 1, "deadline must flush a partial batch");
+        // Keep the sender alive to this point so disconnect wasn't the cause.
+        drop(tx);
+    }
+
+    #[test]
+    fn drains_queue_after_disconnect_then_stops() {
+        let (tx, rx) = mpsc::sync_channel(16);
+        let depth = Arc::new(AtomicUsize::new(0));
+        let batcher = MicroBatcher::new(rx, 2, Duration::from_millis(5), Arc::clone(&depth));
+        let mut replies = Vec::new();
+        for i in 0..3 {
+            let (req, rrx) = request(i as f32);
+            depth.fetch_add(1, Ordering::Relaxed);
+            tx.send(req).unwrap();
+            replies.push(rrx);
+        }
+        drop(tx);
+        assert_eq!(batcher.next_batch().expect("first").len(), 2);
+        assert_eq!(batcher.next_batch().expect("drained remainder").len(), 1);
+        assert!(batcher.next_batch().is_none(), "drained queue must end the loop");
+        assert_eq!(depth.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,448 @@
+//! # qsnc-serve
+//!
+//! A batched TCP inference server over [`qsnc_memristor::SpikingNetwork`] —
+//! the layer that turns the integer fast-path engine into a system that
+//! accepts traffic. Zero dependencies beyond `std::net` + the workspace.
+//!
+//! Architecture, one request's journey:
+//!
+//! 1. **Connection thread** decodes a length-prefixed binary frame
+//!    ([`protocol`]) and admits the request to a **bounded queue**. A full
+//!    queue answers [`Status::Busy`] immediately — explicit backpressure
+//!    instead of unbounded buffering.
+//! 2. The **micro-batcher** collects admitted requests into a batch,
+//!    flushing when `max_batch` requests arrived or `max_delay_us` elapsed
+//!    since the first — whichever comes first.
+//! 3. A **worker** packs the batch into a `[B, …]` tensor and drives
+//!    [`SpikingNetwork::infer_batch_into`]: every reply is bit-identical
+//!    to `SpikingNetwork::infer_reference`, and steady-state serving at a
+//!    warm batch size performs zero fresh scratch allocations (workers are
+//!    persistent threads, so the `qsnc_tensor::scratch` arena stays warm).
+//! 4. The worker's reply travels back to the connection thread, which
+//!    writes the logits + argmax frame.
+//!
+//! [`Server::shutdown`] drains: accepting stops, open connections are
+//! nudged off their reads, every request already admitted is batched,
+//! inferred, and answered, and only then do the batcher and workers exit.
+//!
+//! Telemetry (enable with `QSNC_TELEMETRY`) records under the frozen
+//! `serve.*` taxonomy: `serve.queue.depth`, `serve.batch.size` and
+//! `serve.latency_us` histograms, and the `serve.rejected` counter, plus
+//! `serve.requests` / `serve.batches` / `serve.connections` /
+//! `serve.bad_requests` totals.
+
+#![warn(missing_docs)]
+
+mod batcher;
+pub mod protocol;
+
+pub use protocol::{Reply, Status};
+
+use batcher::{MicroBatcher, Request, WorkerReply, LATENCY_EDGES, QUEUE_DEPTH_EDGES};
+use qsnc_memristor::SpikingNetwork;
+use qsnc_tensor::Tensor;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving parameters. `..Default::default()` gives the production knobs;
+/// `from_env` layers the `QSNC_SERVE_*` environment overrides on top.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Largest batch a worker runs at once (`QSNC_SERVE_MAX_BATCH`).
+    pub max_batch: usize,
+    /// Longest a lone request waits for batch-mates, in microseconds
+    /// (`QSNC_SERVE_MAX_DELAY_US`).
+    pub max_delay_us: u64,
+    /// Bounded request-queue capacity; a full queue replies
+    /// [`Status::Busy`].
+    pub queue_cap: usize,
+    /// Inference worker threads. One is right for single-core deployments;
+    /// each worker keeps its own warm scratch arena.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { max_batch: 8, max_delay_us: 200, queue_cap: 64, workers: 1 }
+    }
+}
+
+impl ServeConfig {
+    /// Default config with `QSNC_SERVE_MAX_BATCH` / `QSNC_SERVE_MAX_DELAY_US`
+    /// environment overrides applied (invalid values are ignored).
+    pub fn from_env() -> Self {
+        let mut config = ServeConfig::default();
+        if let Some(v) = env_parse("QSNC_SERVE_MAX_BATCH") {
+            config.max_batch = 1.max(v as usize);
+        }
+        if let Some(v) = env_parse("QSNC_SERVE_MAX_DELAY_US") {
+            config.max_delay_us = v;
+        }
+        config
+    }
+}
+
+fn env_parse(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Same tie-breaking as `Tensor::argmax` (lowest index wins).
+fn argmax_slice(v: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &x) in v.iter().enumerate() {
+        if x > best_v {
+            best_v = x;
+            best = i;
+        }
+    }
+    best
+}
+
+/// A connection's read half (for the shutdown nudge; `None` if the clone
+/// failed) plus its thread handle.
+type ConnSlot = (Option<TcpStream>, JoinHandle<()>);
+
+/// A running inference server. Dropping it (or calling
+/// [`Server::shutdown`]) drains in-flight work before returning.
+pub struct Server {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    req_tx: Option<SyncSender<Request>>,
+    acceptor: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<ConnSlot>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `snn`. `input_dims` is the per-example input shape (e.g.
+    /// `[1, 28, 28]`); request payloads must carry exactly that many
+    /// `f32`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind/listen error, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` has a zero `max_batch`, `queue_cap`, or
+    /// `workers`, or if `input_dims` is empty/zero-sized.
+    pub fn spawn(
+        snn: Arc<SpikingNetwork>,
+        input_dims: &[usize],
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        assert!(config.max_batch >= 1, "max_batch must be at least 1");
+        assert!(config.queue_cap >= 1, "queue_cap must be at least 1");
+        assert!(config.workers >= 1, "need at least one worker");
+        let input_len: usize = input_dims.iter().product();
+        assert!(input_len > 0, "input_dims must describe a non-empty example");
+
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+
+        let running = Arc::new(AtomicBool::new(true));
+        let depth = Arc::new(AtomicUsize::new(0));
+        let (req_tx, req_rx) = mpsc::sync_channel::<Request>(config.queue_cap);
+        // Rendezvous hand-off to the workers: the batcher blocks until one
+        // is free, which is what lets the bounded request queue fill and
+        // the Busy backpressure engage under overload.
+        let (work_tx, work_rx) = mpsc::sync_channel::<Vec<Request>>(0);
+        let work_rx = Arc::new(Mutex::new(work_rx));
+
+        let micro = MicroBatcher::new(
+            req_rx,
+            config.max_batch,
+            Duration::from_micros(config.max_delay_us),
+            Arc::clone(&depth),
+        );
+        let batcher = std::thread::spawn(move || {
+            while let Some(batch) = micro.next_batch() {
+                qsnc_telemetry::counter_add("serve.batches", 1);
+                if work_tx.send(batch).is_err() {
+                    break;
+                }
+            }
+            // work_tx drops here: workers drain their queue and exit.
+        });
+
+        let workers = (0..config.workers)
+            .map(|_| {
+                let snn = Arc::clone(&snn);
+                let dims = input_dims.to_vec();
+                let rx = Arc::clone(&work_rx);
+                let max_batch = config.max_batch;
+                std::thread::spawn(move || worker_loop(&snn, &dims, max_batch, &rx))
+            })
+            .collect();
+
+        let conns: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
+        let acceptor = {
+            let running = Arc::clone(&running);
+            let conns = Arc::clone(&conns);
+            let req_tx = req_tx.clone();
+            let depth = Arc::clone(&depth);
+            std::thread::spawn(move || {
+                acceptor_loop(&listener, &running, req_tx, &conns, input_len, &depth)
+            })
+        };
+
+        Ok(Server {
+            addr: local,
+            running,
+            req_tx: Some(req_tx),
+            acceptor: Some(acceptor),
+            batcher: Some(batcher),
+            workers,
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stops accepting, answers every request already
+    /// admitted to the queue, then joins every thread.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else { return };
+        self.running.store(false, Ordering::SeqCst);
+        // Unblock the acceptor; refused is fine — it means the acceptor
+        // already exited on a late real connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = acceptor.join();
+        // Nudge idle connections off their blocking reads; threads mid
+        // request still receive and write their reply first, because the
+        // batcher and workers below outlive the connection joins.
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
+        for (stream, _) in &conns {
+            if let Some(s) = stream {
+                let _ = s.shutdown(Shutdown::Read);
+            }
+        }
+        for (_, handle) in conns {
+            let _ = handle.join();
+        }
+        // All producers are gone: the batcher drains the queue, flushes the
+        // final partial batch, and hangs up on the workers.
+        drop(self.req_tx.take());
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.addr)
+            .field("running", &self.running.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    running: &AtomicBool,
+    req_tx: SyncSender<Request>,
+    conns: &Mutex<Vec<ConnSlot>>,
+    input_len: usize,
+    depth: &Arc<AtomicUsize>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if !running.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if !running.load(Ordering::SeqCst) {
+            // The shutdown nudge, or a client racing it.
+            let mut stream = stream;
+            let _ = protocol::write_error_reply(
+                &mut stream,
+                Status::ShuttingDown,
+                "server shutting down",
+            );
+            break;
+        }
+        qsnc_telemetry::counter_add("serve.connections", 1);
+        let _ = stream.set_nodelay(true);
+        // A reply write can only block on a client that stopped reading;
+        // bound it so shutdown can always join this thread.
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+        let read_half = stream.try_clone().ok();
+        let tx = req_tx.clone();
+        let d = Arc::clone(depth);
+        let handle = std::thread::spawn(move || connection_loop(stream, input_len, &tx, &d));
+        conns.lock().unwrap().push((read_half, handle));
+    }
+}
+
+fn connection_loop(
+    mut stream: TcpStream,
+    input_len: usize,
+    req_tx: &SyncSender<Request>,
+    depth: &AtomicUsize,
+) {
+    let mut input: Vec<f32> = Vec::with_capacity(input_len);
+    loop {
+        match protocol::read_request(&mut stream, input_len, &mut input) {
+            Ok(()) => {
+                let (reply_tx, reply_rx) = mpsc::channel::<WorkerReply>();
+                let req = Request {
+                    input: std::mem::take(&mut input),
+                    reply_tx,
+                    enqueued: Instant::now(),
+                };
+                // Count before sending so the batcher's decrement can never
+                // observe the admission before the gauge does.
+                let occupied = depth.fetch_add(1, Ordering::Relaxed) + 1;
+                match req_tx.try_send(req) {
+                    Ok(()) => {
+                        if qsnc_telemetry::enabled() {
+                            qsnc_telemetry::counter_add("serve.requests", 1);
+                            qsnc_telemetry::observe(
+                                "serve.queue.depth",
+                                occupied as f64,
+                                QUEUE_DEPTH_EDGES,
+                            );
+                        }
+                        match reply_rx.recv() {
+                            Ok(reply) => {
+                                if protocol::write_ok_reply(
+                                    &mut stream,
+                                    reply.argmax,
+                                    &reply.logits,
+                                )
+                                .is_err()
+                                {
+                                    break;
+                                }
+                            }
+                            Err(_) => {
+                                // Worker gone before answering (only on
+                                // teardown): tell the client and bail.
+                                let _ = protocol::write_error_reply(
+                                    &mut stream,
+                                    Status::ShuttingDown,
+                                    "server draining",
+                                );
+                                break;
+                            }
+                        }
+                    }
+                    Err(TrySendError::Full(req)) => {
+                        depth.fetch_sub(1, Ordering::Relaxed);
+                        drop(req);
+                        qsnc_telemetry::counter_add("serve.rejected", 1);
+                        if protocol::write_error_reply(
+                            &mut stream,
+                            Status::Busy,
+                            "request queue full (backpressure): retry",
+                        )
+                        .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    Err(TrySendError::Disconnected(req)) => {
+                        depth.fetch_sub(1, Ordering::Relaxed);
+                        drop(req);
+                        let _ = protocol::write_error_reply(
+                            &mut stream,
+                            Status::ShuttingDown,
+                            "server shutting down",
+                        );
+                        break;
+                    }
+                }
+            }
+            Err(protocol::FrameError::Bad(msg)) => {
+                qsnc_telemetry::counter_add("serve.bad_requests", 1);
+                if protocol::write_error_reply(&mut stream, Status::BadRequest, &msg).is_err() {
+                    break;
+                }
+            }
+            Err(protocol::FrameError::Fatal(msg)) => {
+                qsnc_telemetry::counter_add("serve.bad_requests", 1);
+                let _ = protocol::write_error_reply(&mut stream, Status::BadRequest, &msg);
+                break;
+            }
+            Err(protocol::FrameError::Disconnected) | Err(protocol::FrameError::Io(_)) => break,
+        }
+    }
+}
+
+fn worker_loop(
+    snn: &SpikingNetwork,
+    input_dims: &[usize],
+    max_batch: usize,
+    work_rx: &Mutex<Receiver<Vec<Request>>>,
+) {
+    let input_len: usize = input_dims.iter().product();
+    // One cached input tensor per batch size: after each size has been
+    // seen once, packing + inference allocate nothing.
+    let mut tensors: Vec<Option<Tensor>> = (0..=max_batch).map(|_| None).collect();
+    let mut out: Vec<f32> = Vec::new();
+    loop {
+        let batch = match work_rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => break, // a sibling worker panicked
+        };
+        let Ok(batch) = batch else { break };
+        let b = batch.len();
+        debug_assert!(b >= 1 && b <= max_batch, "batcher produced batch of {b}");
+        let xs = tensors[b].get_or_insert_with(|| {
+            let mut dims = vec![b];
+            dims.extend_from_slice(input_dims);
+            Tensor::from_vec(vec![0.0; b * input_len], dims)
+        });
+        let slice = xs.as_mut_slice();
+        for (i, req) in batch.iter().enumerate() {
+            slice[i * input_len..(i + 1) * input_len].copy_from_slice(&req.input);
+        }
+        snn.infer_batch_into(xs, &mut out);
+        let stride = out.len() / b;
+        for (i, req) in batch.into_iter().enumerate() {
+            let logits = out[i * stride..(i + 1) * stride].to_vec();
+            let argmax = argmax_slice(&logits) as u32;
+            if qsnc_telemetry::enabled() {
+                qsnc_telemetry::observe(
+                    "serve.latency_us",
+                    req.enqueued.elapsed().as_micros() as f64,
+                    LATENCY_EDGES,
+                );
+            }
+            // A send error means the client hung up mid-request; the
+            // connection thread already noticed, nothing to do.
+            let _ = req.reply_tx.send(WorkerReply { argmax, logits });
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Length-prefixed binary wire protocol.
+//!
+//! Every frame — request or reply — starts with the same 10-byte header:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic   = 0x434E5351 ("QSNC" as little-endian bytes)
+//! 4       1     version = 1
+//! 5       1     request: op (0 = infer) / reply: status code
+//! 6       4     payload length in bytes, little-endian
+//! 10      len   payload
+//! ```
+//!
+//! An infer request's payload is the example as little-endian `f32`s and
+//! must be exactly `4 · input_len` bytes for the model being served. An
+//! [`Status::Ok`] reply's payload is `argmax: u32`, `n: u32`, then `n`
+//! little-endian `f32` logits; every other status carries a UTF-8 error
+//! message. Payloads are capped at [`MAX_FRAME_BYTES`]; a frame declaring
+//! more than that (or a bad magic/version) cannot be resynchronized and the
+//! server closes the connection after replying.
+
+use std::io::{self, Read, Write};
+
+/// Frame magic: the bytes `QSNC` read as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"QSNC");
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Request opcode: run inference on one example.
+pub const OP_INFER: u8 = 0;
+
+/// Upper bound on a frame payload; anything larger is rejected unread.
+pub const MAX_FRAME_BYTES: u32 = 4 << 20;
+
+/// Bytes in the fixed frame header.
+pub const HEADER_BYTES: usize = 10;
+
+/// Reply status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Inference ran; payload carries argmax + logits.
+    Ok,
+    /// The bounded request queue was full — retry later (backpressure).
+    Busy,
+    /// The request was malformed; payload carries a message.
+    BadRequest,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+}
+
+impl Status {
+    fn code(self) -> u8 {
+        match self {
+            Status::Ok => 0,
+            Status::Busy => 1,
+            Status::BadRequest => 2,
+            Status::ShuttingDown => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Status> {
+        match code {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Busy),
+            2 => Some(Status::BadRequest),
+            3 => Some(Status::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded reply frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Outcome of the request.
+    pub status: Status,
+    /// Index of the largest logit (valid when `status` is [`Status::Ok`]).
+    pub argmax: u32,
+    /// Class logits (empty unless `status` is [`Status::Ok`]).
+    pub logits: Vec<f32>,
+    /// Error message (empty when `status` is [`Status::Ok`]).
+    pub message: String,
+}
+
+/// Why reading a request frame failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection (cleanly or mid-frame).
+    Disconnected,
+    /// Well-framed but invalid request; the connection can continue.
+    Bad(String),
+    /// Unframeable input (bad magic/version, oversized declaration); the
+    /// connection cannot be resynchronized and must close after replying.
+    Fatal(String),
+    /// Transport error.
+    Io(io::Error),
+}
+
+fn read_exact_or_disconnect(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    match r.read_exact(buf) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Err(FrameError::Disconnected),
+        Err(e) => Err(FrameError::Io(e)),
+    }
+}
+
+/// Server side: reads one infer request, validating framing and that the
+/// payload holds exactly `input_len` `f32`s, which are appended to `input`
+/// (cleared first). Payload bytes stage through the thread's
+/// [`qsnc_tensor::scratch`] arena, so a persistent connection thread reads
+/// allocation-free once warm.
+pub fn read_request(
+    r: &mut impl Read,
+    input_len: usize,
+    input: &mut Vec<f32>,
+) -> Result<(), FrameError> {
+    let mut header = [0u8; HEADER_BYTES];
+    read_exact_or_disconnect(r, &mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(FrameError::Fatal(format!(
+            "bad magic 0x{magic:08x} (expected 0x{MAGIC:08x})"
+        )));
+    }
+    if header[4] != VERSION {
+        return Err(FrameError::Fatal(format!(
+            "unsupported protocol version {} (expected {VERSION})",
+            header[4]
+        )));
+    }
+    let op = header[5];
+    let len = u32::from_le_bytes(header[6..10].try_into().unwrap());
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Fatal(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    // From here the payload length is trusted: consume it fully so the
+    // stream stays framed even when the request is rejected.
+    let mut payload = qsnc_tensor::scratch::take_u8(len as usize);
+    let read = read_exact_or_disconnect(r, &mut payload);
+    let result = read.and_then(|()| {
+        if op != OP_INFER {
+            return Err(FrameError::Bad(format!("unknown opcode {op}")));
+        }
+        if payload.len() != 4 * input_len {
+            return Err(FrameError::Bad(format!(
+                "payload is {} bytes, model expects {} ({} f32 values)",
+                payload.len(),
+                4 * input_len,
+                input_len
+            )));
+        }
+        input.clear();
+        input.extend(
+            payload
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+        );
+        Ok(())
+    });
+    qsnc_tensor::scratch::put_u8(payload);
+    result
+}
+
+fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    let mut frame = qsnc_tensor::scratch::take_u8(HEADER_BYTES + payload.len());
+    frame[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    frame[4] = VERSION;
+    frame[5] = kind;
+    frame[6..10].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame[HEADER_BYTES..].copy_from_slice(payload);
+    let result = w.write_all(&frame).and_then(|()| w.flush());
+    qsnc_tensor::scratch::put_u8(frame);
+    result
+}
+
+/// Client side: writes one infer request frame.
+pub fn write_request(w: &mut impl Write, input: &[f32]) -> io::Result<()> {
+    let mut payload = qsnc_tensor::scratch::take_u8(4 * input.len());
+    for (chunk, v) in payload.chunks_exact_mut(4).zip(input) {
+        chunk.copy_from_slice(&v.to_le_bytes());
+    }
+    let result = write_frame(w, OP_INFER, &payload);
+    qsnc_tensor::scratch::put_u8(payload);
+    result
+}
+
+/// Server side: writes an [`Status::Ok`] reply with argmax + logits.
+pub fn write_ok_reply(w: &mut impl Write, argmax: u32, logits: &[f32]) -> io::Result<()> {
+    let mut payload = qsnc_tensor::scratch::take_u8(8 + 4 * logits.len());
+    payload[0..4].copy_from_slice(&argmax.to_le_bytes());
+    payload[4..8].copy_from_slice(&(logits.len() as u32).to_le_bytes());
+    for (chunk, v) in payload[8..].chunks_exact_mut(4).zip(logits) {
+        chunk.copy_from_slice(&v.to_le_bytes());
+    }
+    let result = write_frame(w, Status::Ok.code(), &payload);
+    qsnc_tensor::scratch::put_u8(payload);
+    result
+}
+
+/// Server side: writes an error reply carrying `message`.
+pub fn write_error_reply(w: &mut impl Write, status: Status, message: &str) -> io::Result<()> {
+    debug_assert_ne!(status, Status::Ok, "error replies carry non-Ok statuses");
+    write_frame(w, status.code(), message.as_bytes())
+}
+
+/// Client side: reads one reply frame.
+pub fn read_reply(r: &mut impl Read) -> io::Result<Reply> {
+    let mut header = [0u8; HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC || header[4] != VERSION {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad reply header"));
+    }
+    let status = Status::from_code(header[5])
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unknown status"))?;
+    let len = u32::from_le_bytes(header[6..10].try_into().unwrap());
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized reply"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    match status {
+        Status::Ok => {
+            if payload.len() < 8 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "truncated Ok reply"));
+            }
+            let argmax = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+            let n = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
+            if payload.len() != 8 + 4 * n {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "bad logits length"));
+            }
+            let logits = payload[8..]
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            Ok(Reply { status, argmax, logits, message: String::new() })
+        }
+        _ => Ok(Reply {
+            status,
+            argmax: 0,
+            logits: Vec::new(),
+            message: String::from_utf8_lossy(&payload).into_owned(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let input = vec![0.0f32, 0.5, -1.25, 3.0];
+        let mut wire = Vec::new();
+        write_request(&mut wire, &input).unwrap();
+        assert_eq!(wire.len(), HEADER_BYTES + 16);
+        let mut decoded = Vec::new();
+        read_request(&mut wire.as_slice(), 4, &mut decoded).unwrap();
+        assert_eq!(decoded, input);
+    }
+
+    #[test]
+    fn ok_reply_round_trip() {
+        let logits = vec![0.25f32, -0.5, 9.0];
+        let mut wire = Vec::new();
+        write_ok_reply(&mut wire, 2, &logits).unwrap();
+        let reply = read_reply(&mut wire.as_slice()).unwrap();
+        assert_eq!(reply.status, Status::Ok);
+        assert_eq!(reply.argmax, 2);
+        assert_eq!(reply.logits, logits);
+    }
+
+    #[test]
+    fn error_reply_carries_message() {
+        let mut wire = Vec::new();
+        write_error_reply(&mut wire, Status::Busy, "queue full — retry").unwrap();
+        let reply = read_reply(&mut wire.as_slice()).unwrap();
+        assert_eq!(reply.status, Status::Busy);
+        assert_eq!(reply.message, "queue full — retry");
+    }
+
+    #[test]
+    fn bad_magic_is_fatal() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &[1.0]).unwrap();
+        wire[0] ^= 0xff;
+        let mut buf = Vec::new();
+        match read_request(&mut wire.as_slice(), 1, &mut buf) {
+            Err(FrameError::Fatal(msg)) => assert!(msg.contains("magic"), "{msg}"),
+            other => panic!("expected Fatal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_declaration_is_fatal_without_reading_payload() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC.to_le_bytes());
+        wire.push(VERSION);
+        wire.push(OP_INFER);
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut buf = Vec::new();
+        match read_request(&mut wire.as_slice(), 1, &mut buf) {
+            Err(FrameError::Fatal(msg)) => assert!(msg.contains("cap"), "{msg}"),
+            other => panic!("expected Fatal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_payload_length_is_recoverable() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &[1.0, 2.0]).unwrap();
+        // Model expects 3 values: Bad (resyncable), not Fatal.
+        let mut buf = Vec::new();
+        match read_request(&mut wire.as_slice(), 3, &mut buf) {
+            Err(FrameError::Bad(msg)) => assert!(msg.contains("expects"), "{msg}"),
+            other => panic!("expected Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnect_mid_frame_is_disconnected() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &[1.0, 2.0]).unwrap();
+        wire.truncate(HEADER_BYTES + 3);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_request(&mut wire.as_slice(), 2, &mut buf),
+            Err(FrameError::Disconnected)
+        ));
+        // And mid-header too.
+        assert!(matches!(
+            read_request(&mut [0x51u8, 0x53].as_slice(), 2, &mut buf),
+            Err(FrameError::Disconnected)
+        ));
+    }
+}

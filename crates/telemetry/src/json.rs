@@ -312,17 +312,30 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| JsonError::new(*pos, "truncated \\u escape"))?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| JsonError::new(*pos, "bad \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| JsonError::new(*pos, "bad \\u escape"))?;
-                        // Surrogates don't appear in our own output; map them
-                        // to the replacement character rather than erroring.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let code = hex4(bytes, *pos + 1)
+                            .ok_or_else(|| JsonError::new(*pos, "bad \\u escape"))?;
                         *pos += 4;
+                        if (0xD800..=0xDBFF).contains(&code) {
+                            // JSON encodes astral characters as a surrogate
+                            // pair of \u escapes; combine with the low half.
+                            // A lone half is not a scalar value — stay
+                            // lenient and substitute U+FFFD.
+                            match (bytes.get(*pos + 1), bytes.get(*pos + 2), hex4(bytes, *pos + 3))
+                            {
+                                (Some(b'\\'), Some(b'u'), Some(low))
+                                    if (0xDC00..=0xDFFF).contains(&low) =>
+                                {
+                                    let astral =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    out.push(char::from_u32(astral).unwrap_or('\u{fffd}'));
+                                    *pos += 6;
+                                }
+                                _ => out.push('\u{fffd}'),
+                            }
+                        } else {
+                            // A lone low surrogate is equally unrepresentable.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
                     }
                     _ => return Err(JsonError::new(*pos, "bad escape")),
                 }
@@ -338,6 +351,16 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
             }
         }
     }
+}
+
+/// Four hex digits starting at `at`, or `None` if truncated/malformed.
+fn hex4(bytes: &[u8], at: usize) -> Option<u32> {
+    let hex = bytes.get(at..at + 4)?;
+    if !hex.iter().all(u8::is_ascii_hexdigit) {
+        return None;
+    }
+    let hex = std::str::from_utf8(hex).ok()?;
+    u32::from_str_radix(hex, 16).ok()
 }
 
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
@@ -380,6 +403,55 @@ mod tests {
         let v = Json::Str("a\"b\\c\nd\te\u{1}".into());
         let text = v.render();
         assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn hostile_strings_round_trip_exactly() {
+        for s in [
+            "quote\" backslash\\ slash/ mix\\\"\\\\",
+            "\u{0}\u{1}\u{8}\u{c}\u{1f}\n\r\t",          // every control class
+            "ünïcödé — ∑ßΔ λمرحبا 日本語",                 // non-ASCII BMP
+            "astral 😀🚀 𝕊 \u{10FFFF}",                   // astral plane
+            "\\u0041 not an escape",                      // literal backslash-u
+            "trailing backslash\\",
+        ] {
+            let v = Json::Str(s.into());
+            let text = v.render();
+            assert_eq!(Json::parse(&text).unwrap(), v, "round-trip broke for {s:?}");
+            // And as an object key, which uses the same writer.
+            let o = Json::obj(vec![(s, Json::Null)]);
+            assert_eq!(Json::parse(&o.render()).unwrap(), o, "key round-trip broke for {s:?}");
+        }
+    }
+
+    #[test]
+    fn external_surrogate_pairs_combine() {
+        // Other JSON producers escape astral chars as surrogate pairs; the
+        // parser used to turn each half into U+FFFD.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("😀".into())
+        );
+        assert_eq!(
+            Json::parse(r#""a\ud835\udd4ab""#).unwrap(),
+            Json::Str("a𝕊b".into())
+        );
+        // Lone halves stay lenient: replacement character, not an error.
+        assert_eq!(Json::parse(r#""\ud83d""#).unwrap(), Json::Str("\u{fffd}".into()));
+        assert_eq!(Json::parse(r#""\ude00x""#).unwrap(), Json::Str("\u{fffd}x".into()));
+        // High surrogate followed by a non-surrogate escape: replacement,
+        // then the escape parses on its own.
+        assert_eq!(
+            Json::parse(r#""\ud83dA""#).unwrap(),
+            Json::Str("\u{fffd}A".into())
+        );
+    }
+
+    #[test]
+    fn malformed_unicode_escapes_error() {
+        for bad in [r#""\u00""#, r#""\uzzzz""#, r#""\u00 1""#, r#""\u""#] {
+            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::cell::RefCell;
 struct Pool {
     f32s: Vec<Vec<f32>>,
     i32s: Vec<Vec<i32>>,
+    u8s: Vec<Vec<u8>>,
     takes: u64,
     allocs: u64,
 }
@@ -37,6 +38,7 @@ impl Pool {
         Pool {
             f32s: Vec::new(),
             i32s: Vec::new(),
+            u8s: Vec::new(),
             takes: 0,
             allocs: 0,
         }
@@ -111,6 +113,10 @@ macro_rules! impl_take_put {
 
 impl_take_put!(take_f32, put_f32, f32s, f32, 0.0f32);
 impl_take_put!(take_i32, put_i32, i32s, i32, 0i32);
+// Byte buffers: wire-frame payloads in the serving layer, whose connection
+// threads are persistent and so amortize the pool exactly like the serial
+// inference path does.
+impl_take_put!(take_u8, put_u8, u8s, u8, 0u8);
 
 /// Number of pool misses (takes that had to allocate or grow) on this
 /// thread since the process started. A steady-state loop over fixed-shape

@@ -1,0 +1,98 @@
+//! Fault-rate campaign: what the reliability subsystem buys on faulty
+//! crossbars.
+//!
+//! Sweeps stuck-cell rates (0.1%–5%) over three deployment policies on the
+//! **same seeded fault maps** — the fault population of each tile is a pure
+//! function of `(seed, layer, tile)`, so the policies compete on identical
+//! hardware:
+//!
+//! - **naive** — program as if the array were perfect,
+//! - **write-verify** — program-verify every device, zero-mask
+//!   unrecoverable cells,
+//! - **remapped** — write-verify plus cost-ranked spare-column remapping.
+//!
+//! Emits the combined report (tables + degradation stats + telemetry) as
+//! `BENCH_pr5.json` by default: telemetry is forced to JSON mode and
+//! `QSNC_REPORT_JSON` defaults to `BENCH_pr5.json` when unset.
+//!
+//! ```bash
+//! cargo run -p qsnc-bench --bin fault_campaign --release
+//! ```
+
+use qsnc_bench::{Workload, SEED};
+use qsnc_core::report::{pct, Report, Table};
+use qsnc_core::{degradation_table, deploy_to_snc_reliable, train_quant_aware, QuantConfig};
+use qsnc_memristor::{FaultRates, ProgramPolicy, ReliabilityConfig};
+use qsnc_nn::ModelKind;
+
+const FAULT_RATES: [f32; 5] = [0.001, 0.005, 0.01, 0.02, 0.05];
+const MAP_SEED: u64 = 16; // ref. [16]: "Rescuing memristor-based design with high defects"
+
+fn main() {
+    // Default to the PR's benchmark artifact unless the caller redirects.
+    if std::env::var("QSNC_TELEMETRY").is_err() {
+        std::env::set_var("QSNC_TELEMETRY", "json");
+        qsnc_telemetry::set_mode(qsnc_telemetry::TelemetryMode::Json);
+    }
+    if std::env::var("QSNC_REPORT_JSON").is_err() {
+        std::env::set_var("QSNC_REPORT_JSON", "BENCH_pr5.json");
+    }
+
+    let w = Workload::standard(ModelKind::Lenet);
+    let test_batches = w.test.batches(64, None);
+    eprintln!("training 4-bit quantization-aware LeNet…");
+    let quant = QuantConfig::paper(4, 4);
+    let model =
+        train_quant_aware(ModelKind::Lenet, w.width, &w.settings, &quant, &w.train, &w.test, SEED);
+    let clean = model.quantized_accuracy;
+
+    let mut report = Report::new("Fault campaign — naive vs write-verify vs remapped");
+    report.note(format!("clean 4-bit accuracy: {}", pct(clean)));
+
+    let mut sweep = Table::new(
+        "Deployment accuracy under seeded stuck-cell faults (4-bit LeNet)",
+        &["Stuck rate", "Naive", "Write-verify", "Remapped", "Recovered"],
+    );
+    let policies = [
+        ("naive", ProgramPolicy::Naive),
+        ("write_verify", ProgramPolicy::WriteVerify),
+        ("remapped", ProgramPolicy::Remap),
+    ];
+    let mut last_degradation: Option<Table> = None;
+    for rate in FAULT_RATES {
+        let mut accs = [0.0f32; 3];
+        for (slot, (name, policy)) in policies.iter().enumerate() {
+            let rel = ReliabilityConfig::faulty(FaultRates::stuck(rate), MAP_SEED, *policy);
+            let snn = deploy_to_snc_reliable(&model.net, &quant, rel, None).expect("deploy");
+            let acc = snn.evaluate(&test_batches, None);
+            accs[slot] = acc;
+            eprintln!(
+                "rate {:.1}% policy {name}: accuracy {} ({} faulty cells, {} remapped, {} masked)",
+                rate * 100.0,
+                pct(acc),
+                snn.degradation().cells,
+                snn.degradation().remapped,
+                snn.degradation().masked,
+            );
+            if *policy == ProgramPolicy::Remap {
+                last_degradation = Some(degradation_table(&snn));
+            }
+        }
+        sweep.row(&[
+            format!("{:.1}%", rate * 100.0),
+            pct(accs[0]),
+            pct(accs[1]),
+            pct(accs[2]),
+            format!("{:+.2}%", (accs[2] - accs[0]) * 100.0),
+        ]);
+    }
+    report.table(sweep);
+    if let Some(t) = last_degradation {
+        report.table(t);
+    }
+    report
+        .note("all three policies face the identical seeded fault map per rate;")
+        .note("'Recovered' is the remapped-minus-naive accuracy delta.")
+        .note(format!("fault map master seed: {MAP_SEED}"));
+    report.emit();
+}

@@ -5,6 +5,8 @@
 //! workload definitions — dataset sizes, model widths, training settings —
 //! so the binaries agree with each other and with EXPERIMENTS.md.
 
+#![warn(missing_docs)]
+
 use qsnc_core::report::{pct, pct_delta, Table};
 use qsnc_core::{calibrate_stage_maxima, TrainSettings};
 use qsnc_data::{synth_digits, synth_objects, Dataset};

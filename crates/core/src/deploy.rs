@@ -2,7 +2,8 @@
 //! hardware report used by Table 5.
 
 use crate::config::QuantConfig;
-use qsnc_memristor::{DeployConfig, HwModel, HwReport, SpikingNetwork};
+use crate::report::Table;
+use qsnc_memristor::{DeployConfig, HwModel, HwReport, ReliabilityConfig, SpikingNetwork};
 use qsnc_nn::train::Batch;
 use qsnc_nn::Sequential;
 use qsnc_tensor::TensorRng;
@@ -19,8 +20,51 @@ pub fn deploy_to_snc(
     quant: &QuantConfig,
     rng: Option<&mut TensorRng>,
 ) -> Result<SpikingNetwork, qsnc_memristor::CompileError> {
-    let config = DeployConfig::paper(quant.weight_bits, quant.activation_bits);
+    deploy_to_snc_reliable(net, quant, ReliabilityConfig::ideal(), rng)
+}
+
+/// Like [`deploy_to_snc`] but onto hardware with the given reliability
+/// configuration — fault population, countermeasure policy, spare columns.
+///
+/// # Errors
+///
+/// Returns [`qsnc_memristor::CompileError`] if the network contains layers
+/// the substrate cannot realize or unquantized signals.
+pub fn deploy_to_snc_reliable(
+    net: &Sequential,
+    quant: &QuantConfig,
+    reliability: ReliabilityConfig,
+    rng: Option<&mut TensorRng>,
+) -> Result<SpikingNetwork, qsnc_memristor::CompileError> {
+    let mut config = DeployConfig::paper(quant.weight_bits, quant.activation_bits);
+    config.reliability = reliability;
     SpikingNetwork::compile(net, &config, rng)
+}
+
+/// The degradation report of a deployed network as a [`Table`]: one row per
+/// synaptic layer plus a `total` row, mirroring the frozen
+/// `snc.fault.{cells,unrecoverable,remapped,masked}` telemetry counters.
+pub fn degradation_table(snn: &SpikingNetwork) -> Table {
+    let mut t = Table::new(
+        "Degradation report",
+        &["layer", "faulty cells", "unrecoverable", "remapped", "masked", "retries", "|w| lost"],
+    );
+    let mut push = |name: String, s: &qsnc_memristor::DegradationStats| {
+        t.row(&[
+            name,
+            s.cells.to_string(),
+            s.unrecoverable.to_string(),
+            s.remapped.to_string(),
+            s.masked.to_string(),
+            s.retries.to_string(),
+            format!("{:.0}", s.magnitude_lost),
+        ]);
+    };
+    for (i, s) in snn.layer_degradation().iter().enumerate() {
+        push(format!("synaptic {i}"), s);
+    }
+    push("total".into(), &snn.degradation());
+    t
 }
 
 /// Accuracy of the deployed spiking system on test batches.
@@ -71,6 +115,27 @@ mod tests {
             "hw {hw_acc} vs sw {}",
             model.quantized_accuracy
         );
+    }
+
+    #[test]
+    fn reliable_deploy_reports_degradation_table() {
+        use qsnc_memristor::{FaultRates, ProgramPolicy};
+        let mut rng = TensorRng::seed(2);
+        let (train, test) = synth_digits(300, &mut rng).split(0.8);
+        let settings = TrainSettings { epochs: 1, ..TrainSettings::default() };
+        let quant = QuantConfig { finetune_epochs: 0, ..QuantConfig::paper(4, 4) };
+        let model =
+            train_quant_aware(ModelKind::Lenet, 0.25, &settings, &quant, &train, &test, 3);
+        let rel =
+            ReliabilityConfig::faulty(FaultRates::stuck(0.02), 5, ProgramPolicy::Remap);
+        let snn = deploy_to_snc_reliable(&model.net, &quant, rel, None).expect("deploy");
+        let table = degradation_table(&snn);
+        // One row per synaptic layer plus the total row.
+        assert_eq!(table.len(), snn.layer_degradation().len() + 1);
+        assert!(snn.degradation().cells > 0);
+        let total = table.rows().last().expect("total row");
+        assert_eq!(total[0], "total");
+        assert_eq!(total[1], snn.degradation().cells.to_string());
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //!   software quantizer), and saturating counters.
 //! - [`pipeline`]: [`SpikingNetwork`] — a trained, quantized network
 //!   lowered onto crossbars and executed spike-accurately.
+//! - [`fault`]: the reliability layer — persistent per-crossbar
+//!   [`FaultMap`]s, the write-verify programming loop (see [`program`]),
+//!   fault-aware column remapping (see [`mapping`]), and the
+//!   [`DegradationStats`] every faulty deploy reports.
 //! - [`hwmodel`]: the calibrated speed/energy/area model that regenerates
 //!   Table 5.
 
@@ -24,6 +28,7 @@
 pub mod crossbar;
 pub mod device;
 mod engine;
+pub mod fault;
 pub mod hwmodel;
 pub mod mapping;
 pub mod pipeline;
@@ -32,8 +37,14 @@ pub mod spike;
 
 pub use crossbar::Crossbar;
 pub use device::{Device, DeviceConfig};
+pub use fault::{
+    CellFault, DegradationStats, FaultMap, FaultRates, ProgramPolicy, ReliabilityConfig,
+};
 pub use hwmodel::{ExecutionMode, HwModel, HwReport, LayerHwReport};
-pub use program::{codes_programmable, ProgramCost, ProgramModel};
+pub use program::{
+    codes_programmable, program_device_verified, program_retries, ProgramCost, ProgramModel,
+    VerifiedWrite,
+};
 pub use mapping::{crossbars_for_layer, network_geometry, LayerGeometry, TiledMatrix};
 pub use pipeline::{CompileError, DeployConfig, SpikingNetwork};
 pub use spike::{cycle_accurate_layer, Ifc, SpikeEncoder, SpikeTrain};

@@ -9,8 +9,10 @@
 //! L_i = ⌈J_i / t⌉ · ⌈s_i² · J_{i−1} / t⌉          (Eq. 1)
 //! ```
 
-use crate::crossbar::Crossbar;
+use crate::crossbar::{Crossbar, ReliableProgramming};
 use crate::device::DeviceConfig;
+use crate::fault::{DegradationStats, FaultMap, ProgramPolicy, ReliabilityConfig};
+use crate::program::program_retries;
 use qsnc_nn::LayerDesc;
 use qsnc_tensor::TensorRng;
 
@@ -100,6 +102,82 @@ pub struct TiledMatrix {
     row_blocks: usize,
     col_blocks: usize,
     tiles: Vec<Crossbar>,
+    /// Present when the matrix was programmed through the reliability
+    /// layer: per-tile column assignments and observed fault maps.
+    remap: Option<RemapInfo>,
+}
+
+/// Reliability bookkeeping for a [`TiledMatrix`] deployed onto faulty
+/// hardware.
+#[derive(Debug, Clone)]
+struct RemapInfo {
+    /// Per tile: `assign[j]` is the physical bitline holding logical
+    /// column `j` (identity when no remapping happened).
+    assignments: Vec<Vec<usize>>,
+    /// Per tile: faults observed while programming (write-verify failures
+    /// and dead lines) — a deployment can persist these and feed them back
+    /// as the ground-truth map of a later deploy.
+    observed: Vec<FaultMap>,
+}
+
+/// Magnitude of logical column `j` of a `rows × cols` row-major code tile —
+/// the remapper's importance ranking.
+fn column_magnitude(codes: &[i32], rows: usize, cols: usize, j: usize) -> u64 {
+    (0..rows).map(|i| codes[i * cols + j].unsigned_abs() as u64).sum()
+}
+
+/// Weight magnitude lost if logical column `j` lands on physical bitline
+/// `p`: the whole column on a dead bitline, otherwise the codes sitting on
+/// faulty cells (which write-verify will zero-mask).
+fn placement_cost(
+    codes: &[i32],
+    rows: usize,
+    cols: usize,
+    j: usize,
+    p: usize,
+    map: &FaultMap,
+) -> u64 {
+    if map.col_is_dead(p) {
+        return column_magnitude(codes, rows, cols, j);
+    }
+    (0..rows)
+        .filter(|&i| map.cell_is_faulty(i, p))
+        .map(|i| codes[i * cols + j].unsigned_abs() as u64)
+        .sum()
+}
+
+/// Cost-ranked spare-column assignment for one tile: logical columns in
+/// descending magnitude order each claim the free physical bitline that
+/// loses the least weight magnitude to faults (ties prefer the identity
+/// position, then the lowest index, keeping fault-free tiles bit-stable).
+fn assign_columns(
+    codes: &[i32],
+    rows: usize,
+    cols: usize,
+    physical_cols: usize,
+    map: &FaultMap,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..cols).collect();
+    order.sort_by_key(|&j| (std::cmp::Reverse(column_magnitude(codes, rows, cols, j)), j));
+    let mut taken = vec![false; physical_cols];
+    let mut assign = vec![usize::MAX; cols];
+    for &j in &order {
+        let mut best = usize::MAX;
+        let mut best_cost = u64::MAX;
+        for (p, &used) in taken.iter().enumerate() {
+            if used {
+                continue;
+            }
+            let cost = placement_cost(codes, rows, cols, j, p, map);
+            if cost < best_cost || (cost == best_cost && p == j) {
+                best = p;
+                best_cost = cost;
+            }
+        }
+        assign[j] = best;
+        taken[best] = true;
+    }
+    assign
 }
 
 impl TiledMatrix {
@@ -169,7 +247,148 @@ impl TiledMatrix {
             row_blocks,
             col_blocks,
             tiles,
+            remap: None,
         }
+    }
+
+    /// Tiles and programs a weight-code matrix onto **faulty hardware**
+    /// under the given reliability configuration.
+    ///
+    /// Each `tile × tile` logical tile owns a physical crossbar with
+    /// `spare_cols` extra bitlines; its fault population is generated
+    /// deterministically from [`ReliabilityConfig::tile_seed`]`(layer,
+    /// tile_index)`, so every [`ProgramPolicy`] is evaluated against the
+    /// *same* hardware. Per policy:
+    ///
+    /// - [`ProgramPolicy::Naive`] programs logical columns at their
+    ///   identity positions with no verification — stuck cells keep their
+    ///   erroneous conductance.
+    /// - [`ProgramPolicy::WriteVerify`] adds the program → read-back →
+    ///   retry loop and zero-masks unrecoverable cells.
+    /// - [`ProgramPolicy::Remap`] first runs the cost-ranked assignment:
+    ///   logical columns in descending weight magnitude claim the physical
+    ///   bitline (including spares) that loses the least magnitude to
+    ///   faults, then programs with write-verify.
+    ///
+    /// Returns the matrix plus the accumulated [`DegradationStats`].
+    /// When `reliability` is inactive this is exactly
+    /// [`TiledMatrix::from_codes`] (bit-identical, clean stats).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != out_dim·in_dim` or `tile == 0`.
+    #[allow(clippy::too_many_arguments)] // mirrors from_codes plus the reliability triple
+    pub fn from_codes_reliable(
+        codes: &[i32],
+        in_dim: usize,
+        out_dim: usize,
+        tile: usize,
+        config: DeviceConfig,
+        reliability: &ReliabilityConfig,
+        layer: usize,
+        mut rng: Option<&mut TensorRng>,
+    ) -> (Self, DegradationStats) {
+        if !reliability.is_active() {
+            let tm = TiledMatrix::from_codes(codes, in_dim, out_dim, tile, config, rng);
+            return (tm, DegradationStats::default());
+        }
+        assert!(tile > 0, "tile size must be positive");
+        assert_eq!(codes.len(), out_dim * in_dim, "code matrix shape mismatch");
+        let row_blocks = ceil_div(in_dim, tile);
+        let col_blocks = ceil_div(out_dim, tile);
+        let instrument = qsnc_telemetry::enabled();
+        let verify = reliability.policy != ProgramPolicy::Naive;
+        let max_retries = reliability.max_retries.unwrap_or_else(program_retries);
+        let mut stats = DegradationStats::default();
+        let mut tiles = Vec::with_capacity(row_blocks * col_blocks);
+        let mut assignments = Vec::with_capacity(row_blocks * col_blocks);
+        let mut observed_maps = Vec::with_capacity(row_blocks * col_blocks);
+        for rb in 0..row_blocks {
+            for cb in 0..col_blocks {
+                let tile_index = rb * col_blocks + cb;
+                let rows = (in_dim - rb * tile).min(tile);
+                let cols = (out_dim - cb * tile).min(tile);
+                if instrument {
+                    qsnc_telemetry::observe(
+                        "snc.map.tile_utilization",
+                        (rows * cols) as f64 / (tile * tile) as f64,
+                        &[0.25, 0.5, 0.75, 0.9, 1.0],
+                    );
+                }
+                let mut tile_codes = Vec::with_capacity(rows * cols);
+                for i in 0..rows {
+                    for j in 0..cols {
+                        let out_idx = cb * tile + j;
+                        let in_idx = rb * tile + i;
+                        tile_codes.push(codes[out_idx * in_dim + in_idx]);
+                    }
+                }
+                // The physical array: logical columns plus the spares.
+                let phys_cols = cols + reliability.spare_cols;
+                let map = FaultMap::seeded(
+                    rows,
+                    phys_cols,
+                    reliability.rates,
+                    reliability.tile_seed(layer, tile_index),
+                );
+                let assign = if reliability.policy == ProgramPolicy::Remap {
+                    let a = assign_columns(&tile_codes, rows, cols, phys_cols, &map);
+                    stats.remapped += a.iter().enumerate().filter(|&(j, &p)| p != j).count() as u64;
+                    a
+                } else {
+                    (0..cols).collect()
+                };
+                // Place logical columns at their assigned bitlines; unused
+                // spares hold code 0 (and are never sensed).
+                let mut phys_codes = vec![0i32; rows * phys_cols];
+                for i in 0..rows {
+                    for (j, &p) in assign.iter().enumerate() {
+                        phys_codes[i * phys_cols + p] = tile_codes[i * cols + j];
+                    }
+                }
+                let mut observed = FaultMap::new(rows, phys_cols);
+                tiles.push(Crossbar::from_codes_faulty(
+                    &phys_codes,
+                    rows,
+                    phys_cols,
+                    config,
+                    ReliableProgramming {
+                        map: &map,
+                        verify,
+                        max_retries,
+                        stats: &mut stats,
+                        observed: &mut observed,
+                    },
+                    rng.as_deref_mut(),
+                ));
+                assignments.push(assign);
+                observed_maps.push(observed);
+            }
+        }
+        if instrument {
+            qsnc_telemetry::counter_add("snc.map.crossbars", tiles.len() as u64);
+            qsnc_telemetry::counter_add(
+                "snc.map.devices",
+                tiles.iter().map(Crossbar::device_count).sum::<usize>() as u64,
+            );
+        }
+        let tm = TiledMatrix {
+            in_dim,
+            out_dim,
+            tile,
+            row_blocks,
+            col_blocks,
+            tiles,
+            remap: Some(RemapInfo { assignments, observed: observed_maps }),
+        };
+        (tm, stats)
+    }
+
+    /// Per-tile fault maps observed while programming (write-verify
+    /// failures and dead lines), in block-row-major tile order. `None` for
+    /// matrices deployed without the reliability layer.
+    pub fn observed_faults(&self) -> Option<&[FaultMap]> {
+        self.remap.as_ref().map(|r| r.observed.as_slice())
     }
 
     /// Input dimension.
@@ -210,11 +429,23 @@ impl TiledMatrix {
                 continue;
             }
             for cb in 0..self.col_blocks {
-                let tile = &self.tiles[rb * self.col_blocks + cb];
+                let tile_index = rb * self.col_blocks + cb;
+                let tile = &self.tiles[tile_index];
                 let part = tile.matvec_code_units(xin, rng.as_deref_mut());
                 let col_start = cb * self.tile;
-                for (j, p) in part.into_iter().enumerate() {
-                    y[col_start + j] += p;
+                match &self.remap {
+                    // Gather each logical column from its assigned physical
+                    // bitline; unassigned spares are never sensed.
+                    Some(info) => {
+                        for (j, &p) in info.assignments[tile_index].iter().enumerate() {
+                            y[col_start + j] += part[p];
+                        }
+                    }
+                    None => {
+                        for (j, p) in part.into_iter().enumerate() {
+                            y[col_start + j] += p;
+                        }
+                    }
                 }
             }
         }
@@ -315,6 +546,195 @@ mod tests {
                 y[j]
             );
         }
+    }
+
+    #[test]
+    fn inactive_reliability_is_bit_identical_to_from_codes() {
+        let mut rng = TensorRng::seed(4);
+        let (in_dim, out_dim, t) = (70, 45, 32);
+        let codes: Vec<i32> = (0..in_dim * out_dim)
+            .map(|_| rng.index(17) as i32 - 8)
+            .collect();
+        let cfg = DeviceConfig::paper(4);
+        let plain = TiledMatrix::from_codes(&codes, in_dim, out_dim, t, cfg, None);
+        let (reliable, stats) = TiledMatrix::from_codes_reliable(
+            &codes,
+            in_dim,
+            out_dim,
+            t,
+            cfg,
+            &ReliabilityConfig::ideal(),
+            0,
+            None,
+        );
+        assert!(stats.is_clean());
+        assert!(reliable.observed_faults().is_none());
+        let x: Vec<f32> = (0..in_dim).map(|i| (i % 7) as f32).collect();
+        assert_eq!(
+            plain.matvec_code_units(&x, None),
+            reliable.matvec_code_units(&x, None)
+        );
+    }
+
+    #[test]
+    fn zero_rate_but_active_path_matches_dense_reference() {
+        // Force the reliable code path with a tiny rate and a seed whose
+        // maps happen to matter little; verify against the dense product.
+        let mut rng = TensorRng::seed(5);
+        let (in_dim, out_dim, t) = (40, 37, 32);
+        let codes: Vec<i32> = (0..in_dim * out_dim)
+            .map(|_| rng.index(17) as i32 - 8)
+            .collect();
+        let rel = ReliabilityConfig::faulty(
+            crate::fault::FaultRates::stuck(0.0001),
+            3,
+            ProgramPolicy::Remap,
+        );
+        let (tm, _) = TiledMatrix::from_codes_reliable(
+            &codes,
+            in_dim,
+            out_dim,
+            t,
+            DeviceConfig::paper(4),
+            &rel,
+            0,
+            None,
+        );
+        let x: Vec<f32> = (0..in_dim).map(|_| rng.index(16) as f32).collect();
+        let y = tm.matvec_code_units(&x, None);
+        // With write-verify + remap at a near-zero fault rate, almost every
+        // output matches the dense reference; allow the rare masked cell.
+        let mut mismatches = 0;
+        for j in 0..out_dim {
+            let expected: f32 =
+                (0..in_dim).map(|i| codes[j * in_dim + i] as f32 * x[i]).sum();
+            if (y[j] - expected).abs() > 1e-2 * (1.0 + expected.abs()) {
+                mismatches += 1;
+            }
+        }
+        assert!(mismatches <= 1, "{mismatches} columns off at 0.01% faults");
+    }
+
+    #[test]
+    fn remap_beats_naive_on_the_same_seeded_hardware() {
+        let mut rng = TensorRng::seed(6);
+        let (in_dim, out_dim, t) = (64, 48, 32);
+        let codes: Vec<i32> = (0..in_dim * out_dim)
+            .map(|_| rng.index(17) as i32 - 8)
+            .collect();
+        let x: Vec<f32> = (0..in_dim).map(|_| rng.index(8) as f32).collect();
+        let dense: Vec<f32> = (0..out_dim)
+            .map(|j| (0..in_dim).map(|i| codes[j * in_dim + i] as f32 * x[i]).sum())
+            .collect();
+        let rates = crate::fault::FaultRates::stuck(0.03);
+        let err = |policy: ProgramPolicy| {
+            let rel = ReliabilityConfig::faulty(rates, 11, policy);
+            let (tm, stats) = TiledMatrix::from_codes_reliable(
+                &codes,
+                in_dim,
+                out_dim,
+                t,
+                DeviceConfig::paper(4),
+                &rel,
+                2,
+                None,
+            );
+            let y = tm.matvec_code_units(&x, None);
+            let e: f32 = y
+                .iter()
+                .zip(dense.iter())
+                .map(|(a, b)| (a - b).abs())
+                .sum();
+            (e, stats)
+        };
+        let (naive_err, naive_stats) = err(ProgramPolicy::Naive);
+        let (verify_err, verify_stats) = err(ProgramPolicy::WriteVerify);
+        let (remap_err, remap_stats) = err(ProgramPolicy::Remap);
+        // Same seeded hardware in all three runs.
+        assert_eq!(naive_stats.cells, verify_stats.cells);
+        assert_eq!(verify_stats.cells, remap_stats.cells);
+        assert!(naive_stats.cells > 0, "3% rate produced no faults?");
+        // Masking bounds the error; remapping then recovers masked weight.
+        assert!(verify_err < naive_err, "verify {verify_err} vs naive {naive_err}");
+        assert!(remap_err < verify_err, "remap {remap_err} vs verify {verify_err}");
+        assert!(remap_stats.remapped > 0, "remapper never moved a column");
+        assert!(
+            remap_stats.magnitude_lost < verify_stats.magnitude_lost,
+            "remap lost {} ≥ verify {}",
+            remap_stats.magnitude_lost,
+            verify_stats.magnitude_lost
+        );
+        // Write-verify discovered the faults it masked.
+        let observed: usize = remap_stats.masked as usize;
+        assert_eq!(
+            observed,
+            err(ProgramPolicy::Remap)
+                .1
+                .masked as usize,
+            "deterministic masking"
+        );
+    }
+
+    #[test]
+    fn dead_column_is_evacuated_by_remap() {
+        // One tile, one dead bitline: remap must move that logical column
+        // onto a spare and recover the exact product.
+        let (in_dim, out_dim, t) = (8, 4, 32);
+        let codes: Vec<i32> = (0..in_dim * out_dim).map(|k| (k % 15) as i32 - 7).collect();
+        let x: Vec<f32> = (0..in_dim).map(|i| 1.0 + (i % 3) as f32).collect();
+        let dense: Vec<f32> = (0..out_dim)
+            .map(|j| (0..in_dim).map(|i| codes[j * in_dim + i] as f32 * x[i]).sum())
+            .collect();
+        // Find a seed whose map kills at least one in-use bitline and
+        // nothing else (dead_line only; rates make cells impossible).
+        let rates =
+            crate::fault::FaultRates { stuck_on: 0.0, stuck_off: 0.0, dead_line: 0.08 };
+        let mut found = false;
+        for seed in 0..200u64 {
+            let rel = ReliabilityConfig::faulty(rates, seed, ProgramPolicy::Remap);
+            let map = FaultMap::seeded(
+                in_dim,
+                out_dim + rel.spare_cols,
+                rates,
+                rel.tile_seed(0, 0),
+            );
+            let dead_in_use = (0..out_dim).any(|c| map.col_is_dead(c));
+            let dead_rows = (0..in_dim).any(|r| map.row_is_dead(r));
+            let all_dead = (0..out_dim + rel.spare_cols).all(|c| map.col_is_dead(c));
+            if dead_in_use && !dead_rows && !all_dead {
+                let (tm, stats) = TiledMatrix::from_codes_reliable(
+                    &codes,
+                    in_dim,
+                    out_dim,
+                    t,
+                    DeviceConfig::paper(4),
+                    &rel,
+                    0,
+                    None,
+                );
+                assert!(stats.remapped > 0, "seed {seed}: no column moved");
+                let y = tm.matvec_code_units(&x, None);
+                // Enough spares: every column lands on a live bitline.
+                if (out_dim + rel.spare_cols)
+                    - (0..out_dim + rel.spare_cols)
+                        .filter(|&c| map.col_is_dead(c))
+                        .count()
+                    >= out_dim
+                {
+                    for j in 0..out_dim {
+                        assert!(
+                            (y[j] - dense[j]).abs() < 1e-2 * (1.0 + dense[j].abs()),
+                            "seed {seed} col {j}: {} vs {}",
+                            y[j],
+                            dense[j]
+                        );
+                    }
+                }
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no seed produced a usable dead-column scenario");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! the integration tests assert; device noise can then be layered on.
 
 use crate::device::DeviceConfig;
+use crate::fault::{DegradationStats, ReliabilityConfig};
 use crate::mapping::TiledMatrix;
 use crate::spike::Ifc;
 use qsnc_nn::layers::{AvgPool2d, BatchNorm2d, Conv2d, Flatten, Linear, MaxPool2d, Relu, Residual};
@@ -29,11 +30,16 @@ pub struct DeployConfig {
     pub device: DeviceConfig,
     /// Quantizer used to rate-code the input image.
     pub input_quantizer: ActivationQuantizer,
+    /// Reliability layer: fault population and countermeasure policy.
+    /// Defaults to [`ReliabilityConfig::ideal`] (inactive, bit-identical to
+    /// fault-free deployment).
+    pub reliability: ReliabilityConfig,
 }
 
 impl DeployConfig {
     /// The paper's configuration: `N`-bit weights, 32×32 crossbars,
-    /// 50 kΩ–1 MΩ devices, `M`-bit input coding.
+    /// 50 kΩ–1 MΩ devices, `M`-bit input coding, ideal (fault-free)
+    /// hardware.
     pub fn paper(weight_bits: u32, activation_bits: u32) -> Self {
         DeployConfig {
             weight_bits,
@@ -43,6 +49,7 @@ impl DeployConfig {
                 activation_bits,
                 ((1u32 << activation_bits) - 1) as f32,
             ),
+            reliability: ReliabilityConfig::ideal(),
         }
     }
 }
@@ -114,8 +121,12 @@ pub struct SpikingNetwork {
     stages: Vec<Stage>,
     input_quant: ActivationQuantizer,
     /// Integer fast path, present when the network is exactly expressible
-    /// in integer form and was programmed without write noise.
+    /// in integer form and was programmed without write noise or an active
+    /// reliability layer.
     engine: Option<crate::engine::IntEngine>,
+    /// Per-synaptic-layer degradation report, in compile order (all-clean
+    /// when the reliability config was inactive).
+    degradation: Vec<DegradationStats>,
 }
 
 // Batch-parallel evaluation shares `&SpikingNetwork` across worker threads;
@@ -128,6 +139,11 @@ const _: () = {
 struct Compiler<'a> {
     config: &'a DeployConfig,
     rng: Option<&'a mut TensorRng>,
+    /// Synaptic layers finalized so far — the layer index fed into
+    /// [`ReliabilityConfig::tile_seed`].
+    layer: usize,
+    /// Per-synaptic-layer degradation, in compile order.
+    degradation: Vec<DegradationStats>,
 }
 
 /// Builder state while walking one layer stack.
@@ -262,16 +278,22 @@ impl<'a> Compiler<'a> {
             SynKind::Fc { in_dim, out_dim } => (in_dim, out_dim),
         };
         // Recover the fixed-point codes (idempotent for already-clustered
-        // weights) and program the crossbar tiles.
+        // weights) and program the crossbar tiles. With an inactive
+        // reliability config this is exactly `TiledMatrix::from_codes`.
         let q = cluster_weights(&p.weight, self.config.weight_bits);
-        let tiles = TiledMatrix::from_codes(
+        let layer = self.layer;
+        self.layer += 1;
+        let (tiles, stats) = TiledMatrix::from_codes_reliable(
             &q.codes,
             in_dim,
             out_dim,
             self.config.crossbar_size,
             self.config.device,
+            &self.config.reliability,
+            layer,
             self.rng.as_deref_mut(),
         );
+        self.degradation.push(stats);
         // The signal leaving this stage is quantized (or analog when no
         // counter follows, e.g. the final logits or a pre-add conv).
         *current_quant = p.out_quant;
@@ -534,12 +556,15 @@ impl SpikingNetwork {
         let _span = qsnc_telemetry::span!("snc.compile");
         // Write noise perturbs the programmed conductances away from the
         // integer codes, so the integer fast path would silently "denoise"
-        // the network — only build it for ideal programming.
+        // the network — only build it for ideal programming. An active
+        // reliability layer disqualifies it for the same reason: masked and
+        // stuck cells make the conductances diverge from the logical codes.
         let noisy_write = rng.is_some() && config.device.write_sigma > 0.0;
-        let mut compiler = Compiler { config, rng };
+        let mut compiler = Compiler { config, rng, layer: 0, degradation: Vec::new() };
         let mut current = Some(config.input_quantizer);
         let stages = compiler.compile_stack(net.layers(), &mut current)?;
-        let engine = if noisy_write {
+        let degradation = compiler.degradation;
+        let engine = if noisy_write || config.reliability.is_active() {
             None
         } else {
             crate::engine::IntEngine::build(&stages, config.input_quantizer)
@@ -547,11 +572,17 @@ impl SpikingNetwork {
         if qsnc_telemetry::enabled() {
             let name = if engine.is_some() { "snc.engine.compiled" } else { "snc.engine.fallback" };
             qsnc_telemetry::counter_add(name, 1);
+            let mut total = DegradationStats::default();
+            for s in &degradation {
+                total.merge(s);
+            }
+            total.publish();
         }
         Ok(SpikingNetwork {
             stages,
             input_quant: config.input_quantizer,
             engine,
+            degradation,
         })
     }
 
@@ -562,6 +593,37 @@ impl SpikingNetwork {
     /// inference automatically takes the integer fast path when the network
     /// compiled one (see [`Self::has_fast_path`]); its outputs are
     /// bit-identical to [`Self::infer_reference`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qsnc_memristor::{DeployConfig, SpikingNetwork};
+    /// use qsnc_quant::{
+    ///     insert_signal_stages, quantize_network_weights, ActivationQuantizer,
+    ///     ActivationRegularizer, WeightQuantMethod,
+    /// };
+    /// use qsnc_tensor::TensorRng;
+    ///
+    /// // A 4-bit quantized LeNet, ready for the substrate.
+    /// let mut rng = TensorRng::seed(0);
+    /// let mut net = qsnc_nn::models::lenet(0.25, 10, &mut rng);
+    /// let (switch, _) = insert_signal_stages(
+    ///     &mut net,
+    ///     ActivationRegularizer::neuron_convergence(4),
+    ///     0.0,
+    ///     ActivationQuantizer::new(4),
+    /// );
+    /// switch.set_enabled(true);
+    /// quantize_network_weights(&mut net, 4, WeightQuantMethod::Clustered);
+    ///
+    /// // Lower onto 32×32 crossbars and run one image through it.
+    /// let snn = SpikingNetwork::compile(&net, &DeployConfig::paper(4, 4), None)?;
+    /// let x = qsnc_tensor::init::uniform([1, 1, 28, 28], 0.0, 1.0, &mut rng);
+    /// let logits = snn.infer(&x, None);
+    /// assert_eq!(logits.dims(), &[1, 10]);
+    /// assert_eq!(logits, snn.infer_reference(&x)); // noise-free ⇒ bit-exact
+    /// # Ok::<(), qsnc_memristor::CompileError>(())
+    /// ```
     pub fn infer(&self, x: &Tensor, rng: Option<&mut TensorRng>) -> Tensor {
         let _span = qsnc_telemetry::span!("snc.infer");
         if rng.is_none() {
@@ -642,6 +704,22 @@ impl SpikingNetwork {
     /// Whether the integer fast-path engine was compiled for this network.
     pub fn has_fast_path(&self) -> bool {
         self.engine.is_some()
+    }
+
+    /// The whole-network degradation report: what deploying onto the
+    /// configured (possibly faulty) hardware cost, merged over all synaptic
+    /// layers. All-zero for ideal hardware.
+    pub fn degradation(&self) -> DegradationStats {
+        let mut total = DegradationStats::default();
+        for s in &self.degradation {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Per-synaptic-layer degradation reports, in compile order.
+    pub fn layer_degradation(&self) -> &[DegradationStats] {
+        &self.degradation
     }
 
     /// Exact-arithmetic float oracle: the same float pipeline as
@@ -859,6 +937,56 @@ mod tests {
         let a = snn_noisy.infer(&x, None);
         let b = snn_ideal.infer(&x, None);
         assert_ne!(a, b, "write noise should perturb logits");
+    }
+
+    #[test]
+    fn faulty_deploy_disables_fast_path_and_reports_degradation() {
+        use crate::fault::{FaultRates, ProgramPolicy};
+        let mut rng = TensorRng::seed(7);
+        let (net, _switch) = deployable_lenet(4, &mut rng);
+        let ideal = DeployConfig::paper(4, 4);
+        let snn_ideal = SpikingNetwork::compile(&net, &ideal, None).expect("compile");
+        assert!(snn_ideal.has_fast_path());
+        assert!(snn_ideal.degradation().is_clean());
+
+        let mut faulty = DeployConfig::paper(4, 4);
+        faulty.reliability =
+            ReliabilityConfig::faulty(FaultRates::stuck(0.02), 9, ProgramPolicy::Remap);
+        let snn_faulty = SpikingNetwork::compile(&net, &faulty, None).expect("compile");
+        assert!(
+            !snn_faulty.has_fast_path(),
+            "integer engine must not compile against faulty conductances"
+        );
+        let d = snn_faulty.degradation();
+        assert!(d.cells > 0, "2% stuck rate produced no faults");
+        assert_eq!(
+            snn_faulty.layer_degradation().len(),
+            net.synaptic_descriptors().len()
+        );
+        // Stats are the merge of the per-layer reports.
+        let mut merged = DegradationStats::default();
+        for s in snn_faulty.layer_degradation() {
+            merged.merge(s);
+        }
+        assert_eq!(d, merged);
+        let x = qsnc_tensor::init::uniform([1, 1, 28, 28], 0.0, 1.0, &mut rng);
+        let logits = snn_faulty.infer(&x, None);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn faulty_deploys_are_deterministic_for_a_seed() {
+        use crate::fault::{FaultRates, ProgramPolicy};
+        let mut rng = TensorRng::seed(8);
+        let (net, _switch) = deployable_lenet(4, &mut rng);
+        let mut config = DeployConfig::paper(4, 4);
+        config.reliability =
+            ReliabilityConfig::faulty(FaultRates::stuck(0.03), 21, ProgramPolicy::Remap);
+        let a = SpikingNetwork::compile(&net, &config, None).expect("compile");
+        let b = SpikingNetwork::compile(&net, &config, None).expect("compile");
+        assert_eq!(a.degradation(), b.degradation());
+        let x = qsnc_tensor::init::uniform([1, 1, 28, 28], 0.0, 1.0, &mut rng);
+        assert_eq!(a.infer(&x, None), b.infer(&x, None));
     }
 
     #[test]

@@ -32,6 +32,12 @@ pub enum FaultModel {
 
 /// Applies `model` to a single weight tensor, returning the number of
 /// affected elements.
+///
+/// To stack several fault kinds on the same tensor use [`apply_faults`],
+/// which fixes the application order; chaining `apply_fault` calls manually
+/// makes the result depend on the call order (e.g. [`FaultModel::StuckAtMax`]
+/// saturates to the *current* `abs_max`, which earlier faults may have
+/// changed).
 pub fn apply_fault(w: &mut Tensor, model: FaultModel, rng: &mut TensorRng) -> usize {
     match model {
         FaultModel::StuckAtZero { rate } => {
@@ -76,6 +82,61 @@ pub fn apply_fault(w: &mut Tensor, model: FaultModel, rng: &mut TensorRng) -> us
             w.len()
         }
     }
+}
+
+/// Rank used to canonicalize stacked fault models: class first, then the
+/// class parameter, so the order is a pure function of the model *set*.
+fn model_rank(m: &FaultModel) -> (u8, f32) {
+    match *m {
+        FaultModel::Variation { sigma } => (0, sigma),
+        FaultModel::StuckAtMax { rate } => (1, rate),
+        FaultModel::StuckAtZero { rate } => (2, rate),
+    }
+}
+
+/// Applies several fault models to one tensor in a **canonical, documented
+/// order**, returning the total number of affected elements.
+///
+/// The result is a pure function of the model set and the rng seed — the
+/// order the caller lists the models in does not matter. Models are
+/// canonicalized (class, then parameter ascending) and applied as:
+///
+/// 1. every [`FaultModel::Variation`] (ascending σ) — programming noise
+///    perturbs the weights *before* hard faults pin them;
+/// 2. every [`FaultModel::StuckAtMax`] (ascending rate) — saturating to the
+///    **pre-fault** `abs_max` of the tensor, captured once before any model
+///    runs, so variation cannot inflate the stuck magnitude;
+/// 3. every [`FaultModel::StuckAtZero`] (ascending rate) — last, so a cell
+///    targeted by both stuck kinds ends at 0: a dead (open) device wins
+///    over a shorted one, matching the crossbar model where a stuck-off
+///    cell passes no differential current.
+pub fn apply_faults(w: &mut Tensor, models: &[FaultModel], rng: &mut TensorRng) -> usize {
+    let mut ordered: Vec<FaultModel> = models.to_vec();
+    ordered.sort_by(|a, b| {
+        let (ca, pa) = model_rank(a);
+        let (cb, pb) = model_rank(b);
+        ca.cmp(&cb).then(pa.total_cmp(&pb))
+    });
+    let pre_fault_max = w.abs_max();
+    let mut hits = 0;
+    for model in ordered {
+        match model {
+            FaultModel::StuckAtMax { rate } => {
+                assert!((0.0..=1.0).contains(&rate), "fault rate must be in [0, 1]");
+                if pre_fault_max == 0.0 {
+                    continue;
+                }
+                for v in w.iter_mut() {
+                    if rng.chance(rate) {
+                        *v = if rng.chance(0.5) { pre_fault_max } else { -pre_fault_max };
+                        hits += 1;
+                    }
+                }
+            }
+            other => hits += apply_fault(w, other, rng),
+        }
+    }
+    hits
 }
 
 /// Applies `model` to every synaptic weight tensor of a network, returning
@@ -202,6 +263,92 @@ mod tests {
             apply_fault(&mut c, model, &mut TensorRng::seed(43));
             assert_ne!(bits_of(&a), bits_of(&c), "{model:?} ignores the seed");
         }
+    }
+
+    #[test]
+    fn stacked_faults_are_order_independent() {
+        // Regression: apply_faults must canonicalize the model list, so any
+        // permutation yields byte-identical tensors for the same seed.
+        let models = [
+            FaultModel::StuckAtZero { rate: 0.2 },
+            FaultModel::Variation { sigma: 0.15 },
+            FaultModel::StuckAtMax { rate: 0.2 },
+        ];
+        let permutations: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let base: Vec<f32> = (0..512).map(|i| (i as f32 - 256.0) / 41.0).collect();
+        let mut reference: Option<(usize, Vec<u32>)> = None;
+        for perm in permutations {
+            let ordered: Vec<FaultModel> = perm.iter().map(|&i| models[i]).collect();
+            let mut w = Tensor::from_slice(&base);
+            let hits = apply_faults(&mut w, &ordered, &mut TensorRng::seed(13));
+            let bits = bits_of(&w);
+            match &reference {
+                None => reference = Some((hits, bits)),
+                Some((h, b)) => {
+                    assert_eq!(hits, *h, "hit count depends on list order {perm:?}");
+                    assert_eq!(&bits, b, "faulted bytes depend on list order {perm:?}");
+                }
+            }
+        }
+        // Sanity: a manual order-dependent chain really would have differed
+        // (stuck-at-max after variation saturates to the *inflated* max).
+        let mut chained = Tensor::from_slice(&base);
+        let mut rng = TensorRng::seed(13);
+        apply_fault(&mut chained, models[1], &mut rng);
+        apply_fault(&mut chained, models[2], &mut rng);
+        apply_fault(&mut chained, models[0], &mut rng);
+        let canonical_max = Tensor::from_slice(&base).abs_max();
+        assert!(
+            chained.abs_max() > canonical_max,
+            "expected the naive chain to saturate above the pre-fault max"
+        );
+    }
+
+    #[test]
+    fn stuck_at_zero_wins_over_stuck_at_max_on_the_same_cell() {
+        // Both stuck kinds at rate 1.0 target every cell; the documented
+        // precedence (stuck-at-zero last) must leave everything dead.
+        let mut rng = TensorRng::seed(14);
+        let mut w = Tensor::from_slice(&[0.5, -1.5, 2.0, -0.25]);
+        apply_faults(
+            &mut w,
+            &[
+                FaultModel::StuckAtMax { rate: 1.0 },
+                FaultModel::StuckAtZero { rate: 1.0 },
+            ],
+            &mut rng,
+        );
+        assert!(w.iter().all(|&v| v == 0.0), "stuck-at-zero must win: {w:?}");
+    }
+
+    #[test]
+    fn stacked_saturation_uses_pre_fault_magnitude() {
+        // Heavy variation would inflate abs_max; the canonical order must
+        // saturate to the original magnitude instead.
+        let base: Vec<f32> = (0..256).map(|i| ((i % 9) as f32 - 4.0) / 4.0).collect();
+        let pre_max = Tensor::from_slice(&base).abs_max();
+        let mut w = Tensor::from_slice(&base);
+        apply_faults(
+            &mut w,
+            &[
+                FaultModel::Variation { sigma: 0.8 },
+                FaultModel::StuckAtMax { rate: 0.5 },
+            ],
+            &mut TensorRng::seed(15),
+        );
+        let saturated: Vec<f32> =
+            w.iter().copied().filter(|v| v.abs() == pre_max).collect();
+        assert!(
+            !saturated.is_empty(),
+            "rate 0.5 should saturate some cells to the pre-fault max"
+        );
     }
 
     #[test]

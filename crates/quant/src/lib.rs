@@ -36,7 +36,7 @@ mod weight_cluster;
 
 pub use activation::ActivationQuantizer;
 pub use dynamic_fixed::{dynamic_fixed_quantize, DynamicFixedPoint};
-pub use fault::{apply_fault, inject_network_faults, FaultModel};
+pub use fault::{apply_fault, apply_faults, inject_network_faults, FaultModel};
 pub use mixed_precision::{
     apply_mixed_precision, assign_mixed_precision, PrecisionAssignment,
 };

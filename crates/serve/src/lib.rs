@@ -134,6 +134,49 @@ impl Server {
     ///
     /// Panics if `config` has a zero `max_batch`, `queue_cap`, or
     /// `workers`, or if `input_dims` is empty/zero-sized.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qsnc_memristor::{DeployConfig, SpikingNetwork};
+    /// use qsnc_quant::{
+    ///     insert_signal_stages, quantize_network_weights, ActivationQuantizer,
+    ///     ActivationRegularizer, WeightQuantMethod,
+    /// };
+    /// use qsnc_serve::{protocol, ServeConfig, Server, Status};
+    /// use qsnc_tensor::TensorRng;
+    /// use std::sync::Arc;
+    ///
+    /// // Deploy a 4-bit LeNet and serve it on an ephemeral port.
+    /// let mut rng = TensorRng::seed(0);
+    /// let mut net = qsnc_nn::models::lenet(0.25, 10, &mut rng);
+    /// let (switch, _) = insert_signal_stages(
+    ///     &mut net,
+    ///     ActivationRegularizer::neuron_convergence(4),
+    ///     0.0,
+    ///     ActivationQuantizer::new(4),
+    /// );
+    /// switch.set_enabled(true);
+    /// quantize_network_weights(&mut net, 4, WeightQuantMethod::Clustered);
+    /// let snn = SpikingNetwork::compile(&net, &DeployConfig::paper(4, 4), None)?;
+    ///
+    /// let mut server = Server::spawn(
+    ///     Arc::new(snn),
+    ///     &[1, 28, 28],
+    ///     "127.0.0.1:0",
+    ///     ServeConfig::default(),
+    /// )?;
+    ///
+    /// // One request over plain TCP: frame out, logits + argmax back.
+    /// let mut conn = std::net::TcpStream::connect(server.local_addr())?;
+    /// protocol::write_request(&mut conn, &[0.5f32; 28 * 28])?;
+    /// let reply = protocol::read_reply(&mut conn)?;
+    /// assert_eq!(reply.status, Status::Ok);
+    /// assert_eq!(reply.logits.len(), 10);
+    ///
+    /// server.shutdown();
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn spawn(
         snn: Arc<SpikingNetwork>,
         input_dims: &[usize],

@@ -279,6 +279,20 @@ pub fn start_span(name: impl Into<String>) -> SpanGuard {
 ///
 /// Evaluates to `Option<SpanGuard>`; bind it (`let _span = span!(…)`) so it
 /// lives to the end of the scope.
+///
+/// # Examples
+///
+/// ```
+/// qsnc_telemetry::set_mode(qsnc_telemetry::TelemetryMode::Record);
+/// {
+///     let _epoch = qsnc_telemetry::span!("train.epoch");
+///     let _batch = qsnc_telemetry::span!("batch_{}", 7); // nests under it
+/// } // guards drop here, recording wall-clock time
+///
+/// let snap = qsnc_telemetry::snapshot();
+/// assert!(snap.spans.iter().any(|s| s.path == "train.epoch"));
+/// assert!(snap.spans.iter().any(|s| s.path == "train.epoch/batch_7"));
+/// ```
 #[macro_export]
 macro_rules! span {
     ($($arg:tt)*) => {

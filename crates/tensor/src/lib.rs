@@ -16,7 +16,7 @@
 //! - Reductions, histograms and a stable softmax ([`reduce`]).
 //! - Deterministic RNG and Xavier/He initializers ([`init`]).
 //! - Integer GEMM over packed `i8` weight codes for the quantized fast
-//!   path ([`igemm`]), and a thread-local scratch arena that makes
+//!   path ([`mod@igemm`]), and a thread-local scratch arena that makes
 //!   steady-state inference allocation-free ([`scratch`]).
 //! - Scoped-thread parallelism primitives driving the kernels above
 //!   ([`parallel`]); results are bit-identical at any thread count.

@@ -19,7 +19,7 @@ use crate::parallel;
 use crate::tensor::Tensor;
 
 /// Cache-blocking tile edge for [`matmul`] and the integer kernels in
-/// [`crate::igemm`]. Chosen so three `f32` tiles fit comfortably in L1
+/// [`mod@crate::igemm`]. Chosen so three `f32` tiles fit comfortably in L1
 /// (3 · 64² · 4 B = 48 KiB).
 pub(crate) const BLOCK: usize = 64;
 
@@ -58,7 +58,7 @@ static GEMM_KERNEL: AtomicU8 = AtomicU8::new(KERNEL_UNSET);
 /// Sentinel meaning "no [`set_gemm_kernel`] call yet".
 const KERNEL_UNSET: u8 = u8::MAX;
 
-/// Serializes tests (here and in [`crate::igemm`]) that mutate the
+/// Serializes tests (here and in [`mod@crate::igemm`]) that mutate the
 /// process-wide kernel override, and lets them restore the unset sentinel —
 /// [`set_gemm_kernel`] can only store concrete kernels, but tests must put
 /// the env-deferral state back so the rest of the suite sees whatever
@@ -90,7 +90,7 @@ fn env_kernel() -> GemmKernel {
 }
 
 /// Sets the process-wide [`GemmKernel`] used by [`gemm`], [`matmul`],
-/// [`gemm_bt`] and [`crate::igemm`], overriding any `QSNC_GEMM_KERNEL`
+/// [`gemm_bt`] and [`mod@crate::igemm`], overriding any `QSNC_GEMM_KERNEL`
 /// environment default.
 pub fn set_gemm_kernel(kernel: GemmKernel) {
     let v = match kernel {
@@ -208,7 +208,7 @@ fn resolve_kernel(m: usize, k: usize, n: usize, a: &[f32]) -> GemmKernel {
     kernel
 }
 
-/// Kernel resolution for the integer GEMM in [`crate::igemm`]: same
+/// Kernel resolution for the integer GEMM in [`mod@crate::igemm`]: same
 /// process-wide setting, same per-shape `Auto` cache (tagged separately).
 pub(crate) fn resolve_kernel_cached_i32(m: usize, k: usize, n: usize, a: &[i32]) -> GemmKernel {
     match gemm_kernel() {

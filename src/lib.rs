@@ -28,6 +28,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![warn(missing_docs)]
+
 pub use qsnc_core as core;
 pub use qsnc_data as data;
 pub use qsnc_memristor as memristor;

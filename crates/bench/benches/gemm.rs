@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use qsnc_tensor::{
     gemm, gemm_serial, igemm, igemm_wx, matmul, matmul_serial, parallel, set_gemm_kernel,
-    GemmKernel, PackedCodes, Tensor,
+    GemmKernel, PackedCodes, SimdLevel, Tensor,
 };
 use rand::{Rng, SeedableRng};
 
@@ -166,12 +166,62 @@ fn bench_igemm_vs_float(c: &mut Criterion) {
     group.finish();
 }
 
+/// SIMD dispatch sweep on the same conv-shaped products: the integer
+/// weights-times-columns kernel and the f32 GEMM forced to scalar, SSE2,
+/// and (when the machine has it) AVX2, one thread throughout. The gap
+/// between rows is the micro-kernel payoff in isolation.
+fn bench_simd_levels(c: &mut Criterion) {
+    let (out, k, pix) = (16usize, 200usize, 576usize);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(60);
+    let cols: Vec<i32> = (0..k * pix).map(|_| rng.gen_range(0..16)).collect();
+    let codes: Vec<i32> = (0..out * k).map(|_| rng.gen_range(-8..=8)).collect();
+    let packed = PackedCodes::try_pack(&codes, out, k).expect("codes fit i8");
+    let cols_f: Vec<f32> = cols.iter().map(|&v| v as f32).collect();
+    let codes_f: Vec<f32> = codes.iter().map(|&v| v as f32).collect();
+    let mut out_i = vec![0i32; out * pix];
+    let mut out_f = vec![0.0f32; out * pix];
+    let levels: Vec<(&str, SimdLevel)> =
+        [("scalar", SimdLevel::Scalar), ("sse2", SimdLevel::Sse2), ("avx2", SimdLevel::Avx2)]
+            .into_iter()
+            .filter(|&(_, l)| l <= qsnc_tensor::detected_simd())
+            .collect();
+
+    let mut group = c.benchmark_group("igemm_simd_levels");
+    for &(label, level) in &levels {
+        group.bench_function(label, |bch| {
+            bch.iter(|| {
+                qsnc_tensor::with_simd_level(level, || {
+                    parallel::with_num_threads(1, || {
+                        out_i.fill(0);
+                        igemm_wx(out, k, pix, &packed, &cols, &mut out_i);
+                    })
+                })
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("gemm_simd_levels");
+    for &(label, level) in &levels {
+        group.bench_function(label, |bch| {
+            bch.iter(|| {
+                qsnc_tensor::with_simd_level(level, || {
+                    out_f.fill(0.0);
+                    gemm_serial(out, k, pix, &codes_f, &cols_f, &mut out_f);
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_serial_vs_parallel,
     bench_kernels_dense_input,
     bench_kernels_sparse_input,
     bench_thread_scaling,
-    bench_igemm_vs_float
+    bench_igemm_vs_float,
+    bench_simd_levels
 );
 criterion_main!(benches);

@@ -29,7 +29,7 @@
 
 use crate::pipeline::{Stage, SynKind, SynapticStage};
 use qsnc_quant::ActivationQuantizer;
-use qsnc_tensor::{igemm, igemm_wx, im2col_i32, scratch, PackedCodes, Tensor};
+use qsnc_tensor::{igemm, igemm_conv, scratch, PackedCodes, Tensor};
 
 /// Accumulator magnitude bound guaranteeing `f32` exactness of the float
 /// oracle's sums (every partial sum stays an integer below `2^24`).
@@ -68,7 +68,9 @@ struct EngineSyn {
 }
 
 enum EngineStage {
-    Syn(EngineSyn),
+    // Boxed: a compiled synaptic stage carries several packed panels and
+    // would otherwise dwarf the other variants.
+    Syn(Box<EngineSyn>),
     MaxPool { window: usize, stride: usize },
     Flatten,
 }
@@ -179,7 +181,7 @@ impl IntEngine {
                         // The final stage may read out analog.
                         (true, _) => EngineOut::Analog,
                     };
-                    compiled.push(EngineStage::Syn(EngineSyn {
+                    compiled.push(EngineStage::Syn(Box::new(EngineSyn {
                         kind: s.kind,
                         packed,
                         weight_scale: s.weight_scale,
@@ -188,7 +190,7 @@ impl IntEngine {
                         rectify: s.rectify,
                         out_quant: s.out_quant,
                         out,
-                    }));
+                    })));
                 }
                 Stage::MaxPool { window, stride } => {
                     compiled.push(EngineStage::MaxPool { window: *window, stride: *stride });
@@ -296,9 +298,10 @@ impl IntEngine {
             .iter()
             .rev()
             .find_map(|s| match s {
-                EngineStage::Syn(EngineSyn { out: EngineOut::Counts { out_scale, .. }, .. }) => {
-                    Some(*out_scale)
-                }
+                EngineStage::Syn(syn) => match syn.out {
+                    EngineOut::Counts { out_scale, .. } => Some(out_scale),
+                    _ => None,
+                },
                 _ => None,
             })
             .unwrap_or_else(|| self.input_quant.scale());
@@ -331,28 +334,21 @@ impl IntEngine {
                 debug_assert_eq!(shape.c, in_c, "conv input channel mismatch");
                 let (oh, ow) = (spec.output_size(shape.h), spec.output_size(shape.w));
                 let pix = oh * ow;
-                let ckk = in_c * spec.kernel * spec.kernel;
                 let in_len = shape.len();
-                let mut cols = scratch::take_i32(ckk * pix);
                 let mut acc = scratch::take_i32(batch * out_c * pix);
                 for b in 0..batch {
-                    im2col_i32(
+                    // igemm_conv lowers each example with whichever loop
+                    // order is faster for the active kernel and SIMD level
+                    // (im2row + dot kernel, or im2col + zero-skipping axpy).
+                    igemm_conv(
                         &cur[b * in_len..(b + 1) * in_len],
                         in_c,
                         (shape.h, shape.w),
                         spec,
-                        &mut cols,
-                    );
-                    igemm_wx(
-                        out_c,
-                        ckk,
-                        pix,
                         &syn.packed,
-                        &cols,
                         &mut acc[b * out_c * pix..(b + 1) * out_c * pix],
                     );
                 }
-                scratch::put_i32(cols);
                 *shape = SignalShape { c: out_c, h: oh, w: ow, flat: shape.flat };
                 (pix, out_c, acc)
             }

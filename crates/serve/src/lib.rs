@@ -15,9 +15,11 @@
 //!    since the first — whichever comes first.
 //! 3. A **worker** packs the batch into a `[B, …]` tensor and drives
 //!    [`SpikingNetwork::infer_batch_into`]: every reply is bit-identical
-//!    to `SpikingNetwork::infer_reference`, and steady-state serving at a
-//!    warm batch size performs zero fresh scratch allocations (workers are
-//!    persistent threads, so the `qsnc_tensor::scratch` arena stays warm).
+//!    to `SpikingNetwork::infer_reference` — at any `QSNC_SIMD` level the
+//!    integer kernels dispatch to (`qsnc_tensor::simd`) — and steady-state
+//!    serving at a warm batch size performs zero fresh scratch allocations
+//!    (workers are persistent threads, so the `qsnc_tensor::scratch` arena
+//!    stays warm).
 //! 4. The worker's reply travels back to the connection thread, which
 //!    writes the logits + argmax frame.
 //!

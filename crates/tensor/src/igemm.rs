@@ -16,10 +16,36 @@
 //! [`im2row_i32`] lowers an integer image to the row-per-output-pixel
 //! matrix `igemm` consumes, folding the zero padding into the lowering so
 //! no padded copy of the input is ever materialized.
+//!
+//! # SIMD fast path
+//!
+//! When the resolved kernel is dense and [`crate::simd_level`] is above
+//! scalar, the micro-kernels in [`crate::simd`] take over; integer
+//! accumulation is associative, so every route below is bit-identical to
+//! the scalar loop (`tests/simd_bit_identity.rs` property-tests this).
+//!
+//! - **AVX2, counts fit `i16`** (the steady state — spike counts are
+//!   ≤ 255): [`igemm_wx`] packs adjacent `k`-rows of the count matrix into
+//!   two-`i16`-per-word pair operands (the range check fused into the same
+//!   pass) and runs the `pmaddwd` **axpy** kernel against the weight pair
+//!   panel built at pack time ([`PackedCodes`]) — 16 MACs per multiply,
+//!   four output rows blocked per sweep of the packed panel, no transpose.
+//! - **AVX2, wider counts**: the exact `vpmulld` axpy body instead.
+//! - **SSE2** (no packed 32-bit multiply): transpose the counts once into
+//!   `i16` pixel rows and run the shared `i16 × i16 → i32` **dot** kernel;
+//!   [`igemm`] widens its row-major count operand into the same kernel at
+//!   every SIMD level.
+//!
+//! [`igemm_conv`] picks the conv lowering automatically: `im2col` + the
+//! axpy orientation on AVX2 (and for scalar or skip-zeros kernels, which
+//! want the zero-skipping row loop), `im2row` + the dot kernel on SSE2
+//! when the image fits `i16`.
 
 use crate::conv::Conv2dSpec;
 use crate::linalg::{resolve_kernel_cached_i32, resolve_kernel_cached_i8, GemmKernel, BLOCK};
 use crate::parallel;
+use crate::scratch;
+use crate::simd::{self, SimdLevel};
 
 /// A layer's weight codes packed for the integer fast path: `i8` entries in
 /// `[in, out]` (transposed) layout, prepared once at compile time.
@@ -29,6 +55,14 @@ pub struct PackedCodes {
     out_dim: usize,
     /// `data[i · out_dim + j]` = code of output `j` from input `i`.
     data: Vec<i8>,
+    /// The same codes pre-widened to `i16` in row-major `[out, in]` layout
+    /// (`rows16[j · in_dim + i]`) — the panel the SIMD dot kernel streams.
+    rows16: Vec<i16>,
+    /// Adjacent input pairs packed two-`i16`-per-word in `[out, ceil(in/2)]`
+    /// layout (`pairs16[j · kp + kkp]` holds codes `2·kkp` and `2·kkp + 1`
+    /// of output `j`, an odd tail padded with zero) — the broadcast operand
+    /// of the `pmaddwd` axpy kernel.
+    pairs16: Vec<i32>,
 }
 
 impl PackedCodes {
@@ -53,7 +87,21 @@ impl PackedCodes {
                 data[i * out_dim + j] = code as i8;
             }
         }
-        Some(PackedCodes { in_dim, out_dim, data })
+        let rows16: Vec<i16> = codes.iter().map(|&c| c as i16).collect();
+        let kp = in_dim.div_ceil(2);
+        let mut pairs16 = vec![0i32; out_dim * kp];
+        for j in 0..out_dim {
+            for kkp in 0..kp {
+                let w0 = codes[j * in_dim + 2 * kkp] as i16 as u16 as u32;
+                let w1 = if 2 * kkp + 1 < in_dim {
+                    codes[j * in_dim + 2 * kkp + 1] as i16 as u16 as u32
+                } else {
+                    0
+                };
+                pairs16[j * kp + kkp] = (w0 | (w1 << 16)) as i32;
+            }
+        }
+        Some(PackedCodes { in_dim, out_dim, data, rows16, pairs16 })
     }
 
     /// Input dimension (`k` of the product).
@@ -79,6 +127,19 @@ impl PackedCodes {
             worst = worst.max(col);
         }
         worst * max_count as i64
+    }
+}
+
+/// True when every value fits `i16` — the precondition for widening an
+/// operand into the `pmaddwd` dot kernel without changing its value.
+fn fits_i16(vals: &[i32]) -> bool {
+    vals.iter().all(|&v| v >= i16::MIN as i32 && v <= i16::MAX as i32)
+}
+
+/// Widens an `i16`-ranged `i32` slice into `dst` (caller checked the range).
+fn widen_i16(src: &[i32], dst: &mut [i16]) {
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d = s as i16;
     }
 }
 
@@ -131,7 +192,8 @@ pub fn igemm(m: usize, k: usize, n: usize, a: &[i32], b: &PackedCodes, c: &mut [
     assert_eq!(a.len(), m * k, "lhs slice length mismatch");
     assert_eq!(c.len(), m * n, "output slice length mismatch");
 
-    let kernel = resolve_kernel_cached_i32(m, k, n, a);
+    let level = simd::simd_level();
+    let kernel = resolve_kernel_cached_i32(m, k, n, a, level);
     if qsnc_telemetry::enabled() {
         qsnc_telemetry::counter_add("tensor.igemm.calls", 1);
         let name = match kernel {
@@ -139,6 +201,31 @@ pub fn igemm(m: usize, k: usize, n: usize, a: &[i32], b: &PackedCodes, c: &mut [
             _ => "tensor.igemm.kernel.dense",
         };
         qsnc_telemetry::counter_add(name, 1);
+    }
+    if kernel != GemmKernel::SkipZeros && level != SimdLevel::Scalar && fits_i16(a) {
+        // SIMD dot path: counts widened per call, codes pre-widened at pack
+        // time; the shared dot kernel streams code rows register-tiled.
+        let mut a16 = scratch::take_i16(m * k);
+        widen_i16(a, &mut a16);
+        if m < 2 || m * k * n < 32 * 1024 || parallel::num_threads() == 1 {
+            simd::dot_tiles(level, k, &b.rows16, n, &a16, m, c, n);
+        } else {
+            let a16 = &a16;
+            parallel::par_bands_mut(c, m, n, |row0, rows, c_band| {
+                simd::dot_tiles(
+                    level,
+                    k,
+                    &b.rows16,
+                    n,
+                    &a16[row0 * k..(row0 + rows) * k],
+                    rows,
+                    c_band,
+                    n,
+                );
+            });
+        }
+        scratch::put_i16(a16);
+        return;
     }
     if m < 2 || m * k * n < 32 * 1024 || parallel::num_threads() == 1 {
         igemm_band(kernel, m, k, n, a, &b.data, c);
@@ -215,7 +302,8 @@ pub fn igemm_wx(out_dim: usize, k: usize, pix: usize, w: &PackedCodes, x: &[i32]
     assert_eq!(x.len(), k * pix, "column matrix length mismatch");
     assert_eq!(c.len(), out_dim * pix, "output slice length mismatch");
 
-    let kernel = resolve_kernel_cached_i8(out_dim, k, pix, &w.data);
+    let level = simd::simd_level();
+    let kernel = resolve_kernel_cached_i8(out_dim, k, pix, &w.data, level);
     if qsnc_telemetry::enabled() {
         qsnc_telemetry::counter_add("tensor.igemm.calls", 1);
         let name = match kernel {
@@ -224,12 +312,84 @@ pub fn igemm_wx(out_dim: usize, k: usize, pix: usize, w: &PackedCodes, x: &[i32]
         };
         qsnc_telemetry::counter_add(name, 1);
     }
+    if kernel != GemmKernel::SkipZeros && level == SimdLevel::Avx2 {
+        // AVX2 axpy paths: both consume the `[k, pix]` layout over
+        // contiguous pixel strips — no transpose. When the counts fit
+        // `i16` (the steady state — spike counts are ≤ 255), adjacent `k`
+        // rows are pre-packed once into `i16` pair words (a cheap
+        // sequential pass, amortized over every output row) and the
+        // `pmaddwd` kernel runs 16 MACs per multiply against the weight
+        // pair panel built at pack time. Wider counts take the exact
+        // `vpmulld` body instead.
+        let serial = out_dim < 2 || out_dim * k * pix < 32 * 1024 || parallel::num_threads() == 1;
+        let kp = k.div_ceil(2);
+        let mut xpk = scratch::take_i32(kp * pix);
+        // The i16 range check is fused into the packing pass — one read of
+        // the counts instead of a scan followed by a pack.
+        if simd::pack_wx_pairs(level, k, pix, x, &mut xpk) {
+            if serial {
+                simd::wx_axpy_packed(level, out_dim, kp, pix, &w.pairs16, &xpk, c);
+            } else {
+                parallel::par_bands_mut(c, out_dim, pix, |f0, fb, c_band| {
+                    simd::wx_axpy_packed(
+                        level,
+                        fb,
+                        kp,
+                        pix,
+                        &w.pairs16[f0 * kp..(f0 + fb) * kp],
+                        &xpk,
+                        c_band,
+                    );
+                });
+            }
+            scratch::put_i32(xpk);
+            return;
+        }
+        scratch::put_i32(xpk);
+        if serial {
+            simd::wx_axpy(level, out_dim, k, pix, &w.rows16, x, c);
+            return;
+        }
+        parallel::par_bands_mut(c, out_dim, pix, |f0, fb, c_band| {
+            simd::wx_axpy(level, fb, k, pix, &w.rows16[f0 * k..(f0 + fb) * k], x, c_band);
+        });
+        return;
+    }
+    if kernel != GemmKernel::SkipZeros && level != SimdLevel::Scalar && fits_i16(x) {
+        // SSE2 dot path (no packed 32-bit multiply below AVX2): transpose
+        // the column matrix once into i16 pixel rows (O(k·pix) moves
+        // against O(out·k·pix) MACs), then run the same dot kernel as
+        // `igemm` with the roles swapped — pixel rows are the
+        // register-tiled side, code rows the outer side.
+        let mut xr16 = scratch::take_i16(pix * k);
+        for kk in 0..k {
+            let xrow = &x[kk * pix..(kk + 1) * pix];
+            for (p, &xv) in xrow.iter().enumerate() {
+                xr16[p * k + kk] = xv as i16;
+            }
+        }
+        wx_dot(level, out_dim, k, pix, &w.rows16, &xr16, c);
+        scratch::put_i16(xr16);
+        return;
+    }
     if out_dim < 2 || out_dim * k * pix < 32 * 1024 || parallel::num_threads() == 1 {
         igemm_wx_band(kernel, 0, out_dim, out_dim, k, pix, &w.data, x, c);
         return;
     }
     parallel::par_bands_mut(c, out_dim, pix, |f0, fb, c_band| {
         igemm_wx_band(kernel, f0, fb, out_dim, k, pix, &w.data, x, c_band);
+    });
+}
+
+/// Shared SIMD tail of [`igemm_wx`] and [`igemm_conv`]: `c[out×pix] +=
+/// W · xr16ᵀ` where `xr16` holds one widened `i16` row per output pixel.
+fn wx_dot(level: SimdLevel, out_dim: usize, k: usize, pix: usize, w16: &[i16], xr16: &[i16], c: &mut [i32]) {
+    if out_dim < 2 || out_dim * k * pix < 32 * 1024 || parallel::num_threads() == 1 {
+        simd::dot_tiles(level, k, xr16, pix, w16, out_dim, c, pix);
+        return;
+    }
+    parallel::par_bands_mut(c, out_dim, pix, |f0, fb, c_band| {
+        simd::dot_tiles(level, k, xr16, pix, &w16[f0 * k..(f0 + fb) * k], fb, c_band, pix);
     });
 }
 
@@ -298,13 +458,33 @@ pub fn im2row_i32(
     spec: Conv2dSpec,
     rows: &mut [i32],
 ) {
+    im2row_with(src, c, (h, w), spec, rows, |v| v);
+}
+
+/// [`im2row_i32`] writing directly into the widened `i16` panel the SIMD dot
+/// kernel consumes. The caller has already range-checked `src` (the cast is
+/// lossless for `i16`-ranged values).
+fn im2row_i16(src: &[i32], c: usize, (h, w): (usize, usize), spec: Conv2dSpec, rows: &mut [i16]) {
+    im2row_with(src, c, (h, w), spec, rows, |v| v as i16);
+}
+
+/// Shared im2row lowering, parameterized over the output element cast so the
+/// `i32` and widened-`i16` variants stay one loop nest.
+fn im2row_with<T: Copy + Default>(
+    src: &[i32],
+    c: usize,
+    (h, w): (usize, usize),
+    spec: Conv2dSpec,
+    rows: &mut [T],
+    cast: impl Fn(i32) -> T,
+) {
     let k = spec.kernel;
     let pad = spec.padding;
     let oh = spec.output_size(h);
     let ow = spec.output_size(w);
     let ckk = c * k * k;
-    assert_eq!(src.len(), c * h * w, "im2row_i32 source length mismatch");
-    assert_eq!(rows.len(), oh * ow * ckk, "im2row_i32 output length mismatch");
+    assert_eq!(src.len(), c * h * w, "im2row source length mismatch");
+    assert_eq!(rows.len(), oh * ow * ckk, "im2row output length mismatch");
 
     for oy in 0..oh {
         for ox in 0..ow {
@@ -314,22 +494,83 @@ pub fn im2row_i32(
                     let tap = &mut out[(ic * k + ky) * k..(ic * k + ky) * k + k];
                     let iy = oy * spec.stride + ky;
                     if iy < pad || iy >= h + pad {
-                        tap.fill(0);
+                        tap.fill(T::default());
                         continue;
                     }
                     let src_row = &src[(ic * h + iy - pad) * w..(ic * h + iy - pad + 1) * w];
                     for (kx, t) in tap.iter_mut().enumerate() {
                         let ix = ox * spec.stride + kx;
                         *t = if ix < pad || ix >= w + pad {
-                            0
+                            T::default()
                         } else {
-                            src_row[ix - pad]
+                            cast(src_row[ix - pad])
                         };
                     }
                 }
             }
         }
     }
+}
+
+/// Integer convolution via the faster of the two lowerings:
+/// `c[out×oh·ow] += W · lower(src)` for one `[in_c, h, w]` image.
+///
+/// The two lowerings compute the same product in different loop orders:
+/// `im2col` feeds the axpy orientation ([`igemm_wx`]) — the AVX2 strip
+/// kernel's native layout, and the one whose zero-skip elides whole pixel
+/// rows per zero weight code; `im2row` feeds the SSE2 dot kernel, whose
+/// register tiles want one contiguous `i16` row per output pixel. This
+/// routine picks per call — axpy on AVX2, for skip-zeros, and for scalar;
+/// the dot lowering on SSE2 when the image fits `i16` — so callers always
+/// get the better loop order without choosing a lowering themselves.
+///
+/// # Panics
+///
+/// Panics if `src` or `c` disagree with the geometry implied by `spec` and
+/// the packed codes (`w.in_dim` must equal `in_c · kernel²`).
+pub fn igemm_conv(
+    src: &[i32],
+    in_c: usize,
+    (h, wd): (usize, usize),
+    spec: Conv2dSpec,
+    w: &PackedCodes,
+    c: &mut [i32],
+) {
+    let ckk = in_c * spec.kernel * spec.kernel;
+    let pix = spec.output_size(h) * spec.output_size(wd);
+    assert_eq!(ckk, w.in_dim, "igemm_conv taps disagree with packed codes");
+    assert_eq!(src.len(), in_c * h * wd, "igemm_conv source length mismatch");
+    assert_eq!(c.len(), w.out_dim * pix, "igemm_conv output length mismatch");
+
+    let level = simd::simd_level();
+    let kernel = resolve_kernel_cached_i8(w.out_dim, ckk, pix, &w.data, level);
+    if level == SimdLevel::Avx2 || kernel == GemmKernel::SkipZeros || level == SimdLevel::Scalar {
+        // axpy lowering: on AVX2 `igemm_wx` runs the strip axpy kernel
+        // straight off the im2col layout (the fastest path); the skip-zeros
+        // and scalar kernels also live in this orientation.
+        let mut cols = scratch::take_i32(ckk * pix);
+        im2col_i32(src, in_c, (h, wd), spec, &mut cols);
+        igemm_wx(w.out_dim, ckk, pix, w, &cols, c);
+        scratch::put_i32(cols);
+        return;
+    }
+    if fits_i16(src) {
+        let mut rows16 = scratch::take_i16(pix * ckk);
+        im2row_i16(src, in_c, (h, wd), spec, &mut rows16);
+        if qsnc_telemetry::enabled() {
+            qsnc_telemetry::counter_add("tensor.igemm.calls", 1);
+            qsnc_telemetry::counter_add("tensor.igemm.kernel.dense", 1);
+        }
+        wx_dot(level, w.out_dim, ckk, pix, &w.rows16, &rows16, c);
+        scratch::put_i16(rows16);
+        return;
+    }
+    // SSE2 with counts past i16: the dot kernel cannot widen, fall back to
+    // the axpy orientation (which re-resolves and runs its scalar bands).
+    let mut cols = scratch::take_i32(ckk * pix);
+    im2col_i32(src, in_c, (h, wd), spec, &mut cols);
+    igemm_wx(w.out_dim, ckk, pix, w, &cols, c);
+    scratch::put_i32(cols);
 }
 
 #[cfg(test)]

@@ -18,7 +18,10 @@
 //! - Integer GEMM over packed `i8` weight codes for the quantized fast
 //!   path ([`mod@igemm`]), and a thread-local scratch arena that makes
 //!   steady-state inference allocation-free ([`scratch`]).
-//! - Scoped-thread parallelism primitives driving the kernels above
+//! - Runtime-detected x86-64 SIMD micro-kernels behind the `QSNC_SIMD`
+//!   env var ([`simd`]); every SIMD path is bit-identical to its scalar
+//!   oracle.
+//! - Persistent-pool parallelism primitives driving the kernels above
 //!   ([`parallel`]); results are bit-identical at any thread count.
 //!
 //! # Examples
@@ -45,16 +48,18 @@ pub mod parallel;
 pub mod reduce;
 pub mod scratch;
 mod shape;
+pub mod simd;
 mod tensor;
 
 pub use conv::{col2im, conv2d, conv2d_direct, im2col, pad2d, unpad2d, Conv2dSpec};
-pub use igemm::{igemm, igemm_wx, im2col_i32, im2row_i32, PackedCodes};
+pub use igemm::{igemm, igemm_conv, igemm_wx, im2col_i32, im2row_i32, PackedCodes};
 pub use init::TensorRng;
 pub use linalg::{
     dot, gemm, gemm_bt, gemm_kernel, gemm_serial, matmul, matmul_naive, matmul_serial, matvec,
     outer, set_gemm_kernel, transpose, GemmKernel,
 };
-pub use parallel::{num_threads, set_num_threads, with_num_threads};
+pub use parallel::{num_threads, par_tiles, set_num_threads, with_num_threads};
+pub use simd::{detected_simd, set_simd_level, simd_level, with_simd_level, SimdLevel};
 pub use reduce::softmax_rows;
 pub use shape::Shape;
 pub use tensor::Tensor;

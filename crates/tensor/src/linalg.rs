@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::OnceLock;
 
 use crate::parallel;
+use crate::simd::{self, SimdLevel};
 use crate::tensor::Tensor;
 
 /// Cache-blocking tile edge for [`matmul`] and the integer kernels in
@@ -153,11 +154,14 @@ const AUTO_RESAMPLE_PERIOD: u64 = 255;
 /// merely resamples, it cannot corrupt a decision.
 static AUTO_CACHE: [AtomicU64; AUTO_SLOTS] = [const { AtomicU64::new(0) }; AUTO_SLOTS];
 
-/// FNV-1a over the product shape; `tag` separates the f32 and i32 call
-/// families so they never share a cache entry.
-fn shape_hash(m: usize, k: usize, n: usize, tag: u8) -> u64 {
+/// FNV-1a over the product shape; `tag` separates the f32/i32/i8 call
+/// families and `level` the active SIMD tier, so no two (shape, family,
+/// ISA) combinations ever share a cache entry — a `QSNC_SIMD` override
+/// mid-process (tests mutate it) resolves against fresh slots instead of a
+/// stale decision made under another instruction set.
+fn shape_hash(m: usize, k: usize, n: usize, tag: u8, level: SimdLevel) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for v in [m as u64, k as u64, n as u64, tag as u64] {
+    for v in [m as u64, k as u64, n as u64, tag as u64, level as u64] {
         h ^= v;
         h = h.wrapping_mul(0x100_0000_01b3);
     }
@@ -192,9 +196,9 @@ fn auto_cached(hash: u64, sample: impl FnOnce() -> bool) -> GemmKernel {
 /// Under `Auto` the sampling decision is cached per call-site shape and
 /// refreshed every [`AUTO_RESAMPLE_PERIOD`] calls rather than resampled
 /// every call.
-fn resolve_kernel(m: usize, k: usize, n: usize, a: &[f32]) -> GemmKernel {
+fn resolve_kernel(m: usize, k: usize, n: usize, a: &[f32], level: SimdLevel) -> GemmKernel {
     let kernel = match gemm_kernel() {
-        GemmKernel::Auto => auto_cached(shape_hash(m, k, n, 0), || mostly_zero(a)),
+        GemmKernel::Auto => auto_cached(shape_hash(m, k, n, 0, level), || mostly_zero(a)),
         k => k,
     };
     if qsnc_telemetry::enabled() {
@@ -210,9 +214,17 @@ fn resolve_kernel(m: usize, k: usize, n: usize, a: &[f32]) -> GemmKernel {
 
 /// Kernel resolution for the integer GEMM in [`mod@crate::igemm`]: same
 /// process-wide setting, same per-shape `Auto` cache (tagged separately).
-pub(crate) fn resolve_kernel_cached_i32(m: usize, k: usize, n: usize, a: &[i32]) -> GemmKernel {
+pub(crate) fn resolve_kernel_cached_i32(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i32],
+    level: SimdLevel,
+) -> GemmKernel {
     match gemm_kernel() {
-        GemmKernel::Auto => auto_cached(shape_hash(m, k, n, 1), || mostly_zero_impl(a, 0i32)),
+        GemmKernel::Auto => {
+            auto_cached(shape_hash(m, k, n, 1, level), || mostly_zero_impl(a, 0i32))
+        }
         k => k,
     }
 }
@@ -220,9 +232,17 @@ pub(crate) fn resolve_kernel_cached_i32(m: usize, k: usize, n: usize, a: &[i32])
 /// Kernel resolution for [`crate::igemm::igemm_wx`], where the skippable
 /// operand is the packed `i8` weight codes (clustered weights are often
 /// sparse). Separate cache tag from the `f32` and `i32` families.
-pub(crate) fn resolve_kernel_cached_i8(m: usize, k: usize, n: usize, a: &[i8]) -> GemmKernel {
+pub(crate) fn resolve_kernel_cached_i8(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[i8],
+    level: SimdLevel,
+) -> GemmKernel {
     match gemm_kernel() {
-        GemmKernel::Auto => auto_cached(shape_hash(m, k, n, 2), || mostly_zero_impl(a, 0i8)),
+        GemmKernel::Auto => {
+            auto_cached(shape_hash(m, k, n, 2, level), || mostly_zero_impl(a, 0i8))
+        }
         k => k,
     }
 }
@@ -232,8 +252,30 @@ pub(crate) fn resolve_kernel_cached_i8(m: usize, k: usize, n: usize, a: &[i8]) -
 /// Row indices are band-local; because the accumulation order for each
 /// output element is ascending `kk` within ascending `k0` blocks regardless
 /// of `mb`, running bands separately is bit-identical to one big call.
-fn gemm_band(kernel: GemmKernel, mb: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+/// Dense bands at a SIMD `level` above scalar go to the register-tiled
+/// [`crate::simd::gemm_tile_f32`] kernel, whose per-element order is the
+/// same ascending `k` with separate multiply then add — bit-identical again.
+#[allow(clippy::too_many_arguments)] // flat scalars keep the hot band call free of struct plumbing
+fn gemm_band(
+    kernel: GemmKernel,
+    level: SimdLevel,
+    mb: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
     let skip = kernel == GemmKernel::SkipZeros;
+    if !skip && level != SimdLevel::Scalar {
+        // SAFETY: dense contiguous panels — `a` is `mb×k`, `b` is `k×n`,
+        // `c` is `mb×n`, all with stride equal to their row length (lengths
+        // asserted by every public caller), and this call owns `c` alone.
+        unsafe {
+            simd::gemm_tile_f32(level, mb, k, n, a.as_ptr(), k, b.as_ptr(), n, c.as_mut_ptr(), n);
+        }
+        return;
+    }
     for i0 in (0..mb).step_by(BLOCK) {
         let i_end = (i0 + BLOCK).min(mb);
         for k0 in (0..k).step_by(BLOCK) {
@@ -320,15 +362,66 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     assert_eq!(b.len(), k * n, "rhs slice length mismatch");
     assert_eq!(c.len(), m * n, "output slice length mismatch");
 
-    let kernel = resolve_kernel(m, k, n, a);
-    if m < 2 || m * k * n < GEMM_PAR_MIN_FLOPS || parallel::num_threads() == 1 {
-        gemm_band(kernel, m, k, n, a, b, c);
+    let level = simd::simd_level();
+    let kernel = resolve_kernel(m, k, n, a, level);
+    if m * k * n < GEMM_PAR_MIN_FLOPS || parallel::num_threads() == 1 {
+        gemm_band(kernel, level, m, k, n, a, b, c);
         return;
     }
-    parallel::par_bands_mut(c, m, n, |row0, rows, c_band| {
-        gemm_band(kernel, rows, k, n, &a[row0 * k..(row0 + rows) * k], b, c_band);
+    if kernel == GemmKernel::SkipZeros || level == SimdLevel::Scalar {
+        if m < 2 {
+            gemm_band(kernel, level, m, k, n, a, b, c);
+            return;
+        }
+        parallel::par_bands_mut(c, m, n, |row0, rows, c_band| {
+            gemm_band(kernel, level, rows, k, n, &a[row0 * k..(row0 + rows) * k], b, c_band);
+        });
+        return;
+    }
+    // Dense SIMD: split the output into a 2-D grid of register-kernel
+    // panels. Tile columns are sized so one tile's slice of `b` (`k · tc`
+    // floats) stays inside an L2-sized panel; tile rows use the L1 block
+    // edge. Whole tiles are stolen off the pool's shared counter, and every
+    // output element is owned by exactly one tile.
+    let tc = (GEMM_TILE_PANEL / k.max(1)).clamp(BLOCK.min(n.max(1)), n.max(1));
+    let tr = BLOCK.min(m.max(1));
+    let (tiles_r, tiles_c) = (m.div_ceil(tr), n.div_ceil(tc));
+    let base = SyncPtr(c.as_mut_ptr());
+    let base = &base;
+    parallel::par_tiles(tiles_r, tiles_c, |ti, tj| {
+        let (r0, c0) = (ti * tr, tj * tc);
+        let (rb, cb) = (tr.min(m - r0), tc.min(n - c0));
+        // SAFETY: tile (ti, tj) owns rows r0..r0+rb × cols c0..c0+cb of `c`
+        // exclusively (tiles partition the grid; par_tiles hands each cell
+        // to exactly one worker), and `a`/`b` are read-only dense panels of
+        // asserted length. Strides are the full row lengths `k` and `n`.
+        unsafe {
+            simd::gemm_tile_f32(
+                level,
+                rb,
+                k,
+                cb,
+                a.as_ptr().add(r0 * k),
+                k,
+                b.as_ptr().add(c0),
+                n,
+                base.0.add(r0 * n + c0),
+                n,
+            );
+        }
     });
 }
+
+/// Target `f32` element count for one GEMM tile's slice of the `b` operand
+/// (`k · tile_cols`): 64 Ki floats = 256 KiB, an L2-sized panel.
+const GEMM_TILE_PANEL: usize = 64 * 1024;
+
+/// Raw output pointer crossing into the tile closure; tiles are disjoint, so
+/// concurrent workers never alias an element.
+struct SyncPtr<T>(*mut T);
+// SAFETY: only disjoint offsets are dereferenced — `par_tiles` gives each
+// grid cell to exactly one worker and cells map to disjoint `c` panels.
+unsafe impl<T: Send> Sync for SyncPtr<T> {}
 
 /// Single-threaded [`gemm`], kept as the reference oracle for tests and
 /// serial-vs-parallel benchmarks. Kernel selection (`Auto` sampling) is
@@ -341,7 +434,8 @@ pub fn gemm_serial(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
     assert_eq!(a.len(), m * k, "lhs slice length mismatch");
     assert_eq!(b.len(), k * n, "rhs slice length mismatch");
     assert_eq!(c.len(), m * n, "output slice length mismatch");
-    gemm_band(resolve_kernel(m, k, n, a), m, k, n, a, b, c);
+    let level = simd::simd_level();
+    gemm_band(resolve_kernel(m, k, n, a, level), level, m, k, n, a, b, c);
 }
 
 /// One row band of [`gemm_bt`]: `c[mb×n] += a[mb×k] · btᵀ`.
@@ -397,7 +491,7 @@ pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], bt: &[f32], c: &mut [f32
     assert_eq!(bt.len(), n * k, "transposed rhs slice length mismatch");
     assert_eq!(c.len(), m * n, "output slice length mismatch");
 
-    let kernel = resolve_kernel(m, k, n, a);
+    let kernel = resolve_kernel(m, k, n, a, simd::simd_level());
     if m < 2 || m * k * n < GEMM_PAR_MIN_FLOPS || parallel::num_threads() == 1 {
         gemm_bt_band(kernel, m, k, n, a, bt, c);
         return;
@@ -624,10 +718,23 @@ mod tests {
         let b = rand_mat(50, 60, 32, 0);
         let mut dense = vec![0.0f32; 40 * 60];
         let mut skip = vec![0.0f32; 40 * 60];
-        gemm_band(GemmKernel::Dense, 40, 50, 60, a.as_slice(), b.as_slice(), &mut dense);
-        gemm_band(GemmKernel::SkipZeros, 40, 50, 60, a.as_slice(), b.as_slice(), &mut skip);
-        for (x, y) in dense.iter().zip(skip.iter()) {
-            assert_eq!(x.to_bits(), y.to_bits());
+        for level in [SimdLevel::Scalar, simd::simd_level()] {
+            dense.fill(0.0);
+            skip.fill(0.0);
+            gemm_band(GemmKernel::Dense, level, 40, 50, 60, a.as_slice(), b.as_slice(), &mut dense);
+            gemm_band(
+                GemmKernel::SkipZeros,
+                level,
+                40,
+                50,
+                60,
+                a.as_slice(),
+                b.as_slice(),
+                &mut skip,
+            );
+            for (x, y) in dense.iter().zip(skip.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "level={level:?}");
+            }
         }
     }
 
@@ -658,7 +765,7 @@ mod tests {
     #[test]
     fn auto_cache_reuses_decision_until_period_expires() {
         // A shape no other test uses, so this slot is ours alone.
-        let hash = shape_hash(911, 913, 917, 0);
+        let hash = shape_hash(911, 913, 917, 0, SimdLevel::Scalar);
         let mut samples = 0u32;
         let k1 = auto_cached(hash, || {
             samples += 1;
@@ -685,7 +792,7 @@ mod tests {
         assert_eq!(samples, 2);
         // A different shape (even one colliding into the same slot) always
         // resamples on first sight: its tag cannot match the stored one.
-        let other = shape_hash(1911, 1913, 1917, 0);
+        let other = shape_hash(1911, 1913, 1917, 0, SimdLevel::Scalar);
         assert_ne!(other, hash);
         let mut hit = false;
         auto_cached(other, || {
@@ -693,6 +800,48 @@ mod tests {
             true
         });
         assert!(hit, "unseen shape must sample");
+    }
+
+    #[test]
+    fn auto_cache_is_keyed_on_simd_level() {
+        // Same shape, different ISA tier → different cache identity, so a
+        // QSNC_SIMD override mid-process can never be served a decision made
+        // under another instruction set.
+        let shapes = [(2911, 2913, 2917), (77, 401, 93)];
+        for &(m, k, n) in &shapes {
+            for tag in 0..3u8 {
+                let per_level: Vec<u64> =
+                    [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2]
+                        .iter()
+                        .map(|&l| shape_hash(m, k, n, tag, l))
+                        .collect();
+                assert_ne!(per_level[0], per_level[1], "m={m} tag={tag}");
+                assert_ne!(per_level[1], per_level[2], "m={m} tag={tag}");
+                assert_ne!(per_level[0], per_level[2], "m={m} tag={tag}");
+            }
+        }
+        // End to end: cache a decision under Scalar, then resolve the same
+        // shape under another level — the cached Scalar decision must not be
+        // served (the closure runs again for the new key).
+        let scalar_hash = shape_hash(2911, 2913, 2917, 0, SimdLevel::Scalar);
+        let avx_hash = shape_hash(2911, 2913, 2917, 0, SimdLevel::Avx2);
+        let mut samples = 0u32;
+        assert_eq!(
+            auto_cached(scalar_hash, || {
+                samples += 1;
+                true
+            }),
+            GemmKernel::SkipZeros
+        );
+        assert_eq!(
+            auto_cached(avx_hash, || {
+                samples += 1;
+                false
+            }),
+            GemmKernel::Dense,
+            "a level switch must resample, not reuse the other level's choice"
+        );
+        assert_eq!(samples, 2);
     }
 
     #[test]

@@ -1,15 +1,32 @@
-//! Scoped-thread parallelism primitives for the compute kernels.
+//! Persistent-pool parallelism primitives for the compute kernels.
 //!
-//! Everything in this crate that parallelizes — GEMM row bands, im2col row
+//! Everything in this crate that parallelizes — GEMM tiles, im2col row
 //! bands, per-image convolution, and the batch sharding in the crates above —
-//! funnels through the two primitives here, [`par_bands_mut`] and
-//! [`par_map_shards`]. Both partition work into **contiguous, disjoint**
-//! pieces, one per worker, and run the pieces on scoped threads
-//! (`crossbeam::thread::scope`), so no output element is ever touched by two
-//! threads and no ordering decision is left to the scheduler. Combined with
-//! kernels whose per-element accumulation order does not depend on the band
-//! they run in, this makes every parallel result **bit-identical** to the
-//! serial one at any thread count.
+//! funnels through the primitives here: [`par_bands_mut`], [`par_tiles`],
+//! and [`par_map_shards`]. All of them partition work into **disjoint**
+//! pieces and run the pieces on a process-wide persistent worker pool, so no
+//! output element is ever touched by two threads and no ordering decision is
+//! left to the scheduler. Combined with kernels whose per-element
+//! accumulation order does not depend on the piece they run in, this makes
+//! every parallel result **bit-identical** to the serial one at any thread
+//! count.
+//!
+//! # Pool and work distribution
+//!
+//! Earlier revisions spawned scoped OS threads per call, which on GEMM-sized
+//! work made `t4` *slower* than `t1` — thread creation cost rivaled the
+//! kernel itself. Workers are now spawned once, lazily, and parked on a
+//! condvar between jobs; a call publishes one job, the calling thread
+//! participates as a worker, and everyone pulls **whole chunks** off a
+//! shared atomic counter until the job drains. Chunks are sized to
+//! cache-resident panels (≈`CHUNK_TARGET_BYTES` of output per chunk, and
+//! at least one chunk per worker), so stealing granularity follows the L2
+//! footprint of the data rather than a fixed rows-per-thread split.
+//!
+//! Nested parallel calls (a worker's closure calling back into this module)
+//! and calls made while another thread holds the pool run inline on the
+//! caller — the pool never deadlocks on itself and correctness never
+//! depends on a second level of fan-out.
 //!
 //! # Thread-count resolution
 //!
@@ -22,8 +39,8 @@
 //! 4. [`std::thread::available_parallelism`].
 //!
 //! A resolved count of 1 runs the closure inline on the calling thread —
-//! no threads are spawned, so serial behavior (and serial stack traces) are
-//! recovered exactly with `QSNC_THREADS=1`.
+//! no pool interaction at all, so serial behavior (and serial stack traces)
+//! are recovered exactly with `QSNC_THREADS=1`.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -93,13 +110,225 @@ fn piece_sizes(items: usize, workers: usize) -> impl Iterator<Item = usize> {
     (0..workers).map(move |i| base + usize::from(i < rem))
 }
 
+/// Target output bytes per stolen chunk: roughly half a typical L2 slice, so
+/// a chunk's output panel (plus the operand rows feeding it) stays
+/// cache-resident while still leaving several chunks per worker to steal.
+const CHUNK_TARGET_BYTES: usize = 128 * 1024;
+
+mod pool {
+    //! The process-wide persistent worker pool.
+    //!
+    //! One job at a time: a submitter publishes a `&(dyn Fn() + Sync)` (as a
+    //! raw pointer with an epoch tag), wakes the parked workers, runs the
+    //! closure itself, then blocks until every participating worker has
+    //! finished before returning — which is exactly what makes lending the
+    //! stack-borrowed closure to the pool sound. Workers park on a condvar
+    //! between jobs, so steady-state cost per parallel call is one
+    //! notify/wait round-trip instead of thread spawn + join.
+
+    use std::any::Any;
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    /// Hard cap on pool workers, far above any sane `QSNC_THREADS`.
+    const POOL_CAP: usize = 64;
+
+    /// A borrowed job closure, valid only until its submitter returns.
+    ///
+    /// The raw pointer erases the closure's stack lifetime; `run` upholds it
+    /// by not returning until `active == 0`.
+    #[derive(Clone, Copy)]
+    struct Task(*const (dyn Fn() + Sync));
+
+    // SAFETY: the pointee is `Sync` (shared calls are fine) and `run` keeps
+    // it alive for as long as any worker can hold this pointer.
+    unsafe impl Send for Task {}
+
+    struct State {
+        /// Monotonic job id; workers use it to claim each job at most once.
+        epoch: u64,
+        /// The published job, present only while a submitter is inside `run`.
+        task: Option<Task>,
+        /// Workers still allowed to join the current job.
+        helpers_wanted: usize,
+        /// Workers currently executing the current job.
+        active: usize,
+        /// Pool threads spawned so far.
+        spawned: usize,
+        /// A submitter currently owns the pool (jobs are exclusive).
+        busy: bool,
+        /// First worker panic of the current job, rethrown by the submitter.
+        panic: Option<Box<dyn Any + Send>>,
+    }
+
+    struct Shared {
+        state: Mutex<State>,
+        /// Signaled when a new job is published.
+        work: Condvar,
+        /// Signaled when the last active worker finishes a job.
+        done: Condvar,
+    }
+
+    fn shared() -> &'static Shared {
+        static SHARED: OnceLock<Shared> = OnceLock::new();
+        SHARED.get_or_init(|| Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                task: None,
+                helpers_wanted: 0,
+                active: 0,
+                spawned: 0,
+                busy: false,
+                panic: None,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        })
+    }
+
+    thread_local! {
+        /// True for the lifetime of a pool worker thread; nested parallel
+        /// calls from a worker run inline instead of re-entering the pool.
+        static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Body of each persistent pool thread: park, claim, run, repeat.
+    fn worker_loop() {
+        IS_POOL_WORKER.with(|c| c.set(true));
+        let sh = shared();
+        let mut last_epoch = 0u64;
+        loop {
+            let task = {
+                let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if st.helpers_wanted > 0 && st.epoch != last_epoch {
+                        if let Some(task) = st.task {
+                            last_epoch = st.epoch;
+                            st.helpers_wanted -= 1;
+                            st.active += 1;
+                            break task;
+                        }
+                    }
+                    st = sh.work.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            // SAFETY: the submitter keeps the pointee alive until `active`
+            // returns to 0, which cannot happen before this call returns.
+            let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*task.0)() }));
+            let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(payload) = result {
+                if st.panic.is_none() {
+                    st.panic = Some(payload);
+                }
+            }
+            st.active -= 1;
+            if st.active == 0 {
+                sh.done.notify_all();
+            }
+        }
+    }
+
+    /// Runs `f` concurrently on the calling thread plus up to `workers - 1`
+    /// pool workers, returning after every participant has finished.
+    ///
+    /// `f` is invoked once per participating thread; callers layer chunk
+    /// stealing on top (an atomic counter inside `f`). Worker panics are
+    /// rethrown here after the job fully drains. Calls from inside a pool
+    /// worker, or while another thread owns the pool, run `f` inline once —
+    /// the caller's own stealing loop still completes the whole job.
+    pub(super) fn run(workers: usize, f: &(dyn Fn() + Sync)) {
+        if workers <= 1 || IS_POOL_WORKER.with(Cell::get) {
+            f();
+            return;
+        }
+        let sh = shared();
+        {
+            let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.busy {
+                drop(st);
+                f();
+                return;
+            }
+            st.busy = true;
+            st.epoch += 1;
+            st.panic = None;
+            // SAFETY(lifetime erasure): `run` does not return until
+            // `active == 0` below, so no worker outlives the borrow.
+            st.task = Some(Task(unsafe {
+                std::mem::transmute::<*const (dyn Fn() + Sync), *const (dyn Fn() + Sync + 'static)>(
+                    f as *const (dyn Fn() + Sync),
+                )
+            }));
+            let helpers = (workers - 1).min(POOL_CAP);
+            st.helpers_wanted = helpers;
+            while st.spawned < helpers {
+                st.spawned += 1;
+                let idx = st.spawned;
+                std::thread::Builder::new()
+                    .name(format!("qsnc-pool-{idx}"))
+                    .spawn(worker_loop)
+                    .expect("failed to spawn pool worker");
+            }
+            sh.work.notify_all();
+        }
+        let own = catch_unwind(AssertUnwindSafe(f));
+        let worker_panic = {
+            let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.helpers_wanted = 0;
+            st.task = None;
+            while st.active > 0 {
+                st = sh.done.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            let p = st.panic.take();
+            st.busy = false;
+            p
+        };
+        if let Err(payload) = own {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Runs `task(i)` for every `i < pieces`, pulled off a shared atomic counter
+/// by `workers` threads (the caller plus pool workers). Whole pieces are
+/// stolen, never split.
+fn run_stealing<F>(workers: usize, pieces: usize, task: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let body = move || loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= pieces {
+            break;
+        }
+        task(i);
+    };
+    pool::run(workers.min(pieces), &body);
+}
+
+/// Raw base pointer that may cross to pool workers; the stealing loops hand
+/// each worker disjoint index ranges, so aliasing never occurs.
+struct SendPtr<T>(*mut T);
+// SAFETY: pointees are `Send` and every index is claimed by exactly one
+// worker via `fetch_add`, so this is a partition of `&mut` access, not
+// sharing.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: as above — workers only dereference disjoint offsets.
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
 /// Splits `data` — `rows` rows of `row_len` elements — into contiguous row
-/// bands, one per worker, and runs `f(first_row, band_rows, band)` on each
-/// band concurrently.
+/// chunks sized for cache residency (≈`CHUNK_TARGET_BYTES` each, at least
+/// one per worker) and runs `f(first_row, chunk_rows, chunk)` on each chunk,
+/// stolen whole off a shared counter by the worker pool.
 ///
-/// Bands are disjoint `&mut` slices, so each output row is written by exactly
-/// one thread. With one worker (or one row), `f` runs inline on the calling
-/// thread over the whole slice.
+/// Chunks are disjoint `&mut` slices, so each output row is written by
+/// exactly one thread. With one worker (or one row), `f` runs inline on the
+/// calling thread over the whole slice.
 ///
 /// # Panics
 ///
@@ -115,18 +344,56 @@ where
         f(0, rows, data);
         return;
     }
-    crossbeam::thread::scope(|s| {
-        let mut rest = data;
-        let mut first_row = 0;
-        for band_rows in piece_sizes(rows, workers) {
-            let (band, tail) = rest.split_at_mut(band_rows * row_len);
-            rest = tail;
-            let row0 = first_row;
-            let fr = &f;
-            s.spawn(move || fr(row0, band_rows, band));
-            first_row += band_rows;
-        }
+    let row_bytes = row_len * std::mem::size_of::<T>();
+    let per_worker = rows.div_ceil(workers);
+    let cache_rows =
+        CHUNK_TARGET_BYTES.checked_div(row_bytes).map_or(per_worker, |rows| rows.max(1));
+    let chunk = per_worker.min(cache_rows).max(1);
+    let chunks = rows.div_ceil(chunk);
+    let base = SendPtr(data.as_mut_ptr());
+    let base = &base;
+    run_stealing(workers, chunks, |ci| {
+        let r0 = ci * chunk;
+        let nr = chunk.min(rows - r0);
+        // SAFETY: chunk index `ci` is claimed by exactly one worker, and
+        // chunks tile `0..rows` disjointly, so this `&mut` slice aliases
+        // nothing else alive.
+        let band =
+            unsafe { std::slice::from_raw_parts_mut(base.0.add(r0 * row_len), nr * row_len) };
+        f(r0, nr, band);
     });
+}
+
+/// Runs `f(tile_row, tile_col)` for every cell of a `tiles_r × tiles_c`
+/// grid, with whole tiles stolen off a shared counter by the worker pool.
+///
+/// This is the 2-D work distributor behind the blocked GEMM paths: the
+/// caller maps tile coordinates to disjoint output panels, so any schedule
+/// of tile executions writes each output element exactly once. `f` receives
+/// every cell exactly once; with one worker the grid runs inline in
+/// row-major order.
+///
+/// # Panics
+///
+/// Propagates a worker panic.
+pub fn par_tiles<F>(tiles_r: usize, tiles_c: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let total = tiles_r.checked_mul(tiles_c).expect("par_tiles grid overflows usize");
+    if total == 0 {
+        return;
+    }
+    let workers = num_threads().min(total).max(1);
+    if workers == 1 {
+        for tr in 0..tiles_r {
+            for tc in 0..tiles_c {
+                f(tr, tc);
+            }
+        }
+        return;
+    }
+    run_stealing(workers, total, |i| f(i / tiles_c, i % tiles_c));
 }
 
 /// Splits `items` into contiguous shards, one per worker, maps each shard
@@ -135,7 +402,8 @@ where
 ///
 /// Use this when each worker needs its own state (e.g. a cloned network):
 /// build the state inside `f`, once per shard. With one worker the single
-/// call runs inline. An empty input yields an empty result.
+/// call runs inline. An empty input yields an empty result. The result
+/// length is always `min(num_threads(), items.len())`.
 ///
 /// # Panics
 ///
@@ -153,21 +421,26 @@ where
     if workers == 1 {
         return vec![f(0, items)];
     }
-    crossbeam::thread::scope(|s| {
-        let mut handles = Vec::with_capacity(workers);
-        let mut start = 0;
-        for shard_len in piece_sizes(items.len(), workers) {
-            let shard = &items[start..start + shard_len];
-            let first = start;
-            let fr = &f;
-            handles.push(s.spawn(move || fr(first, shard)));
-            start += shard_len;
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect()
-    })
+    let mut bounds = Vec::with_capacity(workers);
+    let mut start = 0;
+    for shard_len in piece_sizes(items.len(), workers) {
+        bounds.push((start, shard_len));
+        start += shard_len;
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(workers);
+    out.resize_with(workers, || None);
+    let slot = SendPtr(out.as_mut_ptr());
+    let slot = &slot;
+    run_stealing(workers, workers, |si| {
+        let (first, len) = bounds[si];
+        let r = f(first, &items[first..first + len]);
+        // SAFETY: shard index `si` is claimed by exactly one worker and each
+        // `out` slot is written exactly once.
+        unsafe { *slot.0.add(si) = Some(r) };
+    });
+    out.into_iter()
+        .map(|r| r.expect("par_map_shards: shard result missing after job drained"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -243,6 +516,43 @@ mod tests {
     }
 
     #[test]
+    fn par_bands_mut_steals_many_small_chunks() {
+        // Rows so wide that the cache target forces chunk = 1 row: every row
+        // is its own stolen chunk, and each must still be written once.
+        let row_len = CHUNK_TARGET_BYTES / std::mem::size_of::<u32>() + 17;
+        let rows = 9;
+        let mut data = vec![0u32; rows * row_len];
+        with_num_threads(4, || {
+            par_bands_mut(&mut data, rows, row_len, |first, n, band| {
+                assert_eq!(n, 1, "cache-sized chunking should split to single rows");
+                for (r, row) in band.chunks_mut(row_len).enumerate() {
+                    row.fill((first + r) as u32 + 1);
+                }
+            });
+        });
+        for r in 0..rows {
+            assert!(data[r * row_len..(r + 1) * row_len].iter().all(|&v| v == r as u32 + 1));
+        }
+    }
+
+    #[test]
+    fn par_tiles_visits_every_cell_once() {
+        for threads in [1, 2, 5] {
+            with_num_threads(threads, || {
+                let (tr, tc) = (7, 5);
+                let hits: Vec<AtomicUsize> =
+                    (0..tr * tc).map(|_| AtomicUsize::new(0)).collect();
+                par_tiles(tr, tc, |r, c| {
+                    hits[r * tc + c].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+            });
+        }
+        par_tiles(0, 5, |_, _| panic!("empty grid must not call back"));
+        par_tiles(5, 0, |_, _| panic!("empty grid must not call back"));
+    }
+
+    #[test]
     fn par_map_shards_preserves_order() {
         for threads in [1, 2, 4, 9] {
             with_num_threads(threads, || {
@@ -261,6 +571,41 @@ mod tests {
     }
 
     #[test]
+    fn nested_parallel_calls_run_inline_without_deadlock() {
+        with_num_threads(4, || {
+            let items: Vec<usize> = (0..16).collect();
+            let sums = par_map_shards(&items, |_, shard| {
+                // A nested call from (potentially) a pool worker: must run
+                // inline and still produce the right answer.
+                let inner: Vec<usize> = shard.to_vec();
+                let parts = par_map_shards(&inner, |_, s| s.iter().sum::<usize>());
+                parts.iter().sum::<usize>()
+            });
+            assert_eq!(sums.iter().sum::<usize>(), items.iter().sum::<usize>());
+        });
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_calls() {
+        // Two successive jobs must both complete and produce exact results —
+        // exercising the park/unpark path rather than thread respawn.
+        for round in 0..3u32 {
+            with_num_threads(3, || {
+                let mut data = vec![0u32; 32 * 8];
+                par_bands_mut(&mut data, 32, 8, |first, n, band| {
+                    for (r, row) in band.chunks_mut(8).enumerate() {
+                        assert!(r < n);
+                        row.fill((first + r) as u32 + round);
+                    }
+                });
+                for r in 0..32 {
+                    assert!(data[r * 8..(r + 1) * 8].iter().all(|&v| v == r as u32 + round));
+                }
+            });
+        }
+    }
+
+    #[test]
     fn worker_panic_propagates() {
         let caught = std::panic::catch_unwind(|| {
             with_num_threads(2, || {
@@ -274,5 +619,27 @@ mod tests {
             })
         });
         assert!(caught.is_err());
+    }
+
+    #[test]
+    fn pool_recovers_after_worker_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                par_tiles(4, 4, |r, _| {
+                    if r == 2 {
+                        panic!("tile failed");
+                    }
+                });
+            })
+        });
+        assert!(caught.is_err());
+        // The pool must be reusable (not poisoned, not busy) after a panic.
+        with_num_threads(4, || {
+            let hits: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+            par_tiles(2, 4, |r, c| {
+                hits[r * 4 + c].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        });
     }
 }

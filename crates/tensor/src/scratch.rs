@@ -12,11 +12,11 @@
 //! [`fresh_allocations`] lets tests and benchmarks assert directly.
 //!
 //! The pool is thread-local: no locks, no cross-thread sharing, and the
-//! worker threads spawned by [`crate::parallel`] each get their own (empty)
-//! pool. Because those workers are scoped and die with each parallel call,
-//! reuse across calls only materializes on persistent threads — the serial
-//! (`QSNC_THREADS=1`) inference path, which is exactly the path the
-//! single-core deployment benchmarks measure.
+//! worker threads of [`crate::parallel`] each get their own pool. Those
+//! workers are persistent (parked between jobs, not respawned per call), so
+//! scratch reuse materializes on every thread that runs kernels — the
+//! serial (`QSNC_THREADS=1`) inference path that the single-core deployment
+//! benchmarks measure, and the pool workers alike.
 //!
 //! Telemetry (when enabled) tallies pool traffic under the frozen names
 //! `tensor.scratch.take` and `tensor.scratch.alloc`; their ratio is the
@@ -28,6 +28,7 @@ use std::cell::RefCell;
 struct Pool {
     f32s: Vec<Vec<f32>>,
     i32s: Vec<Vec<i32>>,
+    i16s: Vec<Vec<i16>>,
     u8s: Vec<Vec<u8>>,
     takes: u64,
     allocs: u64,
@@ -38,6 +39,7 @@ impl Pool {
         Pool {
             f32s: Vec::new(),
             i32s: Vec::new(),
+            i16s: Vec::new(),
             u8s: Vec::new(),
             takes: 0,
             allocs: 0,
@@ -113,6 +115,9 @@ macro_rules! impl_take_put {
 
 impl_take_put!(take_f32, put_f32, f32s, f32, 0.0f32);
 impl_take_put!(take_i32, put_i32, i32s, i32, 0i32);
+// i16 panels: the widened operands the SIMD dot-product kernels consume
+// (spike counts and im2row pixels widened from i32, weight codes from i8).
+impl_take_put!(take_i16, put_i16, i16s, i16, 0i16);
 // Byte buffers: wire-frame payloads in the serving layer, whose connection
 // threads are persistent and so amortize the pool exactly like the serial
 // inference path does.

@@ -1,0 +1,1293 @@
+//! Explicit x86-64 SIMD micro-kernels behind one-time runtime detection.
+//!
+//! Two kernel families live here, both selected through [`simd_level`]:
+//!
+//! - **Integer dot tiles** (`dot_tiles`): `i16 × i16 → i32` dot products
+//!   over row-major operand panels, register-blocked four rows at a time and
+//!   accumulated with `pmaddwd`-style pairwise multiply-adds
+//!   (`_mm_madd_epi16` / `_mm256_madd_epi16`). This is the engine of the
+//!   quantized fast path: spike counts widen losslessly to `i16`, weight
+//!   codes are `i8`-ranged, and every intermediate stays exact (see the
+//!   overflow analysis on `dot_tiles`), so the SIMD result is
+//!   **bit-identical** to the scalar loop.
+//! - **`f32` GEMM tiles** (`gemm_tile_f32`): a 4-row × 8-lane (AVX2) or
+//!   4-row × 4-lane (SSE2) register tile that keeps each output element's
+//!   accumulation order identical to the scalar kernel — ascending `k`,
+//!   separate multiply then add, never FMA — so the vectorized product is
+//!   bit-identical to the serial scalar oracle, not merely close.
+//!
+//! # Dispatch
+//!
+//! The effective [`SimdLevel`] is resolved per kernel call from, in order:
+//! a scoped [`with_simd_level`] override on the calling thread, the
+//! process-wide [`set_simd_level`] value, and the `QSNC_SIMD` environment
+//! variable (`off`/`sse2`/`avx2`, read once per process) — always clamped
+//! to what `is_x86_feature_detected!` reports (cached in a `OnceLock`), so
+//! requesting AVX2 on a machine without it silently degrades rather than
+//! faulting. Non-x86-64 targets always resolve to [`SimdLevel::Scalar`].
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Instruction-set tier the kernels may use, ordered weakest to strongest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdLevel {
+    /// Portable scalar Rust only (also the only tier off x86-64).
+    Scalar,
+    /// 128-bit SSE2 kernels (baseline on every x86-64 CPU).
+    Sse2,
+    /// 256-bit AVX2 kernels, used only when runtime detection confirms them.
+    Avx2,
+}
+
+/// Process-wide override from [`set_simd_level`]; [`LEVEL_UNSET`] defers to
+/// the `QSNC_SIMD` environment default.
+static LEVEL_OVERRIDE: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+/// Sentinel meaning "no [`set_simd_level`] call yet".
+const LEVEL_UNSET: u8 = u8::MAX;
+
+std::thread_local! {
+    /// Scoped per-thread override installed by [`with_simd_level`].
+    static TL_LEVEL: std::cell::Cell<u8> = const { std::cell::Cell::new(LEVEL_UNSET) };
+}
+
+fn level_from_u8(v: u8) -> SimdLevel {
+    match v {
+        0 => SimdLevel::Scalar,
+        1 => SimdLevel::Sse2,
+        _ => SimdLevel::Avx2,
+    }
+}
+
+/// What the hardware supports, probed once per process.
+pub fn detected_simd() -> SimdLevel {
+    static DETECTED: OnceLock<SimdLevel> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                SimdLevel::Avx2
+            } else {
+                // SSE2 is part of the x86-64 baseline; no probe needed.
+                SimdLevel::Sse2
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            SimdLevel::Scalar
+        }
+    })
+}
+
+/// `QSNC_SIMD` environment default, read once per process. Unrecognized
+/// values (including `auto`) mean "use everything detected".
+fn env_level() -> SimdLevel {
+    static ENV: OnceLock<SimdLevel> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        match std::env::var("QSNC_SIMD").map(|v| v.trim().to_ascii_lowercase()).as_deref() {
+            Ok("off") | Ok("scalar") | Ok("none") => SimdLevel::Scalar,
+            Ok("sse2") => SimdLevel::Sse2,
+            Ok("avx2") => SimdLevel::Avx2,
+            _ => detected_simd(),
+        }
+    })
+}
+
+/// Sets (or with `None` clears) the process-wide [`SimdLevel`] cap,
+/// overriding the `QSNC_SIMD` environment default. Requests above what the
+/// machine supports are clamped at use, never trusted.
+pub fn set_simd_level(level: Option<SimdLevel>) {
+    let v = match level {
+        None => LEVEL_UNSET,
+        Some(SimdLevel::Scalar) => 0,
+        Some(SimdLevel::Sse2) => 1,
+        Some(SimdLevel::Avx2) => 2,
+    };
+    LEVEL_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// Runs `f` with the SIMD level pinned to `level` on the calling thread.
+///
+/// The override only affects kernel calls made from this thread while `f`
+/// runs (restored even on panic), which lets concurrent tests pin different
+/// levels without interfering through the global setting. Worker threads
+/// spawned by [`crate::parallel`] do **not** inherit it — kernels resolve
+/// the level once per call, before fanning out, precisely so one call uses
+/// one level everywhere.
+pub fn with_simd_level<R>(level: SimdLevel, f: impl FnOnce() -> R) -> R {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TL_LEVEL.with(|c| c.set(self.0));
+        }
+    }
+    let v = match level {
+        SimdLevel::Scalar => 0,
+        SimdLevel::Sse2 => 1,
+        SimdLevel::Avx2 => 2,
+    };
+    let _guard = Restore(TL_LEVEL.with(|c| c.replace(v)));
+    f()
+}
+
+/// Effective SIMD level for kernel calls on this thread right now: scoped
+/// override, else process-wide [`set_simd_level`], else `QSNC_SIMD`, else
+/// full detection — clamped to [`detected_simd`] in every case.
+pub fn simd_level() -> SimdLevel {
+    let requested = {
+        let tl = TL_LEVEL.with(std::cell::Cell::get);
+        if tl != LEVEL_UNSET {
+            level_from_u8(tl)
+        } else {
+            let global = LEVEL_OVERRIDE.load(Ordering::Relaxed);
+            if global != LEVEL_UNSET {
+                level_from_u8(global)
+            } else {
+                env_level()
+            }
+        }
+    };
+    requested.min(detected_simd())
+}
+
+// ---------------------------------------------------------------------------
+// Integer dot-product tiles
+// ---------------------------------------------------------------------------
+
+/// Scalar reference for the [`dot_tiles`] contract; also the dispatch target
+/// at [`SimdLevel::Scalar`] and off x86-64.
+fn dot_tiles_scalar(k: usize, fast: &[i16], nf: usize, slow: &[i16], ns: usize, c: &mut [i32], stride: usize) {
+    for s in 0..ns {
+        let srow = &slow[s * k..(s + 1) * k];
+        let crow = &mut c[s * stride..s * stride + nf];
+        for (f, cv) in crow.iter_mut().enumerate() {
+            let frow = &fast[f * k..(f + 1) * k];
+            let mut acc = 0i32;
+            for (&sv, &fv) in srow.iter().zip(frow.iter()) {
+                acc = acc.wrapping_add(sv as i32 * fv as i32);
+            }
+            *cv = cv.wrapping_add(acc);
+        }
+    }
+}
+
+/// `c[s·stride + f] += dot(fast[f], slow[s])` over row-major `i16` panels:
+/// `fast` holds `nf` rows of length `k`, `slow` holds `ns` rows, and the
+/// `fast` index is the unit-stride (register-tiled) output dimension.
+///
+/// One kernel serves both product orientations of the integer fast path:
+/// the row-major `igemm` (`fast` = weight-code rows, `slow` = spike-count
+/// rows, `stride = n`) and the conv lowering (`fast` = im2row pixel rows,
+/// `slow` = weight-code rows, `stride = pix`).
+///
+/// **Exactness.** Every product `|fast·slow| ≤ 32767 · 32767` fits `i32`,
+/// and `pmaddwd`'s pairwise sums stay exact whenever one operand family is
+/// `i8`-ranged (the packed weight codes: `|w| ≤ 127 ⇒ |pair| < 2³³⁄₂⁹ < 2³¹`).
+/// Lane accumulation and the horizontal reduction use wrapping `i32` adds —
+/// associative and commutative mod 2³² — so the result equals the scalar
+/// ascending-`k` loop bit for bit. Callers keep true magnitudes below `2³¹`
+/// (the engine proves `< 2²⁴` at compile time), making the wrapping
+/// unobservable.
+///
+/// # Panics
+///
+/// Panics if a panel slice or `c` is shorter than the stated geometry
+/// implies (`fast ≥ nf·k`, `slow ≥ ns·k`, `c ≥ (ns−1)·stride + nf` when
+/// `ns > 0`, `stride ≥ nf`).
+#[allow(clippy::too_many_arguments)] // flat scalars keep the hot kernel call free of struct plumbing
+pub(crate) fn dot_tiles(
+    level: SimdLevel,
+    k: usize,
+    fast: &[i16],
+    nf: usize,
+    slow: &[i16],
+    ns: usize,
+    c: &mut [i32],
+    stride: usize,
+) {
+    assert!(fast.len() >= nf * k, "dot_tiles fast panel too short");
+    assert!(slow.len() >= ns * k, "dot_tiles slow panel too short");
+    assert!(stride >= nf, "dot_tiles stride narrower than fast rows");
+    if ns > 0 {
+        assert!(c.len() >= (ns - 1) * stride + nf, "dot_tiles output too short");
+    }
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: slice geometry was checked above; the target features are
+        // guaranteed by `level`, which is always clamped to `detected_simd`.
+        SimdLevel::Avx2 => unsafe { x86::dot_tiles_avx2(k, fast, nf, slow, ns, c, stride) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: as above; SSE2 is part of the x86-64 baseline.
+        SimdLevel::Sse2 => unsafe { x86::dot_tiles_sse2(k, fast, nf, slow, ns, c, stride) },
+        _ => dot_tiles_scalar(k, fast, nf, slow, ns, c, stride),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Weights-times-columns axpy strips
+// ---------------------------------------------------------------------------
+
+/// Scalar reference for the [`wx_axpy`] contract; also the dispatch target
+/// for every level without a 32-bit lane multiply.
+fn wx_axpy_scalar(out_dim: usize, k: usize, pix: usize, w16: &[i16], x: &[i32], c: &mut [i32]) {
+    for j in 0..out_dim {
+        let crow = &mut c[j * pix..(j + 1) * pix];
+        for kk in 0..k {
+            let wv = w16[j * k + kk] as i32;
+            if wv == 0 {
+                continue;
+            }
+            let xrow = &x[kk * pix..(kk + 1) * pix];
+            for (cv, &xv) in crow.iter_mut().zip(xrow.iter()) {
+                *cv = cv.wrapping_add(wv.wrapping_mul(xv));
+            }
+        }
+    }
+}
+
+/// `c[j·pix + p] += w16[j·k + kk] · x[kk·pix + p]` — the weights-times-
+/// columns product on its natural `[k, pix]` column-matrix layout,
+/// vectorized over contiguous pixel strips with the weight code broadcast
+/// into every lane. Unlike [`dot_tiles`] this needs **no transpose and no
+/// `i16` bound on the counts**: the 32-bit lane products (`vpmulld`) are
+/// wrapping `i32` arithmetic, exact mod 2³² for any operands. For
+/// `i16`-ranged counts prefer the packed-pair route
+/// ([`pack_wx_pairs`] + [`wx_axpy_packed`]), which runs twice the MACs per
+/// instruction.
+///
+/// Only AVX2 has a packed 32-bit multiply; SSE2 dispatches to the scalar
+/// body, so callers should prefer the [`dot_tiles`] lowering below
+/// [`SimdLevel::Avx2`]. Wrapping adds are associative and commutative
+/// mod 2³², and zero codes contribute exact zeros, so every dispatch
+/// target is bit-identical to the scalar ascending-`k` loop.
+///
+/// # Panics
+///
+/// Panics if `w16`, `x` or `c` is shorter than the stated geometry
+/// (`w16 ≥ out_dim·k`, `x ≥ k·pix`, `c ≥ out_dim·pix`).
+pub(crate) fn wx_axpy(
+    level: SimdLevel,
+    out_dim: usize,
+    k: usize,
+    pix: usize,
+    w16: &[i16],
+    x: &[i32],
+    c: &mut [i32],
+) {
+    assert!(w16.len() >= out_dim * k, "wx_axpy weight panel too short");
+    assert!(x.len() >= k * pix, "wx_axpy column matrix too short");
+    assert!(c.len() >= out_dim * pix, "wx_axpy output too short");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: slice geometry was checked above; AVX2 is guaranteed by
+        // `level`, which is always clamped to `detected_simd`.
+        SimdLevel::Avx2 => unsafe { x86::wx_axpy_mullo_avx2(out_dim, k, pix, w16, x, c) },
+        _ => wx_axpy_scalar(out_dim, k, pix, w16, x, c),
+    }
+}
+
+/// Packs `ceil(k/2)` adjacent-row pairs of the `[k, pix]` column matrix
+/// into interleaved `i16` halves: output word `kkp·pix + p` holds
+/// `(x[2kkp, p], x[2kkp+1, p])` in its low/high 16 bits (the second half
+/// zero when `k` is odd and `kkp` is the last pair). This is the operand
+/// layout [`wx_axpy_packed`]'s `pmaddwd` consumes, and — unlike the
+/// transpose the dot lowering needs — it is a cheap sequential pass whose
+/// cost amortizes over every output row of the product.
+///
+/// The `i16` range check is fused into the pass: returns `true` when every
+/// `x` value fit (the fast-path engine's spike counts are ≤ 255, so this is
+/// the steady state), `false` when any value would truncate — in which case
+/// `xpk`'s contents are unspecified and the caller must take a wider route.
+///
+/// # Panics
+///
+/// Panics if `x` is shorter than `k·pix` or `xpk` than `ceil(k/2)·pix`.
+pub(crate) fn pack_wx_pairs(
+    level: SimdLevel,
+    k: usize,
+    pix: usize,
+    x: &[i32],
+    xpk: &mut [i32],
+) -> bool {
+    let kp = k.div_ceil(2);
+    assert!(x.len() >= k * pix, "pack_wx_pairs column matrix too short");
+    assert!(xpk.len() >= kp * pix, "pack_wx_pairs output too short");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: slice geometry was checked above; AVX2 is guaranteed by
+        // `level`, which is always clamped to `detected_simd`.
+        SimdLevel::Avx2 => unsafe { x86::pack_wx_pairs_avx2(k, pix, x, xpk) },
+        _ => {
+            let mut ok = true;
+            for kkp in 0..kp {
+                for p in 0..pix {
+                    let a = x[2 * kkp * pix + p];
+                    let b = if 2 * kkp + 1 < k { x[(2 * kkp + 1) * pix + p] } else { 0 };
+                    ok &= a == a as i16 as i32 && b == b as i16 as i32;
+                    xpk[kkp * pix + p] = ((a as u32 & 0xFFFF) | ((b as u32 & 0xFFFF) << 16)) as i32;
+                }
+            }
+            ok
+        }
+    }
+}
+
+/// `pmaddwd` weights-times-columns strips over pre-packed pair operands:
+/// `c[j·pix + p] += Σ_kkp madd(xpk[kkp·pix + p], wpairs[j·kp + kkp])`,
+/// where both sides hold two `i16` values per `i32` word ([`pack_wx_pairs`]
+/// for the counts, [`crate::igemm::PackedCodes`]'s pair panel for the
+/// weights). One multiply covers two `k` steps of eight pixels — 16 MACs —
+/// and each output element is loaded and stored once per call.
+///
+/// **Exactness.** Each `pmaddwd` pair sum is exact because the weight side
+/// is `i8`-ranged (`|w| ≤ 127 ⇒ |pair sum| ≤ 2·32767·127 < 2³¹`); lane
+/// accumulation uses wrapping `i32` adds, associative and commutative
+/// mod 2³² — bit-identical to the scalar ascending-`k` loop. All-zero
+/// weight words skip their pass, adding exact zeros.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than the stated geometry
+/// (`wpairs ≥ out_dim·kp`, `xpk ≥ kp·pix`, `c ≥ out_dim·pix`).
+pub(crate) fn wx_axpy_packed(
+    level: SimdLevel,
+    out_dim: usize,
+    kp: usize,
+    pix: usize,
+    wpairs: &[i32],
+    xpk: &[i32],
+    c: &mut [i32],
+) {
+    assert!(wpairs.len() >= out_dim * kp, "wx_axpy_packed weight panel too short");
+    assert!(xpk.len() >= kp * pix, "wx_axpy_packed column matrix too short");
+    assert!(c.len() >= out_dim * pix, "wx_axpy_packed output too short");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: slice geometry was checked above; AVX2 is guaranteed by
+        // `level`, which is always clamped to `detected_simd`.
+        SimdLevel::Avx2 => unsafe { x86::wx_axpy_packed_avx2(out_dim, kp, pix, wpairs, xpk, c) },
+        _ => {
+            // Scalar reference decoding the packed pair format; dispatch
+            // target off x86-64 (unreachable in practice — the packed route
+            // is only chosen at `Avx2` — but kept total and testable).
+            for j in 0..out_dim {
+                let crow = &mut c[j * pix..(j + 1) * pix];
+                for kkp in 0..kp {
+                    let wv = wpairs[j * kp + kkp];
+                    if wv == 0 {
+                        continue;
+                    }
+                    let w0 = (wv as u32 & 0xFFFF) as u16 as i16 as i32;
+                    let w1 = ((wv as u32 >> 16) as u16 as i16) as i32;
+                    let xrow = &xpk[kkp * pix..kkp * pix + pix];
+                    for (cv, &xv) in crow.iter_mut().zip(xrow.iter()) {
+                        let x0 = (xv as u32 & 0xFFFF) as u16 as i16 as i32;
+                        let x1 = ((xv as u32 >> 16) as u16 as i16) as i32;
+                        *cv = cv
+                            .wrapping_add(w0.wrapping_mul(x0))
+                            .wrapping_add(w1.wrapping_mul(x1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// f32 GEMM register tiles
+// ---------------------------------------------------------------------------
+
+/// Scalar reference for the [`gemm_tile_f32`] contract: for every output
+/// element, ascending-`k` accumulation with separate multiply then add —
+/// the exact operation sequence of the blocked scalar kernel in `linalg`.
+///
+/// # Safety
+///
+/// `a` must be valid for reads at `i·lda + kk` (`i < mb`, `kk < k`), `b` at
+/// `kk·ldb + j` (`j < nb`), and `c` valid for reads and writes at
+/// `i·ldc + j`, with no element of that `c` index set aliased by any other
+/// concurrently running tile.
+#[allow(clippy::too_many_arguments)] // flat pointer+stride form matches the dispatching callers
+unsafe fn gemm_tile_f32_scalar(
+    mb: usize,
+    k: usize,
+    nb: usize,
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    for i in 0..mb {
+        for j in 0..nb {
+            let mut acc = *c.add(i * ldc + j);
+            for kk in 0..k {
+                acc += *a.add(i * lda + kk) * *b.add(kk * ldb + j);
+            }
+            *c.add(i * ldc + j) = acc;
+        }
+    }
+}
+
+/// Dense `f32` GEMM tile: `c[mb×nb] += a[mb×k] · b[k×nb]` on strided panels,
+/// register-tiled 4 rows × one vector of columns, dispatched on `level`.
+///
+/// Each output element accumulates in ascending `k` with a separate IEEE
+/// multiply and add per term (never FMA), which is the identical operation
+/// sequence the scalar kernel performs — so the result is **bit-identical**
+/// to the scalar oracle at every level, and disjoint tiles may compute
+/// concurrently without affecting any bit of the output.
+///
+/// # Safety
+///
+/// `a` must be valid for reads at `i·lda + kk` for all `i < mb`, `kk < k`;
+/// `b` for reads at `kk·ldb + j` for all `j < nb`; `c` for reads and writes
+/// at `i·ldc + j`. When tiles run concurrently, their `c` index sets must be
+/// disjoint (the parallel layer partitions the output grid to guarantee
+/// this).
+#[allow(clippy::too_many_arguments)] // flat pointer+stride form keeps the hot kernel free of view structs
+pub(crate) unsafe fn gemm_tile_f32(
+    level: SimdLevel,
+    mb: usize,
+    k: usize,
+    nb: usize,
+    a: *const f32,
+    lda: usize,
+    b: *const f32,
+    ldb: usize,
+    c: *mut f32,
+    ldc: usize,
+) {
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: forwarded caller contract; `level` is clamped to detection.
+        SimdLevel::Avx2 => x86::gemm_tile_f32_avx2(mb, k, nb, a, lda, b, ldb, c, ldc),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: forwarded caller contract; SSE2 is baseline on x86-64.
+        SimdLevel::Sse2 => x86::gemm_tile_f32_sse2(mb, k, nb, a, lda, b, ldb, c, ldc),
+        _ => gemm_tile_f32_scalar(mb, k, nb, a, lda, b, ldb, c, ldc),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The `std::arch` kernel bodies. Every function here is `unsafe` on two
+    //! axes: the raw-slice geometry its caller already validated, and the
+    //! `#[target_feature]` contract that the CPU supports the instruction
+    //! set — upheld because dispatch clamps to `detected_simd()`.
+
+    use std::arch::x86_64::*;
+
+    /// Reduces four 8-lane `i32` accumulators to their four lane sums.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum4_avx2(a: __m256i, b: __m256i, c: __m256i, d: __m256i) -> [i32; 4] {
+        let t01 = _mm256_hadd_epi32(a, b);
+        let t23 = _mm256_hadd_epi32(c, d);
+        let t = _mm256_hadd_epi32(t01, t23);
+        let lo = _mm256_castsi256_si128(t);
+        let hi = _mm256_extracti128_si256(t, 1);
+        let s = _mm_add_epi32(lo, hi);
+        let mut out = [0i32; 4];
+        _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, s);
+        out
+    }
+
+    /// Reduces one 8-lane `i32` accumulator to its lane sum.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2.
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum1_avx2(a: __m256i) -> i32 {
+        let lo = _mm256_castsi256_si128(a);
+        let hi = _mm256_extracti128_si256(a, 1);
+        let s = _mm_add_epi32(lo, hi);
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+        _mm_cvtsi128_si32(s)
+    }
+
+    /// AVX2 [`super::dot_tiles`]: 16 `i16` lanes per step, four `fast` rows
+    /// per register tile sharing each `slow`-row load.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 and the slice geometry checked by the safe dispatcher
+    /// (`fast ≥ nf·k`, `slow ≥ ns·k`, `c ≥ (ns−1)·stride + nf`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_tiles_avx2(
+        k: usize,
+        fast: &[i16],
+        nf: usize,
+        slow: &[i16],
+        ns: usize,
+        c: &mut [i32],
+        stride: usize,
+    ) {
+        let fp = fast.as_ptr();
+        let sp = slow.as_ptr();
+        let cp = c.as_mut_ptr();
+        for s in 0..ns {
+            let srow = sp.add(s * k);
+            let crow = cp.add(s * stride);
+            let mut f = 0;
+            while f + 4 <= nf {
+                let r0 = fp.add(f * k);
+                let r1 = fp.add((f + 1) * k);
+                let r2 = fp.add((f + 2) * k);
+                let r3 = fp.add((f + 3) * k);
+                let mut acc0 = _mm256_setzero_si256();
+                let mut acc1 = _mm256_setzero_si256();
+                let mut acc2 = _mm256_setzero_si256();
+                let mut acc3 = _mm256_setzero_si256();
+                let mut kk = 0;
+                while kk + 16 <= k {
+                    let sv = _mm256_loadu_si256(srow.add(kk) as *const __m256i);
+                    acc0 = _mm256_add_epi32(
+                        acc0,
+                        _mm256_madd_epi16(sv, _mm256_loadu_si256(r0.add(kk) as *const __m256i)),
+                    );
+                    acc1 = _mm256_add_epi32(
+                        acc1,
+                        _mm256_madd_epi16(sv, _mm256_loadu_si256(r1.add(kk) as *const __m256i)),
+                    );
+                    acc2 = _mm256_add_epi32(
+                        acc2,
+                        _mm256_madd_epi16(sv, _mm256_loadu_si256(r2.add(kk) as *const __m256i)),
+                    );
+                    acc3 = _mm256_add_epi32(
+                        acc3,
+                        _mm256_madd_epi16(sv, _mm256_loadu_si256(r3.add(kk) as *const __m256i)),
+                    );
+                    kk += 16;
+                }
+                let mut sums = hsum4_avx2(acc0, acc1, acc2, acc3);
+                while kk < k {
+                    let sv = *srow.add(kk) as i32;
+                    sums[0] = sums[0].wrapping_add(sv * *r0.add(kk) as i32);
+                    sums[1] = sums[1].wrapping_add(sv * *r1.add(kk) as i32);
+                    sums[2] = sums[2].wrapping_add(sv * *r2.add(kk) as i32);
+                    sums[3] = sums[3].wrapping_add(sv * *r3.add(kk) as i32);
+                    kk += 1;
+                }
+                for (t, &sum) in sums.iter().enumerate() {
+                    let cv = crow.add(f + t);
+                    *cv = (*cv).wrapping_add(sum);
+                }
+                f += 4;
+            }
+            while f < nf {
+                let row = fp.add(f * k);
+                let mut acc = _mm256_setzero_si256();
+                let mut kk = 0;
+                while kk + 16 <= k {
+                    let sv = _mm256_loadu_si256(srow.add(kk) as *const __m256i);
+                    let fv = _mm256_loadu_si256(row.add(kk) as *const __m256i);
+                    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(sv, fv));
+                    kk += 16;
+                }
+                let mut sum = hsum1_avx2(acc);
+                while kk < k {
+                    sum = sum.wrapping_add(*srow.add(kk) as i32 * *row.add(kk) as i32);
+                    kk += 1;
+                }
+                let cv = crow.add(f);
+                *cv = (*cv).wrapping_add(sum);
+                f += 1;
+            }
+        }
+    }
+
+    /// Reduces four 4-lane `i32` accumulators to their four lane sums via an
+    /// unpack transpose (SSE2 has no integer `hadd`).
+    ///
+    /// # Safety
+    ///
+    /// Requires SSE2 (always present on x86-64).
+    #[target_feature(enable = "sse2")]
+    unsafe fn hsum4_sse2(a: __m128i, b: __m128i, c: __m128i, d: __m128i) -> [i32; 4] {
+        let t0 = _mm_unpacklo_epi32(a, b); // a0 b0 a1 b1
+        let t1 = _mm_unpackhi_epi32(a, b); // a2 b2 a3 b3
+        let t2 = _mm_unpacklo_epi32(c, d);
+        let t3 = _mm_unpackhi_epi32(c, d);
+        let s01 = _mm_add_epi32(t0, t1); // a02 b02 a13 b13
+        let s23 = _mm_add_epi32(t2, t3);
+        let u0 = _mm_unpacklo_epi64(s01, s23); // a02 b02 c02 d02
+        let u1 = _mm_unpackhi_epi64(s01, s23); // a13 b13 c13 d13
+        let s = _mm_add_epi32(u0, u1);
+        let mut out = [0i32; 4];
+        _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, s);
+        out
+    }
+
+    /// Reduces one 4-lane `i32` accumulator to its lane sum.
+    ///
+    /// # Safety
+    ///
+    /// Requires SSE2 (always present on x86-64).
+    #[target_feature(enable = "sse2")]
+    unsafe fn hsum1_sse2(a: __m128i) -> i32 {
+        let s = _mm_add_epi32(a, _mm_shuffle_epi32(a, 0b01_00_11_10));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b00_00_00_01));
+        _mm_cvtsi128_si32(s)
+    }
+
+    /// SSE2 [`super::dot_tiles`]: 8 `i16` lanes per step, four `fast` rows
+    /// per register tile.
+    ///
+    /// # Safety
+    ///
+    /// Requires the slice geometry checked by the safe dispatcher; SSE2 is
+    /// part of the x86-64 baseline.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn dot_tiles_sse2(
+        k: usize,
+        fast: &[i16],
+        nf: usize,
+        slow: &[i16],
+        ns: usize,
+        c: &mut [i32],
+        stride: usize,
+    ) {
+        let fp = fast.as_ptr();
+        let sp = slow.as_ptr();
+        let cp = c.as_mut_ptr();
+        for s in 0..ns {
+            let srow = sp.add(s * k);
+            let crow = cp.add(s * stride);
+            let mut f = 0;
+            while f + 4 <= nf {
+                let r0 = fp.add(f * k);
+                let r1 = fp.add((f + 1) * k);
+                let r2 = fp.add((f + 2) * k);
+                let r3 = fp.add((f + 3) * k);
+                let mut acc0 = _mm_setzero_si128();
+                let mut acc1 = _mm_setzero_si128();
+                let mut acc2 = _mm_setzero_si128();
+                let mut acc3 = _mm_setzero_si128();
+                let mut kk = 0;
+                while kk + 8 <= k {
+                    let sv = _mm_loadu_si128(srow.add(kk) as *const __m128i);
+                    acc0 = _mm_add_epi32(
+                        acc0,
+                        _mm_madd_epi16(sv, _mm_loadu_si128(r0.add(kk) as *const __m128i)),
+                    );
+                    acc1 = _mm_add_epi32(
+                        acc1,
+                        _mm_madd_epi16(sv, _mm_loadu_si128(r1.add(kk) as *const __m128i)),
+                    );
+                    acc2 = _mm_add_epi32(
+                        acc2,
+                        _mm_madd_epi16(sv, _mm_loadu_si128(r2.add(kk) as *const __m128i)),
+                    );
+                    acc3 = _mm_add_epi32(
+                        acc3,
+                        _mm_madd_epi16(sv, _mm_loadu_si128(r3.add(kk) as *const __m128i)),
+                    );
+                    kk += 8;
+                }
+                let mut sums = hsum4_sse2(acc0, acc1, acc2, acc3);
+                while kk < k {
+                    let sv = *srow.add(kk) as i32;
+                    sums[0] = sums[0].wrapping_add(sv * *r0.add(kk) as i32);
+                    sums[1] = sums[1].wrapping_add(sv * *r1.add(kk) as i32);
+                    sums[2] = sums[2].wrapping_add(sv * *r2.add(kk) as i32);
+                    sums[3] = sums[3].wrapping_add(sv * *r3.add(kk) as i32);
+                    kk += 1;
+                }
+                for (t, &sum) in sums.iter().enumerate() {
+                    let cv = crow.add(f + t);
+                    *cv = (*cv).wrapping_add(sum);
+                }
+                f += 4;
+            }
+            while f < nf {
+                let row = fp.add(f * k);
+                let mut acc = _mm_setzero_si128();
+                let mut kk = 0;
+                while kk + 8 <= k {
+                    let sv = _mm_loadu_si128(srow.add(kk) as *const __m128i);
+                    let fv = _mm_loadu_si128(row.add(kk) as *const __m128i);
+                    acc = _mm_add_epi32(acc, _mm_madd_epi16(sv, fv));
+                    kk += 8;
+                }
+                let mut sum = hsum1_sse2(acc);
+                while kk < k {
+                    sum = sum.wrapping_add(*srow.add(kk) as i32 * *row.add(kk) as i32);
+                    kk += 1;
+                }
+                let cv = crow.add(f);
+                *cv = (*cv).wrapping_add(sum);
+                f += 1;
+            }
+        }
+    }
+
+    /// AVX2 [`super::pack_wx_pairs`]: interleaves adjacent `i32` rows into
+    /// `i16` pair words with `and`/`slli`/`or` — exact when the values fit
+    /// `i16` (a negative value's low 16 bits *are* its `i16` two's
+    /// complement). The range check is fused into the same pass: each
+    /// vector is compared against its own 16-bit sign extension
+    /// (`v == (v << 16) >> 16` arithmetically ⟺ `v` fits `i16`) and the
+    /// equality masks are AND-accumulated, so no separate scan of the
+    /// operand is needed. Returns `false` — and the packed output is
+    /// garbage — if any value was out of range. Sequential loads and
+    /// stores throughout; an odd final row pairs against zeros.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee `x.len() ≥ k·pix`, `xpk.len() ≥ ceil(k/2)·pix`,
+    /// and that the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn pack_wx_pairs_avx2(
+        k: usize,
+        pix: usize,
+        x: &[i32],
+        xpk: &mut [i32],
+    ) -> bool {
+        let lo_mask = _mm256_set1_epi32(0xFFFF);
+        let mut ok_acc = _mm256_set1_epi32(-1);
+        let mut ok_tail = true;
+        for kkp in 0..k.div_ceil(2) {
+            let r0 = x.as_ptr().add(2 * kkp * pix);
+            let has_b = 2 * kkp + 1 < k;
+            let r1 = x.as_ptr().add(if has_b { (2 * kkp + 1) * pix } else { 2 * kkp * pix });
+            let dst = xpk.as_mut_ptr().add(kkp * pix);
+            let mut p = 0usize;
+            while p + 8 <= pix {
+                let va = _mm256_loadu_si256(r0.add(p) as *const __m256i);
+                let vb = if has_b {
+                    _mm256_loadu_si256(r1.add(p) as *const __m256i)
+                } else {
+                    _mm256_setzero_si256()
+                };
+                let sa = _mm256_srai_epi32(_mm256_slli_epi32(va, 16), 16);
+                let sb = _mm256_srai_epi32(_mm256_slli_epi32(vb, 16), 16);
+                ok_acc = _mm256_and_si256(ok_acc, _mm256_cmpeq_epi32(va, sa));
+                ok_acc = _mm256_and_si256(ok_acc, _mm256_cmpeq_epi32(vb, sb));
+                let packed =
+                    _mm256_or_si256(_mm256_and_si256(va, lo_mask), _mm256_slli_epi32(vb, 16));
+                _mm256_storeu_si256(dst.add(p) as *mut __m256i, packed);
+                p += 8;
+            }
+            while p < pix {
+                let a = *r0.add(p);
+                let b = if has_b { *r1.add(p) } else { 0 };
+                ok_tail &= a == a as i16 as i32 && b == b as i16 as i32;
+                *dst.add(p) = ((a as u32 & 0xFFFF) | ((b as u32 & 0xFFFF) << 16)) as i32;
+                p += 1;
+            }
+        }
+        ok_tail && _mm256_movemask_epi8(ok_acc) == -1
+    }
+
+    /// Scalar tail of one output row of the packed axpy, decoding the pair
+    /// words, over pixels `[p0, pix)`.
+    ///
+    /// # Safety
+    ///
+    /// `wrow` must be valid for `kp` reads, `xp` for `kp·pix` and `crow`
+    /// for `pix` elements.
+    unsafe fn wx_axpy_packed_tail(
+        kp: usize,
+        pix: usize,
+        p0: usize,
+        wrow: *const i32,
+        xp: *const i32,
+        crow: *mut i32,
+    ) {
+        for kkp in 0..kp {
+            let wv = *wrow.add(kkp);
+            if wv == 0 {
+                continue;
+            }
+            let w0 = (wv as u32 & 0xFFFF) as u16 as i16 as i32;
+            let w1 = ((wv as u32 >> 16) as u16 as i16) as i32;
+            let xrow = xp.add(kkp * pix);
+            for pp in p0..pix {
+                let xv = *xrow.add(pp);
+                let x0 = (xv as u32 & 0xFFFF) as u16 as i16 as i32;
+                let x1 = ((xv as u32 >> 16) as u16 as i16) as i32;
+                let cv = crow.add(pp);
+                *cv = (*cv)
+                    .wrapping_add(w0.wrapping_mul(x0))
+                    .wrapping_add(w1.wrapping_mul(x1));
+            }
+        }
+    }
+
+    /// AVX2 [`super::wx_axpy_packed`]: blocks of **4 output rows** share
+    /// each load of the packed count panel — the panel (often hundreds of
+    /// KiB) streams `out_dim/4` times instead of `out_dim` times, which is
+    /// what makes this kernel cache-bound-proof at conv shapes. Within a
+    /// block, a 16-pixel strip holds 8 accumulators in registers across all
+    /// `kp` pairs; each pair costs two loads plus one broadcast, `pmaddwd`,
+    /// and add per row (16 MACs per multiply). Remaining rows and pixels fall
+    /// to single-row strips and a scalar tail. All-zero weight words skip
+    /// their row's pass, and each `c` element is loaded and stored once.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee `wpairs.len() ≥ out_dim·kp`,
+    /// `xpk.len() ≥ kp·pix`, `c.len() ≥ out_dim·pix`, and that the CPU
+    /// supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn wx_axpy_packed_avx2(
+        out_dim: usize,
+        kp: usize,
+        pix: usize,
+        wpairs: &[i32],
+        xpk: &[i32],
+        c: &mut [i32],
+    ) {
+        let xp = xpk.as_ptr();
+        let wp = wpairs.as_ptr();
+        let cp = c.as_mut_ptr();
+        let mut j = 0usize;
+        while j + 4 <= out_dim {
+            let w0r = wp.add(j * kp);
+            let w1r = wp.add((j + 1) * kp);
+            let w2r = wp.add((j + 2) * kp);
+            let w3r = wp.add((j + 3) * kp);
+            let c0 = cp.add(j * pix);
+            let c1 = cp.add((j + 1) * pix);
+            let c2 = cp.add((j + 2) * pix);
+            let c3 = cp.add((j + 3) * pix);
+            let mut p = 0usize;
+            while p + 16 <= pix {
+                let mut a00 = _mm256_loadu_si256(c0.add(p) as *const __m256i);
+                let mut a01 = _mm256_loadu_si256(c0.add(p + 8) as *const __m256i);
+                let mut a10 = _mm256_loadu_si256(c1.add(p) as *const __m256i);
+                let mut a11 = _mm256_loadu_si256(c1.add(p + 8) as *const __m256i);
+                let mut a20 = _mm256_loadu_si256(c2.add(p) as *const __m256i);
+                let mut a21 = _mm256_loadu_si256(c2.add(p + 8) as *const __m256i);
+                let mut a30 = _mm256_loadu_si256(c3.add(p) as *const __m256i);
+                let mut a31 = _mm256_loadu_si256(c3.add(p + 8) as *const __m256i);
+                // Branchless: a zero weight pair contributes a zero `pmaddwd`
+                // result, so testing for it costs more than computing it. The
+                // broadcasts compile to `vpbroadcastd ymm, m32` (one µop, no
+                // scalar detour).
+                for kkp in 0..kp {
+                    let base = xp.add(kkp * pix + p);
+                    let v0 = _mm256_loadu_si256(base as *const __m256i);
+                    let v1 = _mm256_loadu_si256(base.add(8) as *const __m256i);
+                    let p0 = _mm256_set1_epi32(*w0r.add(kkp));
+                    a00 = _mm256_add_epi32(a00, _mm256_madd_epi16(v0, p0));
+                    a01 = _mm256_add_epi32(a01, _mm256_madd_epi16(v1, p0));
+                    let p1 = _mm256_set1_epi32(*w1r.add(kkp));
+                    a10 = _mm256_add_epi32(a10, _mm256_madd_epi16(v0, p1));
+                    a11 = _mm256_add_epi32(a11, _mm256_madd_epi16(v1, p1));
+                    let p2 = _mm256_set1_epi32(*w2r.add(kkp));
+                    a20 = _mm256_add_epi32(a20, _mm256_madd_epi16(v0, p2));
+                    a21 = _mm256_add_epi32(a21, _mm256_madd_epi16(v1, p2));
+                    let p3 = _mm256_set1_epi32(*w3r.add(kkp));
+                    a30 = _mm256_add_epi32(a30, _mm256_madd_epi16(v0, p3));
+                    a31 = _mm256_add_epi32(a31, _mm256_madd_epi16(v1, p3));
+                }
+                _mm256_storeu_si256(c0.add(p) as *mut __m256i, a00);
+                _mm256_storeu_si256(c0.add(p + 8) as *mut __m256i, a01);
+                _mm256_storeu_si256(c1.add(p) as *mut __m256i, a10);
+                _mm256_storeu_si256(c1.add(p + 8) as *mut __m256i, a11);
+                _mm256_storeu_si256(c2.add(p) as *mut __m256i, a20);
+                _mm256_storeu_si256(c2.add(p + 8) as *mut __m256i, a21);
+                _mm256_storeu_si256(c3.add(p) as *mut __m256i, a30);
+                _mm256_storeu_si256(c3.add(p + 8) as *mut __m256i, a31);
+                p += 16;
+            }
+            while p + 8 <= pix {
+                let mut a0 = _mm256_loadu_si256(c0.add(p) as *const __m256i);
+                let mut a1 = _mm256_loadu_si256(c1.add(p) as *const __m256i);
+                let mut a2 = _mm256_loadu_si256(c2.add(p) as *const __m256i);
+                let mut a3 = _mm256_loadu_si256(c3.add(p) as *const __m256i);
+                for kkp in 0..kp {
+                    let v = _mm256_loadu_si256(xp.add(kkp * pix + p) as *const __m256i);
+                    let wv0 = *w0r.add(kkp);
+                    if wv0 != 0 {
+                        a0 = _mm256_add_epi32(a0, _mm256_madd_epi16(v, _mm256_set1_epi32(wv0)));
+                    }
+                    let wv1 = *w1r.add(kkp);
+                    if wv1 != 0 {
+                        a1 = _mm256_add_epi32(a1, _mm256_madd_epi16(v, _mm256_set1_epi32(wv1)));
+                    }
+                    let wv2 = *w2r.add(kkp);
+                    if wv2 != 0 {
+                        a2 = _mm256_add_epi32(a2, _mm256_madd_epi16(v, _mm256_set1_epi32(wv2)));
+                    }
+                    let wv3 = *w3r.add(kkp);
+                    if wv3 != 0 {
+                        a3 = _mm256_add_epi32(a3, _mm256_madd_epi16(v, _mm256_set1_epi32(wv3)));
+                    }
+                }
+                _mm256_storeu_si256(c0.add(p) as *mut __m256i, a0);
+                _mm256_storeu_si256(c1.add(p) as *mut __m256i, a1);
+                _mm256_storeu_si256(c2.add(p) as *mut __m256i, a2);
+                _mm256_storeu_si256(c3.add(p) as *mut __m256i, a3);
+                p += 8;
+            }
+            if p < pix {
+                wx_axpy_packed_tail(kp, pix, p, w0r, xp, c0);
+                wx_axpy_packed_tail(kp, pix, p, w1r, xp, c1);
+                wx_axpy_packed_tail(kp, pix, p, w2r, xp, c2);
+                wx_axpy_packed_tail(kp, pix, p, w3r, xp, c3);
+            }
+            j += 4;
+        }
+        while j < out_dim {
+            let wrow = wp.add(j * kp);
+            let crow = cp.add(j * pix);
+            let mut p = 0usize;
+            while p + 8 <= pix {
+                let mut acc = _mm256_loadu_si256(crow.add(p) as *const __m256i);
+                for kkp in 0..kp {
+                    let wv = *wrow.add(kkp);
+                    if wv == 0 {
+                        continue;
+                    }
+                    let pair = _mm256_set1_epi32(wv);
+                    let xv = _mm256_loadu_si256(xp.add(kkp * pix + p) as *const __m256i);
+                    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(xv, pair));
+                }
+                _mm256_storeu_si256(crow.add(p) as *mut __m256i, acc);
+                p += 8;
+            }
+            if p < pix {
+                wx_axpy_packed_tail(kp, pix, p, wrow, xp, crow);
+            }
+            j += 1;
+        }
+    }
+
+    /// AVX2 [`super::wx_axpy`] general body: for each output row, a
+    /// 32-pixel strip (4 × 8 `i32` lanes) accumulates in registers across
+    /// the whole `k` extent — broadcast code, `vpmulld` against the
+    /// contiguous pixel row, wrapping lane adds — then an 8-pixel loop and
+    /// a scalar tail finish the row. Exact for **arbitrary** `i32` counts
+    /// (wrapping lane products); slower than the `pmaddwd` body because
+    /// `vpmulld` double-pumps on most cores. Zero codes skip their pass,
+    /// and the output is touched once per strip.
+    ///
+    /// # Safety
+    ///
+    /// Caller must guarantee `w16.len() ≥ out_dim·k`, `x.len() ≥ k·pix`,
+    /// `c.len() ≥ out_dim·pix`, and that the CPU supports AVX2.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn wx_axpy_mullo_avx2(
+        out_dim: usize,
+        k: usize,
+        pix: usize,
+        w16: &[i16],
+        x: &[i32],
+        c: &mut [i32],
+    ) {
+        let xp = x.as_ptr();
+        let wp = w16.as_ptr();
+        for j in 0..out_dim {
+            let wrow = wp.add(j * k);
+            let crow = c.as_mut_ptr().add(j * pix);
+            let mut p = 0usize;
+            while p + 32 <= pix {
+                let mut acc0 = _mm256_loadu_si256(crow.add(p) as *const __m256i);
+                let mut acc1 = _mm256_loadu_si256(crow.add(p + 8) as *const __m256i);
+                let mut acc2 = _mm256_loadu_si256(crow.add(p + 16) as *const __m256i);
+                let mut acc3 = _mm256_loadu_si256(crow.add(p + 24) as *const __m256i);
+                for kk in 0..k {
+                    let wv = *wrow.add(kk);
+                    if wv == 0 {
+                        continue;
+                    }
+                    let code = _mm256_set1_epi32(wv as i32);
+                    let base = xp.add(kk * pix + p);
+                    let x0 = _mm256_loadu_si256(base as *const __m256i);
+                    let x1 = _mm256_loadu_si256(base.add(8) as *const __m256i);
+                    let x2 = _mm256_loadu_si256(base.add(16) as *const __m256i);
+                    let x3 = _mm256_loadu_si256(base.add(24) as *const __m256i);
+                    acc0 = _mm256_add_epi32(acc0, _mm256_mullo_epi32(x0, code));
+                    acc1 = _mm256_add_epi32(acc1, _mm256_mullo_epi32(x1, code));
+                    acc2 = _mm256_add_epi32(acc2, _mm256_mullo_epi32(x2, code));
+                    acc3 = _mm256_add_epi32(acc3, _mm256_mullo_epi32(x3, code));
+                }
+                _mm256_storeu_si256(crow.add(p) as *mut __m256i, acc0);
+                _mm256_storeu_si256(crow.add(p + 8) as *mut __m256i, acc1);
+                _mm256_storeu_si256(crow.add(p + 16) as *mut __m256i, acc2);
+                _mm256_storeu_si256(crow.add(p + 24) as *mut __m256i, acc3);
+                p += 32;
+            }
+            while p + 8 <= pix {
+                let mut acc = _mm256_loadu_si256(crow.add(p) as *const __m256i);
+                for kk in 0..k {
+                    let wv = *wrow.add(kk);
+                    if wv == 0 {
+                        continue;
+                    }
+                    let code = _mm256_set1_epi32(wv as i32);
+                    let xv = _mm256_loadu_si256(xp.add(kk * pix + p) as *const __m256i);
+                    acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(xv, code));
+                }
+                _mm256_storeu_si256(crow.add(p) as *mut __m256i, acc);
+                p += 8;
+            }
+            if p < pix {
+                for kk in 0..k {
+                    let wv = *wrow.add(kk) as i32;
+                    if wv == 0 {
+                        continue;
+                    }
+                    let xrow = xp.add(kk * pix);
+                    for pp in p..pix {
+                        let cv = crow.add(pp);
+                        *cv = (*cv).wrapping_add(wv.wrapping_mul(*xrow.add(pp)));
+                    }
+                }
+            }
+        }
+    }
+
+    /// AVX2 [`super::gemm_tile_f32`]: 4-row × 8-lane register tile, each
+    /// element accumulating ascending `k` with separate multiply then add
+    /// (bit-identical to the scalar kernel).
+    ///
+    /// # Safety
+    ///
+    /// Same pointer/stride contract as [`super::gemm_tile_f32`]; requires
+    /// AVX2.
+    #[allow(clippy::too_many_arguments)] // flat pointer+stride form keeps the hot kernel call free of view structs
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_tile_f32_avx2(
+        mb: usize,
+        k: usize,
+        nb: usize,
+        a: *const f32,
+        lda: usize,
+        b: *const f32,
+        ldb: usize,
+        c: *mut f32,
+        ldc: usize,
+    ) {
+        const LANES: usize = 8;
+        let mut j = 0;
+        while j + LANES <= nb {
+            let mut i = 0;
+            while i + 4 <= mb {
+                let c0 = c.add(i * ldc + j);
+                let c1 = c.add((i + 1) * ldc + j);
+                let c2 = c.add((i + 2) * ldc + j);
+                let c3 = c.add((i + 3) * ldc + j);
+                let mut acc0 = _mm256_loadu_ps(c0);
+                let mut acc1 = _mm256_loadu_ps(c1);
+                let mut acc2 = _mm256_loadu_ps(c2);
+                let mut acc3 = _mm256_loadu_ps(c3);
+                for kk in 0..k {
+                    let bv = _mm256_loadu_ps(b.add(kk * ldb + j));
+                    acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(_mm256_set1_ps(*a.add(i * lda + kk)), bv));
+                    acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(_mm256_set1_ps(*a.add((i + 1) * lda + kk)), bv));
+                    acc2 = _mm256_add_ps(acc2, _mm256_mul_ps(_mm256_set1_ps(*a.add((i + 2) * lda + kk)), bv));
+                    acc3 = _mm256_add_ps(acc3, _mm256_mul_ps(_mm256_set1_ps(*a.add((i + 3) * lda + kk)), bv));
+                }
+                _mm256_storeu_ps(c0, acc0);
+                _mm256_storeu_ps(c1, acc1);
+                _mm256_storeu_ps(c2, acc2);
+                _mm256_storeu_ps(c3, acc3);
+                i += 4;
+            }
+            while i < mb {
+                let cr = c.add(i * ldc + j);
+                let mut acc = _mm256_loadu_ps(cr);
+                for kk in 0..k {
+                    let bv = _mm256_loadu_ps(b.add(kk * ldb + j));
+                    acc = _mm256_add_ps(acc, _mm256_mul_ps(_mm256_set1_ps(*a.add(i * lda + kk)), bv));
+                }
+                _mm256_storeu_ps(cr, acc);
+                i += 1;
+            }
+            j += LANES;
+        }
+        if j < nb {
+            // Column tail: scalar, same ascending-k mul-then-add order.
+            gemm_tail_cols(mb, k, j, nb, a, lda, b, ldb, c, ldc);
+        }
+    }
+
+    /// SSE2 [`super::gemm_tile_f32`]: 4-row × 4-lane register tile.
+    ///
+    /// # Safety
+    ///
+    /// Same pointer/stride contract as [`super::gemm_tile_f32`]; SSE2 is
+    /// part of the x86-64 baseline.
+    #[allow(clippy::too_many_arguments)] // flat pointer+stride form keeps the hot kernel call free of view structs
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn gemm_tile_f32_sse2(
+        mb: usize,
+        k: usize,
+        nb: usize,
+        a: *const f32,
+        lda: usize,
+        b: *const f32,
+        ldb: usize,
+        c: *mut f32,
+        ldc: usize,
+    ) {
+        const LANES: usize = 4;
+        let mut j = 0;
+        while j + LANES <= nb {
+            let mut i = 0;
+            while i + 4 <= mb {
+                let c0 = c.add(i * ldc + j);
+                let c1 = c.add((i + 1) * ldc + j);
+                let c2 = c.add((i + 2) * ldc + j);
+                let c3 = c.add((i + 3) * ldc + j);
+                let mut acc0 = _mm_loadu_ps(c0);
+                let mut acc1 = _mm_loadu_ps(c1);
+                let mut acc2 = _mm_loadu_ps(c2);
+                let mut acc3 = _mm_loadu_ps(c3);
+                for kk in 0..k {
+                    let bv = _mm_loadu_ps(b.add(kk * ldb + j));
+                    acc0 = _mm_add_ps(acc0, _mm_mul_ps(_mm_set1_ps(*a.add(i * lda + kk)), bv));
+                    acc1 = _mm_add_ps(acc1, _mm_mul_ps(_mm_set1_ps(*a.add((i + 1) * lda + kk)), bv));
+                    acc2 = _mm_add_ps(acc2, _mm_mul_ps(_mm_set1_ps(*a.add((i + 2) * lda + kk)), bv));
+                    acc3 = _mm_add_ps(acc3, _mm_mul_ps(_mm_set1_ps(*a.add((i + 3) * lda + kk)), bv));
+                }
+                _mm_storeu_ps(c0, acc0);
+                _mm_storeu_ps(c1, acc1);
+                _mm_storeu_ps(c2, acc2);
+                _mm_storeu_ps(c3, acc3);
+                i += 4;
+            }
+            while i < mb {
+                let cr = c.add(i * ldc + j);
+                let mut acc = _mm_loadu_ps(cr);
+                for kk in 0..k {
+                    let bv = _mm_loadu_ps(b.add(kk * ldb + j));
+                    acc = _mm_add_ps(acc, _mm_mul_ps(_mm_set1_ps(*a.add(i * lda + kk)), bv));
+                }
+                _mm_storeu_ps(cr, acc);
+                i += 1;
+            }
+            j += LANES;
+        }
+        if j < nb {
+            gemm_tail_cols(mb, k, j, nb, a, lda, b, ldb, c, ldc);
+        }
+    }
+
+    /// Scalar column tail shared by both f32 tiles: columns `j0..nb`, every
+    /// row, ascending `k`, separate multiply then add.
+    ///
+    /// # Safety
+    ///
+    /// Same pointer/stride contract as [`super::gemm_tile_f32`].
+    #[allow(clippy::too_many_arguments)] // flat pointer+stride form matches its callers
+    unsafe fn gemm_tail_cols(
+        mb: usize,
+        k: usize,
+        j0: usize,
+        nb: usize,
+        a: *const f32,
+        lda: usize,
+        b: *const f32,
+        ldb: usize,
+        c: *mut f32,
+        ldc: usize,
+    ) {
+        for i in 0..mb {
+            for j in j0..nb {
+                let cv = c.add(i * ldc + j);
+                let mut acc = *cv;
+                for kk in 0..k {
+                    acc += *a.add(i * lda + kk) * *b.add(kk * ldb + j);
+                }
+                *cv = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *seed >> 33
+    }
+
+    #[test]
+    fn level_order_and_clamp() {
+        assert!(SimdLevel::Scalar < SimdLevel::Sse2);
+        assert!(SimdLevel::Sse2 < SimdLevel::Avx2);
+        // A scoped request above detection clamps instead of faulting.
+        with_simd_level(SimdLevel::Avx2, || {
+            assert_eq!(simd_level(), SimdLevel::Avx2.min(detected_simd()));
+        });
+        with_simd_level(SimdLevel::Scalar, || {
+            assert_eq!(simd_level(), SimdLevel::Scalar);
+        });
+    }
+
+    #[test]
+    fn with_simd_level_scopes_and_restores() {
+        let outer = simd_level();
+        let inner = with_simd_level(SimdLevel::Scalar, simd_level);
+        assert_eq!(inner, SimdLevel::Scalar);
+        assert_eq!(simd_level(), outer);
+        let caught = std::panic::catch_unwind(|| {
+            with_simd_level(SimdLevel::Scalar, || panic!("boom"))
+        });
+        assert!(caught.is_err());
+        assert_eq!(simd_level(), outer);
+    }
+
+    #[test]
+    fn dot_tiles_matches_scalar_at_every_level() {
+        let mut seed = 3u64;
+        for &(k, nf, ns) in &[(0, 1, 1), (1, 1, 1), (7, 3, 2), (16, 4, 4), (33, 9, 5), (48, 13, 3)] {
+            let fast: Vec<i16> =
+                (0..nf * k).map(|_| (pseudo(&mut seed) % 255) as i16 - 127).collect();
+            let slow: Vec<i16> = (0..ns * k).map(|_| (pseudo(&mut seed) % 256) as i16).collect();
+            let stride = nf + 2; // wider-than-nf stride must be respected
+            let init: Vec<i32> =
+                (0..ns * stride).map(|_| (pseudo(&mut seed) % 100) as i32 - 50).collect();
+            let mut want = init.clone();
+            dot_tiles_scalar(k, &fast, nf, &slow, ns, &mut want, stride);
+            for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+                let level = level.min(detected_simd());
+                let mut got = init.clone();
+                dot_tiles(level, k, &fast, nf, &slow, ns, &mut got, stride);
+                assert_eq!(got, want, "level={level:?} k={k} nf={nf} ns={ns}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_tile_matches_scalar_bitwise_at_every_level() {
+        let mut seed = 11u64;
+        for &(m, k, n) in &[(1, 1, 1), (4, 16, 8), (5, 17, 11), (9, 3, 21), (3, 40, 4)] {
+            let a: Vec<f32> =
+                (0..m * k).map(|_| (pseudo(&mut seed) % 2000) as f32 / 900.0 - 1.0).collect();
+            let b: Vec<f32> =
+                (0..k * n).map(|_| (pseudo(&mut seed) % 2000) as f32 / 900.0 - 1.0).collect();
+            let init: Vec<f32> = (0..m * n).map(|_| (pseudo(&mut seed) % 7) as f32).collect();
+            let mut want = init.clone();
+            // SAFETY: dense panels, strides equal the row lengths.
+            unsafe {
+                gemm_tile_f32_scalar(m, k, n, a.as_ptr(), k, b.as_ptr(), n, want.as_mut_ptr(), n);
+            }
+            for level in [SimdLevel::Scalar, SimdLevel::Sse2, SimdLevel::Avx2] {
+                let level = level.min(detected_simd());
+                let mut got = init.clone();
+                // SAFETY: dense panels, strides equal the row lengths.
+                unsafe {
+                    gemm_tile_f32(level, m, k, n, a.as_ptr(), k, b.as_ptr(), n, got.as_mut_ptr(), n);
+                }
+                for (x, y) in got.iter().zip(want.iter()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "level={level:?} m={m} k={k} n={n}");
+                }
+            }
+        }
+    }
+}

@@ -30,6 +30,20 @@
 use crate::pipeline::{Stage, SynKind, SynapticStage};
 use qsnc_quant::ActivationQuantizer;
 use qsnc_tensor::{igemm, igemm_conv, scratch, PackedCodes, Tensor};
+use std::time::Instant;
+
+/// Records `elapsed` since `t0` (µs) into the named quantile sketch; the
+/// `Option` is `None` when telemetry was off at stage entry, making the
+/// disabled cost a single branch.
+#[inline]
+fn stage_us(name: &str, t0: Option<Instant>) -> Option<Instant> {
+    if let Some(t0) = t0 {
+        qsnc_telemetry::quantile_observe(name, t0.elapsed().as_secs_f64() * 1e6);
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
 
 /// Accumulator magnitude bound guaranteeing `f32` exactness of the float
 /// oracle's sums (every partial sum stays an integer below `2^24`).
@@ -226,7 +240,8 @@ impl IntEngine {
     pub(crate) fn infer_batch_into(&self, xs: &Tensor, out: &mut Vec<f32>) -> SignalShape {
         let dims = xs.dims();
         let batch = dims[0];
-        if qsnc_telemetry::enabled() {
+        let tele = qsnc_telemetry::enabled();
+        if tele {
             qsnc_telemetry::counter_add("snc.engine.infer", batch as u64);
         }
         let mut shape = if dims.len() == 4 {
@@ -245,7 +260,7 @@ impl IntEngine {
         for stage in &self.stages {
             match stage {
                 EngineStage::Syn(syn) => {
-                    let next = self.run_synaptic(syn, batch, &cur, &mut shape, out);
+                    let next = self.run_synaptic(syn, batch, &cur, &mut shape, out, tele);
                     scratch::put_i32(cur);
                     match next {
                         Some(counts) => cur = counts,
@@ -255,6 +270,7 @@ impl IntEngine {
                     }
                 }
                 EngineStage::MaxPool { window, stride } => {
+                    let t0 = tele.then(Instant::now);
                     let spec = qsnc_tensor::Conv2dSpec::new(*window, *stride, 0);
                     let (oh, ow) = (spec.output_size(shape.h), spec.output_size(shape.w));
                     let (in_len, out_len) = (shape.len(), shape.c * oh * ow);
@@ -283,6 +299,7 @@ impl IntEngine {
                     cur = next;
                     shape.h = oh;
                     shape.w = ow;
+                    stage_us("snc.engine.stage.pool.us", t0);
                 }
                 EngineStage::Flatten => {
                     shape = SignalShape { c: shape.len(), h: 1, w: 1, flat: true };
@@ -313,7 +330,9 @@ impl IntEngine {
 
     /// Runs one synaptic stage over a batch. Returns the output counts for
     /// interior stages, or `None` after writing the analog readout into
-    /// `out`.
+    /// `out`. With `tele` set, the synaptic multiply and the IFC/analog
+    /// readout record separately into the `snc.engine.stage.*.us` quantile
+    /// sketches, which is how `/metrics` attributes infer time per stage.
     fn run_synaptic(
         &self,
         syn: &EngineSyn,
@@ -321,7 +340,9 @@ impl IntEngine {
         cur: &[i32],
         shape: &mut SignalShape,
         out: &mut Vec<f32>,
+        tele: bool,
     ) -> Option<Vec<i32>> {
+        let t0 = tele.then(Instant::now);
         // Multiply into per-example channel-major `[out_dim, pix]`
         // accumulators (pix = 1 for FC, where the layouts coincide). Conv
         // runs in the weights-times-columns orientation so the inner loop
@@ -362,6 +383,13 @@ impl IntEngine {
         };
 
         let stride = out_dim * pix;
+        let t0 = stage_us(
+            match syn.kind {
+                SynKind::Conv { .. } => "snc.engine.stage.conv.us",
+                SynKind::Fc { .. } => "snc.engine.stage.fc.us",
+            },
+            t0,
+        );
         match &syn.out {
             EngineOut::Counts { max_level, thresholds, record, .. } => {
                 let max = *max_level as usize;
@@ -393,6 +421,7 @@ impl IntEngine {
                     qsnc_telemetry::counter_add("snc.ifc.conversions", (batch * stride) as u64);
                     qsnc_telemetry::counter_add("snc.ifc.saturated", saturated);
                 }
+                stage_us("snc.engine.stage.ifc.us", t0);
                 scratch::put_i32(acc);
                 Some(next)
             }
@@ -422,6 +451,7 @@ impl IntEngine {
                         }
                     }
                 }
+                stage_us("snc.engine.stage.analog.us", t0);
                 scratch::put_i32(acc);
                 None
             }

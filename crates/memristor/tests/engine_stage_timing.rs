@@ -1,0 +1,81 @@
+//! Per-stage timing attribution inside the integer engine.
+//!
+//! With telemetry recording, one batched fast-path inference must populate
+//! the `snc.engine.stage.{conv,fc,pool,ifc,analog}.us` quantile sketches
+//! with per-stage wall-clock, one observation per stage execution — this
+//! is what lets a live `/metrics` scrape attribute serve-side infer time
+//! to conv/FC/IFC work. With telemetry off, none of them may appear.
+
+use qsnc_memristor::{DeployConfig, SpikingNetwork};
+use qsnc_quant::{
+    insert_signal_stages, quantize_network_weights, ActivationQuantizer, ActivationRegularizer,
+    WeightQuantMethod,
+};
+use qsnc_tensor::TensorRng;
+
+fn compiled_lenet() -> SpikingNetwork {
+    let mut rng = TensorRng::seed(7);
+    let mut net = qsnc_nn::models::lenet(0.25, 10, &mut rng);
+    let (switch, _) = insert_signal_stages(
+        &mut net,
+        ActivationRegularizer::neuron_convergence(4),
+        0.0,
+        ActivationQuantizer::new(4),
+    );
+    switch.set_enabled(true);
+    quantize_network_weights(&mut net, 4, WeightQuantMethod::Clustered);
+    let snn = SpikingNetwork::compile(&net, &DeployConfig::paper(4, 4), None).expect("compile");
+    assert!(snn.has_fast_path(), "4-bit LeNet must take the integer engine");
+    snn
+}
+
+#[test]
+fn fast_path_records_per_stage_sketches() {
+    let snn = compiled_lenet();
+    let mut rng = TensorRng::seed(11);
+    let xs = qsnc_tensor::init::uniform([3, 1, 28, 28], 0.0, 1.0, &mut rng);
+
+    let _guard = qsnc_telemetry::testing::lock();
+    qsnc_telemetry::set_mode(qsnc_telemetry::TelemetryMode::Record);
+    qsnc_telemetry::reset();
+    let mut out = Vec::new();
+    const RUNS: u64 = 4;
+    for _ in 0..RUNS {
+        snn.infer_batch_into(&xs, &mut out);
+    }
+    let snap = qsnc_telemetry::snapshot();
+    qsnc_telemetry::reset();
+    qsnc_telemetry::set_mode(qsnc_telemetry::TelemetryMode::Off);
+
+    // LeNet on the fast path: 2 conv stages, 2 pools, 2 FC stages (the
+    // final one reads out analog), 3 IFC counter conversions per pass.
+    for (name, per_run) in [
+        ("snc.engine.stage.conv.us", 2),
+        ("snc.engine.stage.pool.us", 2),
+        ("snc.engine.stage.fc.us", 2),
+        ("snc.engine.stage.ifc.us", 3),
+        ("snc.engine.stage.analog.us", 1),
+    ] {
+        let sketch = snap
+            .quantile_sketch(name)
+            .unwrap_or_else(|| panic!("missing sketch {name}"));
+        assert_eq!(sketch.count, RUNS * per_run, "{name} observation count");
+        assert!(sketch.min >= 0.0 && sketch.max >= sketch.min, "{name} range");
+        assert!(sketch.quantile(0.5) <= sketch.quantile(0.99), "{name} quantiles");
+    }
+}
+
+#[test]
+fn disabled_telemetry_records_no_stage_sketches() {
+    let snn = compiled_lenet();
+    let mut rng = TensorRng::seed(13);
+    let xs = qsnc_tensor::init::uniform([2, 1, 28, 28], 0.0, 1.0, &mut rng);
+
+    let _guard = qsnc_telemetry::testing::lock();
+    qsnc_telemetry::set_mode(qsnc_telemetry::TelemetryMode::Off);
+    qsnc_telemetry::reset();
+    let mut out = Vec::new();
+    snn.infer_batch_into(&xs, &mut out);
+    let snap = qsnc_telemetry::snapshot();
+    assert!(snap.quantiles.is_empty(), "{:?}", snap.quantiles);
+}

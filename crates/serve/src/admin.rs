@@ -1,0 +1,306 @@
+//! The admin observability endpoint: live metrics over minimal HTTP/1.1.
+//!
+//! When [`crate::ServeConfig::admin_addr`] is set, the server binds a
+//! second listener that speaks just enough HTTP/1.1 for scrapers and
+//! humans with `curl` — `GET` only, one request per connection, no
+//! keep-alive, no dependencies. Routes:
+//!
+//! | route | payload |
+//! |---|---|
+//! | `GET /metrics` | Prometheus text exposition (version 0.0.4) of the full telemetry snapshot |
+//! | `GET /snapshot` | The telemetry JSON document (`Snapshot::to_json`), identical in shape to the `telemetry` section of a deployment report |
+//! | `GET /snapshot?cursor=NAME` | Windowed delta since the last scrape that used cursor `NAME` (first use returns everything; see `qsnc_telemetry::snapshot_since`) |
+//! | `GET /slow` | Flight-recorder dump: the retained slow-request stage traces as a JSON array |
+//! | `GET /healthz` | `ok` |
+//!
+//! The exposition maps the frozen dotted taxonomy onto Prometheus names
+//! by replacing every non-alphanumeric character with `_` and prefixing
+//! `qsnc_`: counters gain a `_total` suffix, fixed-bucket histograms
+//! become `histogram` families with cumulative `le` buckets, quantile
+//! sketches become `summary` families with `quantile` labels (p50 / p90 /
+//! p99 / p99.9), and spans export `qsnc_span_count` / `qsnc_span_total_ns`
+//! with a `path` label. Step series are JSON-only — scrape `/snapshot`
+//! for those.
+//!
+//! The listener is single-threaded on purpose: scrapes serialize, the
+//! data plane never waits on the admin plane, and delta cursors need no
+//! locking.
+
+use qsnc_telemetry::{DeltaCursor, HistogramSnapshot, QuantileSnapshot, Snapshot, SpanSnapshot};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Quantiles exported per sketch on `/metrics`.
+const SUMMARY_QUANTILES: &[f64] = &[0.5, 0.9, 0.99, 0.999];
+
+/// Largest request head (request line + headers) the parser accepts.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Binds `addr` and starts the admin thread. Returns the resolved local
+/// address (port 0 becomes the actual ephemeral port) and the thread
+/// handle; the caller joins it on drain after nudging the listener with a
+/// bare connection.
+pub(crate) fn spawn(
+    addr: &str,
+    running: Arc<AtomicBool>,
+) -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let handle = std::thread::spawn(move || admin_loop(&listener, &running));
+    Ok((local, handle))
+}
+
+fn admin_loop(listener: &TcpListener, running: &AtomicBool) {
+    let mut cursors: HashMap<String, DeltaCursor> = HashMap::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if !running.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        let stop = !running.load(Ordering::SeqCst);
+        // Serve even the final connection: a scrape racing shutdown gets
+        // its answer, and the drain nudge carries no request so it falls
+        // straight through the read. Timeouts bound a stalled client.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+        let _ = handle_connection(stream, &mut cursors);
+        if stop {
+            break;
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    cursors: &mut HashMap<String, DeltaCursor>,
+) -> io::Result<()> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_REQUEST_BYTES {
+            return respond(&mut stream, "431 Request Header Fields Too Large", "text/plain", "");
+        }
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Ok(()); // closed before a full request: the drain nudge
+        }
+        head.extend_from_slice(&buf[..n]);
+    }
+    let head = String::from_utf8_lossy(&head);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, target) = match (parts.next(), parts.next()) {
+        (Some(m), Some(t)) => (m, t),
+        _ => return respond(&mut stream, "400 Bad Request", "text/plain", "bad request\n"),
+    };
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    match path {
+        "/metrics" => {
+            let body = render_prometheus(&qsnc_telemetry::snapshot());
+            respond(&mut stream, "200 OK", "text/plain; version=0.0.4", &body)
+        }
+        "/snapshot" => {
+            let snap = match query.and_then(query_cursor) {
+                Some(name) => {
+                    let cursor = cursors.entry(name).or_default();
+                    qsnc_telemetry::snapshot_since(cursor)
+                }
+                None => qsnc_telemetry::snapshot(),
+            };
+            respond(&mut stream, "200 OK", "application/json", &snap.to_json().render())
+        }
+        "/slow" => {
+            let events = qsnc_telemetry::flight_events();
+            let body = qsnc_telemetry::flight_json(&events).render();
+            respond(&mut stream, "200 OK", "application/json", &body)
+        }
+        "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+/// Extracts `cursor=NAME` from a query string (no percent-decoding:
+/// cursor names are plain identifiers chosen by the scraper).
+fn query_cursor(query: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == "cursor" && !v.is_empty()).then(|| v.to_string())
+    })
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Maps a dotted taxonomy name to a Prometheus metric name: every
+/// character outside `[A-Za-z0-9]` becomes `_`, prefixed with `qsnc_`
+/// (so `serve.stage.infer.us` exports as `qsnc_serve_stage_infer_us`).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("qsnc_");
+    out.extend(name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }));
+    out
+}
+
+/// Escapes a label value per the exposition format.
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn render_counters(out: &mut String, counters: &[(String, u64)]) {
+    for (name, value) in counters {
+        let name = prom_name(name);
+        let _ = writeln!(out, "# TYPE {name}_total counter");
+        let _ = writeln!(out, "{name}_total {value}");
+    }
+}
+
+fn render_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let name = prom_name(&h.name);
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (edge, bucket) in h.edges.iter().zip(&h.buckets) {
+        cumulative += bucket;
+        let _ = writeln!(out, "{name}_bucket{{le=\"{edge}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+fn render_summary(out: &mut String, q: &QuantileSnapshot) {
+    let name = prom_name(&q.name);
+    let _ = writeln!(out, "# TYPE {name} summary");
+    if q.count > 0 {
+        for &quantile in SUMMARY_QUANTILES {
+            let _ = writeln!(out, "{name}{{quantile=\"{quantile}\"}} {}", q.quantile(quantile));
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {}", q.sum);
+    let _ = writeln!(out, "{name}_count {}", q.count);
+}
+
+fn render_spans(out: &mut String, spans: &[SpanSnapshot]) {
+    if spans.is_empty() {
+        return;
+    }
+    let _ = writeln!(out, "# TYPE qsnc_span_count counter");
+    for s in spans {
+        let _ = writeln!(out, "qsnc_span_count{{path=\"{}\"}} {}", escape_label(&s.path), s.count);
+    }
+    let _ = writeln!(out, "# TYPE qsnc_span_total_ns counter");
+    for s in spans {
+        let _ = writeln!(
+            out,
+            "qsnc_span_total_ns{{path=\"{}\"}} {}",
+            escape_label(&s.path),
+            s.total_ns
+        );
+    }
+}
+
+/// Renders a telemetry snapshot in the Prometheus text exposition format
+/// (version 0.0.4) — the `/metrics` payload. Step series are omitted;
+/// they do not map onto scrape-time metric families.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    render_counters(&mut out, &snap.counters);
+    for h in &snap.histograms {
+        render_histogram(&mut out, h);
+    }
+    for q in &snap.quantiles {
+        render_summary(&mut out, q);
+    }
+    render_spans(&mut out, &snap.spans);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prom_names_are_sanitized_and_prefixed() {
+        assert_eq!(prom_name("serve.stage.infer.us"), "qsnc_serve_stage_infer_us");
+        assert_eq!(prom_name("serve.latency_us"), "qsnc_serve_latency_us");
+    }
+
+    #[test]
+    fn cursor_query_parses() {
+        assert_eq!(query_cursor("cursor=ci"), Some("ci".to_string()));
+        assert_eq!(query_cursor("a=b&cursor=x&c=d"), Some("x".to_string()));
+        assert_eq!(query_cursor("cursor="), None);
+        assert_eq!(query_cursor("other=1"), None);
+    }
+
+    #[test]
+    fn exposition_renders_every_instrument_kind() {
+        let _guard = qsnc_telemetry::testing::lock();
+        qsnc_telemetry::set_mode(qsnc_telemetry::TelemetryMode::Record);
+        qsnc_telemetry::reset();
+        qsnc_telemetry::counter_add("test.admin.hits", 3);
+        qsnc_telemetry::observe("test.admin.sizes", 2.0, &[1.0, 4.0]);
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            qsnc_telemetry::quantile_observe("test.admin.lat.us", v);
+        }
+        drop(qsnc_telemetry::start_span("test.admin.span"));
+        let snap = qsnc_telemetry::snapshot();
+        qsnc_telemetry::reset();
+        qsnc_telemetry::set_mode(qsnc_telemetry::TelemetryMode::Off);
+
+        let text = render_prometheus(&snap);
+        assert!(text.contains("# TYPE qsnc_test_admin_hits_total counter"), "{text}");
+        assert!(text.contains("qsnc_test_admin_hits_total 3"), "{text}");
+        assert!(text.contains("# TYPE qsnc_test_admin_sizes histogram"), "{text}");
+        assert!(text.contains("qsnc_test_admin_sizes_bucket{le=\"+Inf\"} 1"), "{text}");
+        assert!(text.contains("# TYPE qsnc_test_admin_lat_us summary"), "{text}");
+        assert!(text.contains("qsnc_test_admin_lat_us{quantile=\"0.5\"}"), "{text}");
+        assert!(text.contains("qsnc_test_admin_lat_us_count 4"), "{text}");
+        assert!(text.contains("qsnc_span_count{path=\"test.admin.span\"} 1"), "{text}");
+
+        // Exposition well-formedness: every non-comment line is
+        // `name{labels} value` with a parseable value.
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (_, value) = line.rsplit_once(' ').expect("sample line");
+            value.parse::<f64>().unwrap_or_else(|_| panic!("bad value in {line:?}"));
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_exposition() {
+        let snap = Snapshot::default();
+        assert!(render_prometheus(&snap).is_empty());
+    }
+}

@@ -27,12 +27,21 @@ pub(crate) struct Request {
     pub(crate) enqueued: Instant,
 }
 
-/// A finished inference result.
+/// A finished inference result, carrying the worker-side stage timings the
+/// connection thread needs to assemble a complete slow-request trace.
 pub(crate) struct WorkerReply {
     /// Index of the largest logit.
     pub(crate) argmax: u32,
     /// The class logits, bit-identical to `infer_reference`.
     pub(crate) logits: Vec<f32>,
+    /// Microseconds the request spent queued + batching before a worker
+    /// picked its batch up (zero when telemetry is off).
+    pub(crate) queue_us: u64,
+    /// Microseconds the batched `infer_batch_into` call took; shared by
+    /// every request in the batch (zero when telemetry is off).
+    pub(crate) infer_us: u64,
+    /// How many requests shared the batch this one rode in.
+    pub(crate) batch: u32,
 }
 
 /// Histogram bucket edges for `serve.batch.size`.
@@ -40,11 +49,6 @@ pub(crate) const BATCH_SIZE_EDGES: &[f64] = &[2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 
 /// Histogram bucket edges for `serve.queue.depth`.
 pub(crate) const QUEUE_DEPTH_EDGES: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
-
-/// Histogram bucket edges for `serve.latency_us`.
-pub(crate) const LATENCY_EDGES: &[f64] = &[
-    50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10_000.0, 25_000.0, 50_000.0, 100_000.0,
-];
 
 /// The consuming half of the request queue plus the batching policy.
 pub(crate) struct MicroBatcher {

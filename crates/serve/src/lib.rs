@@ -25,27 +25,40 @@
 //!
 //! [`Server::shutdown`] drains: accepting stops, open connections are
 //! nudged off their reads, every request already admitted is batched,
-//! inferred, and answered, and only then do the batcher and workers exit.
+//! inferred, and answered, and only then do the batcher and workers exit
+//! (the admin listener, when enabled, goes down last so `/metrics` stays
+//! scrapeable through the drain).
 //!
 //! Telemetry (enable with `QSNC_TELEMETRY`) records under the frozen
-//! `serve.*` taxonomy: `serve.queue.depth`, `serve.batch.size` and
-//! `serve.latency_us` histograms, and the `serve.rejected` counter, plus
-//! `serve.requests` / `serve.batches` / `serve.connections` /
-//! `serve.bad_requests` totals.
+//! `serve.*` taxonomy: `serve.queue.depth` and `serve.batch.size`
+//! fixed-bucket histograms; `serve.latency_us` and the per-stage
+//! `serve.stage.{decode,queue,infer,encode}.us` quantile sketches; the
+//! `serve.rejected` counter; plus `serve.requests` / `serve.batches` /
+//! `serve.connections` / `serve.bad_requests` totals. Requests slower
+//! than `QSNC_SERVE_SLOW_US` leave a full stage trace in the telemetry
+//! flight recorder.
+//!
+//! Setting `QSNC_SERVE_ADMIN_ADDR` (or [`ServeConfig::admin_addr`])
+//! starts a second listener speaking just enough HTTP/1.1 for an
+//! observability plane — `GET /metrics` (Prometheus text exposition),
+//! `GET /snapshot` (the telemetry JSON document, with `?cursor=NAME`
+//! windowed deltas), `GET /slow` (flight-recorder dump) and
+//! `GET /healthz`. See [`mod@admin`].
 
 #![warn(missing_docs)]
 
+pub mod admin;
 mod batcher;
 pub mod protocol;
 
 pub use protocol::{Reply, Status};
 
-use batcher::{MicroBatcher, Request, WorkerReply, LATENCY_EDGES, QUEUE_DEPTH_EDGES};
+use batcher::{MicroBatcher, Request, WorkerReply, QUEUE_DEPTH_EDGES};
 use qsnc_memristor::SpikingNetwork;
 use qsnc_tensor::Tensor;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -53,7 +66,7 @@ use std::time::{Duration, Instant};
 
 /// Serving parameters. `..Default::default()` gives the production knobs;
 /// `from_env` layers the `QSNC_SERVE_*` environment overrides on top.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Largest batch a worker runs at once (`QSNC_SERVE_MAX_BATCH`).
     pub max_batch: usize,
@@ -66,17 +79,36 @@ pub struct ServeConfig {
     /// Inference worker threads. One is right for single-core deployments;
     /// each worker keeps its own warm scratch arena.
     pub workers: usize,
+    /// Bind address for the admin observability endpoint
+    /// (`QSNC_SERVE_ADMIN_ADDR`; e.g. `127.0.0.1:0`). `None` — the
+    /// default — serves no admin plane at all. When set and telemetry is
+    /// off, [`Server::spawn`] switches it to recording so the endpoint has
+    /// data to serve.
+    pub admin_addr: Option<String>,
+    /// Requests whose total latency reaches this many microseconds leave a
+    /// full per-stage trace in the telemetry flight recorder, dumped by the
+    /// admin `/slow` route (`QSNC_SERVE_SLOW_US`). `None` disables slow
+    /// capture.
+    pub slow_us: Option<u64>,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { max_batch: 8, max_delay_us: 200, queue_cap: 64, workers: 1 }
+        ServeConfig {
+            max_batch: 8,
+            max_delay_us: 200,
+            queue_cap: 64,
+            workers: 1,
+            admin_addr: None,
+            slow_us: None,
+        }
     }
 }
 
 impl ServeConfig {
     /// Default config with `QSNC_SERVE_MAX_BATCH` / `QSNC_SERVE_MAX_DELAY_US`
-    /// environment overrides applied (invalid values are ignored).
+    /// / `QSNC_SERVE_ADMIN_ADDR` / `QSNC_SERVE_SLOW_US` environment
+    /// overrides applied (invalid values are ignored).
     pub fn from_env() -> Self {
         let mut config = ServeConfig::default();
         if let Some(v) = env_parse("QSNC_SERVE_MAX_BATCH") {
@@ -85,6 +117,13 @@ impl ServeConfig {
         if let Some(v) = env_parse("QSNC_SERVE_MAX_DELAY_US") {
             config.max_delay_us = v;
         }
+        if let Ok(addr) = std::env::var("QSNC_SERVE_ADMIN_ADDR") {
+            let addr = addr.trim();
+            if !addr.is_empty() {
+                config.admin_addr = Some(addr.to_string());
+            }
+        }
+        config.slow_us = env_parse("QSNC_SERVE_SLOW_US");
         config
     }
 }
@@ -110,16 +149,22 @@ fn argmax_slice(v: &[f32]) -> usize {
 /// failed) plus its thread handle.
 type ConnSlot = (Option<TcpStream>, JoinHandle<()>);
 
+/// Process-wide request ids, so flight-recorder traces from concurrent
+/// connections stay distinguishable. Only assigned while telemetry is on.
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
 /// A running inference server. Dropping it (or calling
 /// [`Server::shutdown`]) drains in-flight work before returning.
 pub struct Server {
     addr: SocketAddr,
+    admin_addr: Option<SocketAddr>,
     running: Arc<AtomicBool>,
     req_tx: Option<SyncSender<Request>>,
     acceptor: Option<JoinHandle<()>>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<ConnSlot>>>,
+    admin: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -195,6 +240,24 @@ impl Server {
         let local = listener.local_addr()?;
 
         let running = Arc::new(AtomicBool::new(true));
+
+        // Bind the admin plane before serving traffic so a bad admin
+        // address fails the spawn instead of surfacing later. An admin
+        // endpoint without telemetry would only ever serve empty
+        // documents, so recording is switched on if it is off.
+        let admin = match &config.admin_addr {
+            Some(addr) => {
+                if !qsnc_telemetry::enabled() {
+                    qsnc_telemetry::set_mode(qsnc_telemetry::TelemetryMode::Record);
+                }
+                Some(admin::spawn(addr, Arc::clone(&running))?)
+            }
+            None => None,
+        };
+        let (admin_addr, admin_handle) = match admin {
+            Some((a, h)) => (Some(a), Some(h)),
+            None => (None, None),
+        };
         let depth = Arc::new(AtomicUsize::new(0));
         let (req_tx, req_rx) = mpsc::sync_channel::<Request>(config.queue_cap);
         // Rendezvous hand-off to the workers: the batcher blocks until one
@@ -235,25 +298,35 @@ impl Server {
             let conns = Arc::clone(&conns);
             let req_tx = req_tx.clone();
             let depth = Arc::clone(&depth);
+            let slow_us = config.slow_us;
             std::thread::spawn(move || {
-                acceptor_loop(&listener, &running, req_tx, &conns, input_len, &depth)
+                acceptor_loop(&listener, &running, req_tx, &conns, input_len, &depth, slow_us)
             })
         };
 
         Ok(Server {
             addr: local,
+            admin_addr,
             running,
             req_tx: Some(req_tx),
             acceptor: Some(acceptor),
             batcher: Some(batcher),
             workers,
             conns,
+            admin: admin_handle,
         })
     }
 
     /// The bound address (resolves port 0 to the actual ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The admin endpoint's bound address, when
+    /// [`ServeConfig::admin_addr`] was set (resolves port 0 to the actual
+    /// ephemeral port).
+    pub fn admin_local_addr(&self) -> Option<SocketAddr> {
+        self.admin_addr
     }
 
     /// Graceful shutdown: stops accepting, answers every request already
@@ -290,6 +363,14 @@ impl Server {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // The admin plane goes down last, after every request has been
+        // answered, so /metrics stays scrapeable through the drain.
+        if let Some(h) = self.admin.take() {
+            if let Some(addr) = self.admin_addr {
+                let _ = TcpStream::connect(addr); // nudge it off accept()
+            }
+            let _ = h.join();
+        }
     }
 }
 
@@ -303,6 +384,7 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("addr", &self.addr)
+            .field("admin_addr", &self.admin_addr)
             .field("running", &self.running.load(Ordering::Relaxed))
             .finish()
     }
@@ -315,6 +397,7 @@ fn acceptor_loop(
     conns: &Mutex<Vec<ConnSlot>>,
     input_len: usize,
     depth: &Arc<AtomicUsize>,
+    slow_us: Option<u64>,
 ) {
     loop {
         let stream = match listener.accept() {
@@ -345,7 +428,8 @@ fn acceptor_loop(
         let read_half = stream.try_clone().ok();
         let tx = req_tx.clone();
         let d = Arc::clone(depth);
-        let handle = std::thread::spawn(move || connection_loop(stream, input_len, &tx, &d));
+        let handle =
+            std::thread::spawn(move || connection_loop(stream, input_len, &tx, &d, slow_us));
         conns.lock().unwrap().push((read_half, handle));
     }
 }
@@ -355,24 +439,39 @@ fn connection_loop(
     input_len: usize,
     req_tx: &SyncSender<Request>,
     depth: &AtomicUsize,
+    slow_us: Option<u64>,
 ) {
     let mut input: Vec<f32> = Vec::with_capacity(input_len);
     loop {
-        match protocol::read_request(&mut stream, input_len, &mut input) {
-            Ok(()) => {
+        // One relaxed atomic load per request: with telemetry off the
+        // untraced read path takes no timestamps at all.
+        let tele = qsnc_telemetry::enabled();
+        let read = if tele {
+            protocol::read_request_traced(&mut stream, input_len, &mut input)
+        } else {
+            protocol::read_request(&mut stream, input_len, &mut input).map(|()| 0)
+        };
+        match read {
+            Ok(decode_us) => {
+                let id = if tele { NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed) } else { 0 };
                 let (reply_tx, reply_rx) = mpsc::channel::<WorkerReply>();
+                let admitted = Instant::now();
                 let req = Request {
                     input: std::mem::take(&mut input),
                     reply_tx,
-                    enqueued: Instant::now(),
+                    enqueued: admitted,
                 };
                 // Count before sending so the batcher's decrement can never
                 // observe the admission before the gauge does.
                 let occupied = depth.fetch_add(1, Ordering::Relaxed) + 1;
                 match req_tx.try_send(req) {
                     Ok(()) => {
-                        if qsnc_telemetry::enabled() {
+                        if tele {
                             qsnc_telemetry::counter_add("serve.requests", 1);
+                            qsnc_telemetry::quantile_observe(
+                                "serve.stage.decode.us",
+                                decode_us as f64,
+                            );
                             qsnc_telemetry::observe(
                                 "serve.queue.depth",
                                 occupied as f64,
@@ -381,6 +480,7 @@ fn connection_loop(
                         }
                         match reply_rx.recv() {
                             Ok(reply) => {
+                                let t_encode = tele.then(Instant::now);
                                 if protocol::write_ok_reply(
                                     &mut stream,
                                     reply.argmax,
@@ -389,6 +489,32 @@ fn connection_loop(
                                 .is_err()
                                 {
                                     break;
+                                }
+                                if let Some(t_encode) = t_encode {
+                                    let encode_us = t_encode.elapsed().as_micros() as u64;
+                                    let total_us = admitted.elapsed().as_micros() as u64;
+                                    qsnc_telemetry::quantile_observe(
+                                        "serve.stage.encode.us",
+                                        encode_us as f64,
+                                    );
+                                    qsnc_telemetry::quantile_observe(
+                                        "serve.latency_us",
+                                        total_us as f64,
+                                    );
+                                    if slow_us.is_some_and(|slow| total_us >= slow) {
+                                        qsnc_telemetry::flight_record(
+                                            "serve.slow",
+                                            id,
+                                            &[
+                                                ("decode_us", decode_us),
+                                                ("queue_us", reply.queue_us),
+                                                ("infer_us", reply.infer_us),
+                                                ("encode_us", encode_us),
+                                                ("total_us", total_us),
+                                                ("batch", u64::from(reply.batch)),
+                                            ],
+                                        );
+                                    }
                                 }
                             }
                             Err(_) => {
@@ -464,6 +590,11 @@ fn worker_loop(
         let Ok(batch) = batch else { break };
         let b = batch.len();
         debug_assert!(b >= 1 && b <= max_batch, "batcher produced batch of {b}");
+        let tele = qsnc_telemetry::enabled();
+        // Queue time ends when the worker takes the batch over: everything
+        // between admission and here (queue wait + batch forming) is the
+        // queue stage from the request's point of view.
+        let picked_up = tele.then(Instant::now);
         let xs = tensors[b].get_or_insert_with(|| {
             let mut dims = vec![b];
             dims.extend_from_slice(input_dims);
@@ -473,21 +604,32 @@ fn worker_loop(
         for (i, req) in batch.iter().enumerate() {
             slice[i * input_len..(i + 1) * input_len].copy_from_slice(&req.input);
         }
+        let t_infer = tele.then(Instant::now);
         snn.infer_batch_into(xs, &mut out);
+        // The batched engine call is shared: infer_us is recorded once per
+        // batch in the sketch but attached to every request's trace.
+        let infer_us = t_infer.map_or(0, |t| t.elapsed().as_micros() as u64);
+        if tele {
+            qsnc_telemetry::quantile_observe("serve.stage.infer.us", infer_us as f64);
+        }
         let stride = out.len() / b;
         for (i, req) in batch.into_iter().enumerate() {
             let logits = out[i * stride..(i + 1) * stride].to_vec();
             let argmax = argmax_slice(&logits) as u32;
-            if qsnc_telemetry::enabled() {
-                qsnc_telemetry::observe(
-                    "serve.latency_us",
-                    req.enqueued.elapsed().as_micros() as f64,
-                    LATENCY_EDGES,
-                );
+            let queue_us = picked_up
+                .map_or(0, |t| t.saturating_duration_since(req.enqueued).as_micros() as u64);
+            if tele {
+                qsnc_telemetry::quantile_observe("serve.stage.queue.us", queue_us as f64);
             }
             // A send error means the client hung up mid-request; the
             // connection thread already noticed, nothing to do.
-            let _ = req.reply_tx.send(WorkerReply { argmax, logits });
+            let _ = req.reply_tx.send(WorkerReply {
+                argmax,
+                logits,
+                queue_us,
+                infer_us,
+                batch: b as u32,
+            });
         }
     }
 }

@@ -20,6 +20,7 @@
 //! server closes the connection after replying.
 
 use std::io::{self, Read, Write};
+use std::time::Instant;
 
 /// Frame magic: the bytes `QSNC` read as a little-endian `u32`.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"QSNC");
@@ -115,6 +116,29 @@ pub fn read_request(
     input_len: usize,
     input: &mut Vec<f32>,
 ) -> Result<(), FrameError> {
+    read_request_inner(r, input_len, input, false).map(|_| ())
+}
+
+/// [`read_request`] plus decode timing: on success returns the
+/// microseconds spent reading and parsing the payload *after* the header
+/// arrived. Header wait is excluded on purpose — on a keep-alive
+/// connection it is idle time between requests, not decode work. The
+/// serving layer feeds the result into the `serve.stage.decode.us`
+/// quantile sketch.
+pub fn read_request_traced(
+    r: &mut impl Read,
+    input_len: usize,
+    input: &mut Vec<f32>,
+) -> Result<u64, FrameError> {
+    read_request_inner(r, input_len, input, true)
+}
+
+fn read_request_inner(
+    r: &mut impl Read,
+    input_len: usize,
+    input: &mut Vec<f32>,
+    timed: bool,
+) -> Result<u64, FrameError> {
     let mut header = [0u8; HEADER_BYTES];
     read_exact_or_disconnect(r, &mut header)?;
     let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
@@ -136,6 +160,7 @@ pub fn read_request(
             "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
         )));
     }
+    let t0 = timed.then(Instant::now);
     // From here the payload length is trusted: consume it fully so the
     // stream stays framed even when the request is rejected.
     let mut payload = qsnc_tensor::scratch::take_u8(len as usize);
@@ -158,7 +183,7 @@ pub fn read_request(
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
         );
-        Ok(())
+        Ok(t0.map_or(0, |t| t.elapsed().as_micros() as u64))
     });
     qsnc_tensor::scratch::put_u8(payload);
     result
@@ -260,6 +285,17 @@ mod tests {
         let mut decoded = Vec::new();
         read_request(&mut wire.as_slice(), 4, &mut decoded).unwrap();
         assert_eq!(decoded, input);
+    }
+
+    #[test]
+    fn traced_read_reports_decode_time() {
+        let input = vec![1.0f32; 8];
+        let mut wire = Vec::new();
+        write_request(&mut wire, &input).unwrap();
+        let mut decoded = Vec::new();
+        let us = read_request_traced(&mut wire.as_slice(), 8, &mut decoded).unwrap();
+        assert_eq!(decoded, input);
+        assert!(us < 1_000_000, "decode of an in-memory frame took {us}µs");
     }
 
     #[test]

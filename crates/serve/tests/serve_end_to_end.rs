@@ -269,7 +269,7 @@ fn overload_answers_ok_or_busy_and_recovers() {
         Arc::clone(&snn),
         &INPUT_DIMS,
         "127.0.0.1:0",
-        ServeConfig { max_batch: 2, max_delay_us: 50, queue_cap: 2, workers: 1 },
+        ServeConfig { max_batch: 2, max_delay_us: 50, queue_cap: 2, workers: 1, ..ServeConfig::default() },
     )
     .expect("spawn");
 

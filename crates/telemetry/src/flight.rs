@@ -1,0 +1,305 @@
+//! A fixed-capacity lock-free flight recorder of structured events.
+//!
+//! The counters and histograms answer "how much / how fast overall"; the
+//! flight recorder answers "what did the last few *interesting* requests
+//! actually do". It is a process-global ring of [`FLIGHT_CAPACITY`] slots:
+//! recording claims the next slot with one `fetch_add` and overwrites the
+//! oldest event, so writers never block and never allocate once a label
+//! has been interned. The serving layer uses it to capture full stage
+//! traces of slow requests (`QSNC_SERVE_SLOW_US`), dumped live from the
+//! admin endpoint's `/slow` route.
+//!
+//! Every event is a label, a numeric id, and up to [`FLIGHT_MAX_FIELDS`]
+//! `(key, u64)` fields. Labels and keys are interned to `u32` ids (a
+//! short-lived read lock on a hit, same discipline as counter-name
+//! resolution), so slot payloads are plain atomics — readers can race
+//! writers without tearing memory-safety: a per-slot sequence number
+//! (seqlock discipline) detects and discards events caught mid-overwrite.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// Number of events the flight recorder retains (oldest overwritten).
+pub const FLIGHT_CAPACITY: usize = 256;
+
+/// Most fields one event carries; extra fields are dropped silently.
+pub const FLIGHT_MAX_FIELDS: usize = 12;
+
+/// One decoded flight-recorder event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Event label (e.g. `serve.slow`).
+    pub label: String,
+    /// Caller-chosen id (e.g. the request id).
+    pub id: u64,
+    /// `(key, value)` fields in recording order.
+    pub fields: Vec<(String, u64)>,
+}
+
+struct Slot {
+    /// 0 = never written; `2t − 1` = ticket `t` writing; `2t` = complete.
+    seq: AtomicU64,
+    label: AtomicU32,
+    id: AtomicU64,
+    len: AtomicU32,
+    keys: [AtomicU32; FLIGHT_MAX_FIELDS],
+    vals: [AtomicU64; FLIGHT_MAX_FIELDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            label: AtomicU32::new(0),
+            id: AtomicU64::new(0),
+            len: AtomicU32::new(0),
+            keys: std::array::from_fn(|_| AtomicU32::new(0)),
+            vals: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Interner {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+struct Recorder {
+    /// Tickets issued so far; ticket `t` (1-based) lives in slot
+    /// `(t − 1) % FLIGHT_CAPACITY`.
+    head: AtomicU64,
+    slots: Vec<Slot>,
+    interner: RwLock<Interner>,
+}
+
+fn recorder() -> &'static Recorder {
+    static RECORDER: OnceLock<Recorder> = OnceLock::new();
+    RECORDER.get_or_init(|| Recorder {
+        head: AtomicU64::new(0),
+        slots: (0..FLIGHT_CAPACITY).map(|_| Slot::new()).collect(),
+        interner: RwLock::new(Interner::default()),
+    })
+}
+
+fn intern(name: &str) -> u32 {
+    let rec = recorder();
+    if let Some(&id) = rec.interner.read().unwrap().ids.get(name) {
+        return id;
+    }
+    let mut interner = rec.interner.write().unwrap();
+    if let Some(&id) = interner.ids.get(name) {
+        return id;
+    }
+    let id = interner.names.len() as u32;
+    interner.names.push(name.to_string());
+    interner.ids.insert(name.to_string(), id);
+    id
+}
+
+/// Records one event into the flight recorder, overwriting the oldest.
+/// No-op when telemetry is disabled. Fields beyond [`FLIGHT_MAX_FIELDS`]
+/// are dropped. Lock-free after `label` and all keys have been interned
+/// once.
+pub fn flight_record(label: &str, id: u64, fields: &[(&str, u64)]) {
+    if !crate::enabled() {
+        return;
+    }
+    let label_id = intern(label);
+    let n = fields.len().min(FLIGHT_MAX_FIELDS);
+    // Intern keys before claiming the slot so the write window stays short.
+    let mut key_ids = [0u32; FLIGHT_MAX_FIELDS];
+    for (slot, (key, _)) in key_ids.iter_mut().zip(fields.iter().take(n)) {
+        *slot = intern(key);
+    }
+    let rec = recorder();
+    let ticket = rec.head.fetch_add(1, Ordering::Relaxed) + 1;
+    let slot = &rec.slots[(ticket as usize - 1) % FLIGHT_CAPACITY];
+    // Seqlock write: odd while in flight, even (= 2·ticket) when complete.
+    slot.seq.store(2 * ticket - 1, Ordering::Release);
+    slot.label.store(label_id, Ordering::Relaxed);
+    slot.id.store(id, Ordering::Relaxed);
+    slot.len.store(n as u32, Ordering::Relaxed);
+    for i in 0..n {
+        slot.keys[i].store(key_ids[i], Ordering::Relaxed);
+        slot.vals[i].store(fields[i].1, Ordering::Relaxed);
+    }
+    slot.seq.store(2 * ticket, Ordering::Release);
+}
+
+/// Copies out the retained events, oldest first. Events caught mid-write
+/// by a concurrent recorder (or already overwritten) are skipped.
+pub fn flight_events() -> Vec<FlightEvent> {
+    let rec = recorder();
+    let head = rec.head.load(Ordering::Acquire);
+    let first = head.saturating_sub(FLIGHT_CAPACITY as u64) + 1;
+    let names: Vec<String> = rec.interner.read().unwrap().names.clone();
+    let name = |id: u32| -> String {
+        names
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("?{id}"))
+    };
+    let mut events = Vec::new();
+    for ticket in first..=head {
+        let slot = &rec.slots[(ticket as usize - 1) % FLIGHT_CAPACITY];
+        if slot.seq.load(Ordering::Acquire) != 2 * ticket {
+            continue; // mid-write or already claimed by a newer ticket
+        }
+        let label = slot.label.load(Ordering::Relaxed);
+        let id = slot.id.load(Ordering::Relaxed);
+        let len = (slot.len.load(Ordering::Relaxed) as usize).min(FLIGHT_MAX_FIELDS);
+        let fields: Vec<(u32, u64)> = (0..len)
+            .map(|i| {
+                (
+                    slot.keys[i].load(Ordering::Relaxed),
+                    slot.vals[i].load(Ordering::Relaxed),
+                )
+            })
+            .collect();
+        std::sync::atomic::fence(Ordering::Acquire);
+        if slot.seq.load(Ordering::Relaxed) != 2 * ticket {
+            continue; // torn by a wrap-around writer mid-copy
+        }
+        events.push(FlightEvent {
+            label: name(label),
+            id,
+            fields: fields.into_iter().map(|(k, v)| (name(k), v)).collect(),
+        });
+    }
+    events
+}
+
+/// Clears the flight recorder (called by [`crate::reset`]).
+pub(crate) fn flight_reset() {
+    let rec = recorder();
+    // Order matters for concurrent readers: invalidate slots first, then
+    // rewind the head; a racing reader sees empty slots either way.
+    for slot in &rec.slots {
+        slot.seq.store(0, Ordering::Release);
+    }
+    rec.head.store(0, Ordering::Release);
+    let mut interner = rec.interner.write().unwrap();
+    interner.ids.clear();
+    interner.names.clear();
+}
+
+/// Renders `events` as a JSON array (the `/slow` admin route's payload).
+pub fn flight_json(events: &[FlightEvent]) -> crate::json::Json {
+    use crate::json::Json;
+    Json::Arr(
+        events
+            .iter()
+            .map(|e| {
+                Json::obj(vec![
+                    ("label", Json::Str(e.label.clone())),
+                    ("id", Json::Num(e.id as f64)),
+                    (
+                        "fields",
+                        Json::obj(
+                            e.fields
+                                .iter()
+                                .map(|(k, v)| (k.as_str(), Json::Num(*v as f64)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{set_mode, testing, TelemetryMode};
+
+    fn with_recording<R>(f: impl FnOnce() -> R) -> R {
+        let _guard = testing::lock();
+        set_mode(TelemetryMode::Record);
+        crate::reset();
+        let out = f();
+        crate::reset();
+        set_mode(TelemetryMode::Off);
+        out
+    }
+
+    #[test]
+    fn records_and_dumps_in_order() {
+        with_recording(|| {
+            for i in 0..5u64 {
+                flight_record("test.event", i, &[("a", i * 10), ("b", i + 1)]);
+            }
+            let events = flight_events();
+            assert_eq!(events.len(), 5);
+            for (i, e) in events.iter().enumerate() {
+                assert_eq!(e.label, "test.event");
+                assert_eq!(e.id, i as u64);
+                assert_eq!(e.fields, vec![("a".into(), i as u64 * 10), ("b".into(), i as u64 + 1)]);
+            }
+        });
+    }
+
+    #[test]
+    fn wraps_keeping_newest() {
+        with_recording(|| {
+            let total = FLIGHT_CAPACITY as u64 + 17;
+            for i in 0..total {
+                flight_record("wrap", i, &[("i", i)]);
+            }
+            let events = flight_events();
+            assert_eq!(events.len(), FLIGHT_CAPACITY);
+            assert_eq!(events.first().unwrap().id, total - FLIGHT_CAPACITY as u64);
+            assert_eq!(events.last().unwrap().id, total - 1);
+        });
+    }
+
+    #[test]
+    fn excess_fields_are_dropped() {
+        with_recording(|| {
+            let fields: Vec<(String, u64)> =
+                (0..20).map(|i| (format!("k{i}"), i as u64)).collect();
+            let borrowed: Vec<(&str, u64)> =
+                fields.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            flight_record("overflow", 1, &borrowed);
+            let events = flight_events();
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].fields.len(), FLIGHT_MAX_FIELDS);
+        });
+    }
+
+    #[test]
+    fn disabled_mode_records_nothing() {
+        let _guard = testing::lock();
+        set_mode(TelemetryMode::Off);
+        crate::reset();
+        flight_record("ghost", 1, &[("x", 1)]);
+        assert!(flight_events().is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_never_produce_torn_events() {
+        with_recording(|| {
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    s.spawn(move || {
+                        for i in 0..2_000u64 {
+                            let id = t * 1_000_000 + i;
+                            // Field value mirrors the id: a torn slot would
+                            // show a mismatch.
+                            flight_record("conc", id, &[("echo", id)]);
+                        }
+                    });
+                }
+            });
+            let events = flight_events();
+            assert!(!events.is_empty());
+            for e in &events {
+                assert_eq!(e.label, "conc");
+                assert_eq!(e.fields.len(), 1);
+                assert_eq!(e.fields[0].1, e.id, "torn event: {e:?}");
+            }
+        });
+    }
+}

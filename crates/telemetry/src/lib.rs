@@ -2,8 +2,12 @@
 //!
 //! Process-global, env-gated observability for the qsnc pipelines:
 //! hierarchical wall-clock **spans**, atomic **counters**, fixed-bucket
-//! **histograms**, and per-step **series**, exported as JSON or rendered by
-//! `qsnc_core::report`.
+//! **histograms**, log-bucketed **quantile sketches** (~1% relative error,
+//! [`quantile_observe`]), per-step **series**, and a fixed-capacity
+//! **flight recorder** of structured events ([`flight_record`]), exported
+//! as JSON or rendered by `qsnc_core::report`. Scrapers that want
+//! per-interval rates instead of lifetime totals take windowed deltas via
+//! [`snapshot_since`] / [`DeltaCursor`].
 //!
 //! ## Gating
 //!
@@ -46,7 +50,17 @@
 
 #![warn(missing_docs)]
 
+mod flight;
 pub mod json;
+mod quantile;
+
+pub use flight::{
+    flight_events, flight_json, flight_record, FlightEvent, FLIGHT_CAPACITY, FLIGHT_MAX_FIELDS,
+};
+pub use quantile::{
+    bucket_index, bucket_value, QuantileHistogram, QuantileSnapshot, QUANTILE_BUCKETS,
+    QUANTILE_GAMMA, QUANTILE_RELATIVE_ERROR,
+};
 
 use json::Json;
 use std::collections::HashMap;
@@ -191,6 +205,7 @@ impl Histogram {
 struct Registry {
     counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<HashMap<String, Arc<Histogram>>>,
+    quantiles: RwLock<HashMap<String, Arc<QuantileHistogram>>>,
     spans: Mutex<HashMap<String, SpanStat>>,
     series: Mutex<HashMap<String, Vec<(u64, f64)>>>,
 }
@@ -349,6 +364,28 @@ pub fn observe(name: &str, value: f64, edges: &[f64]) {
         .observe(value);
 }
 
+/// Records `value` into the named log-bucketed quantile histogram
+/// ([`QuantileHistogram`]) — the right instrument for latency-style
+/// distributions whose quantiles matter: any `quantile(q)` read from the
+/// snapshot is within [`QUANTILE_RELATIVE_ERROR`] (~1%) of a true
+/// observation, with no per-site bucket tuning. No-op when telemetry is
+/// disabled.
+pub fn quantile_observe(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let reg = registry();
+    if let Some(h) = reg.quantiles.read().unwrap().get(name) {
+        h.observe(value);
+        return;
+    }
+    let mut quantiles = reg.quantiles.write().unwrap();
+    quantiles
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(QuantileHistogram::new()))
+        .observe(value);
+}
+
 /// Appends `(step, value)` to the named time series (e.g. per-epoch loss).
 /// No-op when telemetry is disabled.
 pub fn record_series(name: &str, step: u64, value: f64) {
@@ -364,14 +401,16 @@ pub fn record_series(name: &str, step: u64, value: f64) {
         .push((step, value));
 }
 
-/// Clears all recorded telemetry (spans, counters, histograms, series).
-/// The mode is unchanged.
+/// Clears all recorded telemetry (spans, counters, histograms, quantile
+/// sketches, series, and the flight recorder). The mode is unchanged.
 pub fn reset() {
     let reg = registry();
     reg.counters.write().unwrap().clear();
     reg.histograms.write().unwrap().clear();
+    reg.quantiles.write().unwrap().clear();
     reg.spans.lock().unwrap().clear();
     reg.series.lock().unwrap().clear();
+    flight::flight_reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -418,6 +457,8 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// Histograms.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Log-bucketed quantile sketches.
+    pub quantiles: Vec<QuantileSnapshot>,
     /// Time series, each a list of `(step, value)`.
     pub series: Vec<(String, Vec<(u64, f64)>)>,
 }
@@ -438,6 +479,11 @@ impl Snapshot {
         self.histograms.iter().find(|h| h.name == name)
     }
 
+    /// Looks up a quantile sketch by name.
+    pub fn quantile_sketch(&self, name: &str) -> Option<&QuantileSnapshot> {
+        self.quantiles.iter().find(|q| q.name == name)
+    }
+
     /// Looks up a series by name.
     pub fn series(&self, name: &str) -> Option<&[(u64, f64)]> {
         self.series
@@ -451,7 +497,91 @@ impl Snapshot {
         self.spans.is_empty()
             && self.counters.is_empty()
             && self.histograms.is_empty()
+            && self.quantiles.is_empty()
             && self.series.is_empty()
+    }
+
+    /// The difference `self − baseline`: what was recorded *between* the
+    /// two snapshots. Scrapers use this (via [`snapshot_since`]) to see
+    /// per-interval rates instead of lifetime totals.
+    ///
+    /// Semantics per instrument kind:
+    ///
+    /// - **Counters** subtract (saturating; a name absent from the
+    ///   baseline keeps its full value). Zero-delta counters are kept, so
+    ///   scrape output has a stable set of names.
+    /// - **Histograms** subtract bucket-wise when the edges match;
+    ///   mismatched edges (a reset in between) fall back to the current
+    ///   values.
+    /// - **Quantile sketches** subtract bucket-wise
+    ///   ([`QuantileSnapshot::delta_since`]); windowed quantiles stay
+    ///   within the error bound, but `min`/`max` remain lifetime extremes.
+    /// - **Spans** subtract `count`/`total_ns`; `min_ns`/`max_ns` remain
+    ///   lifetime extremes (per-window extremes are not recoverable).
+    /// - **Series** keep only the points appended since the baseline.
+    pub fn delta_since(&self, baseline: &Snapshot) -> Snapshot {
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                let base = baseline.spans.iter().find(|b| b.path == s.path);
+                SpanSnapshot {
+                    path: s.path.clone(),
+                    count: s.count.saturating_sub(base.map_or(0, |b| b.count)),
+                    total_ns: s.total_ns.saturating_sub(base.map_or(0, |b| b.total_ns)),
+                    min_ns: s.min_ns,
+                    max_ns: s.max_ns,
+                }
+            })
+            .collect();
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| {
+                let base = baseline.counter(name).unwrap_or(0);
+                (name.clone(), v.saturating_sub(base))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                match baseline.histogram(&h.name) {
+                    Some(b) if b.edges == h.edges && b.buckets.len() == h.buckets.len() => {
+                        HistogramSnapshot {
+                            name: h.name.clone(),
+                            edges: h.edges.clone(),
+                            buckets: h
+                                .buckets
+                                .iter()
+                                .zip(&b.buckets)
+                                .map(|(&cur, &base)| cur.saturating_sub(base))
+                                .collect(),
+                            count: h.count.saturating_sub(b.count),
+                            sum: h.sum - b.sum,
+                        }
+                    }
+                    _ => h.clone(),
+                }
+            })
+            .collect();
+        let quantiles = self
+            .quantiles
+            .iter()
+            .map(|q| match baseline.quantile_sketch(&q.name) {
+                Some(b) => q.delta_since(b),
+                None => q.clone(),
+            })
+            .collect();
+        let series = self
+            .series
+            .iter()
+            .map(|(name, points)| {
+                let skip = baseline.series(name).map_or(0, <[(u64, f64)]>::len);
+                (name.clone(), points.iter().skip(skip).copied().collect())
+            })
+            .collect();
+        Snapshot { spans, counters, histograms, quantiles, series }
     }
 
     /// Converts to the JSON export shape (see [`export_json`]).
@@ -496,6 +626,27 @@ impl Snapshot {
                 ])
             })
             .collect();
+        let quantiles = self
+            .quantiles
+            .iter()
+            .map(|q| {
+                Json::obj(vec![
+                    ("name", Json::Str(q.name.clone())),
+                    ("count", Json::Num(q.count as f64)),
+                    ("sum", Json::Num(q.sum)),
+                    ("min", Json::Num(q.min)),
+                    ("max", Json::Num(q.max)),
+                    (
+                        "bucket_index",
+                        Json::Arr(q.buckets.iter().map(|&(i, _)| Json::Num(i as f64)).collect()),
+                    ),
+                    (
+                        "bucket_count",
+                        Json::Arr(q.buckets.iter().map(|&(_, n)| Json::Num(n as f64)).collect()),
+                    ),
+                ])
+            })
+            .collect();
         let series = self
             .series
             .iter()
@@ -515,10 +666,11 @@ impl Snapshot {
             .collect();
         Json::obj(vec![
             ("source", Json::Str("qsnc-telemetry".into())),
-            ("version", Json::Num(1.0)),
+            ("version", Json::Num(2.0)),
             ("spans", Json::Arr(spans)),
             ("counters", Json::Arr(counters)),
             ("histograms", Json::Arr(histograms)),
+            ("quantiles", Json::Arr(quantiles)),
             ("series", Json::Arr(series)),
         ])
     }
@@ -581,6 +733,29 @@ impl Snapshot {
                 sum: num_field(&h, "sum")?,
             });
         }
+        // Absent in version-1 documents (recorded before quantile sketches
+        // existed); treat missing as empty rather than failing the parse.
+        if root.get("quantiles").is_some() {
+            for q in arr("quantiles")? {
+                let indexes = num_list(&q, "bucket_index")?;
+                let counts = num_list(&q, "bucket_count")?;
+                if indexes.len() != counts.len() {
+                    return Err("quantile bucket_index/bucket_count length mismatch".into());
+                }
+                snap.quantiles.push(QuantileSnapshot {
+                    name: str_field(&q, "name")?,
+                    count: num_field(&q, "count")? as u64,
+                    sum: num_field(&q, "sum")?,
+                    min: num_field(&q, "min")?,
+                    max: num_field(&q, "max")?,
+                    buckets: indexes
+                        .into_iter()
+                        .map(|i| i as u32)
+                        .zip(counts.into_iter().map(|n| n as u64))
+                        .collect(),
+                });
+            }
+        }
         for s in arr("series")? {
             let steps = num_list(&s, "steps")?;
             let values = num_list(&s, "values")?;
@@ -639,6 +814,14 @@ pub fn snapshot() -> Snapshot {
         })
         .collect();
     histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut quantiles: Vec<QuantileSnapshot> = reg
+        .quantiles
+        .read()
+        .unwrap()
+        .iter()
+        .map(|(name, q)| q.snapshot_named(name))
+        .collect();
+    quantiles.sort_by(|a, b| a.name.cmp(&b.name));
     let mut series: Vec<(String, Vec<(u64, f64)>)> = reg
         .series
         .lock()
@@ -651,8 +834,52 @@ pub fn snapshot() -> Snapshot {
         spans,
         counters,
         histograms,
+        quantiles,
         series,
     }
+}
+
+/// A scraper's position in the telemetry stream: holds the snapshot taken
+/// at the previous [`snapshot_since`] call, so each call returns only the
+/// window recorded since. One cursor per scraper; cursors are independent.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaCursor {
+    baseline: Snapshot,
+}
+
+impl DeltaCursor {
+    /// A fresh cursor: the first [`snapshot_since`] returns lifetime
+    /// totals (delta against nothing).
+    pub fn new() -> DeltaCursor {
+        DeltaCursor::default()
+    }
+}
+
+/// Takes a snapshot, returns its delta against `cursor`'s baseline, and
+/// advances the cursor — so consecutive calls see disjoint windows whose
+/// counters sum to the lifetime totals.
+///
+/// # Examples
+///
+/// ```
+/// let _guard = qsnc_telemetry::testing::lock();
+/// qsnc_telemetry::set_mode(qsnc_telemetry::TelemetryMode::Record);
+/// qsnc_telemetry::reset();
+/// let mut cursor = qsnc_telemetry::DeltaCursor::new();
+///
+/// qsnc_telemetry::counter_add("reqs", 3);
+/// assert_eq!(qsnc_telemetry::snapshot_since(&mut cursor).counter("reqs"), Some(3));
+/// qsnc_telemetry::counter_add("reqs", 2);
+/// assert_eq!(qsnc_telemetry::snapshot_since(&mut cursor).counter("reqs"), Some(2));
+///
+/// qsnc_telemetry::reset();
+/// qsnc_telemetry::set_mode(qsnc_telemetry::TelemetryMode::Off);
+/// ```
+pub fn snapshot_since(cursor: &mut DeltaCursor) -> Snapshot {
+    let current = snapshot();
+    let delta = current.delta_since(&cursor.baseline);
+    cursor.baseline = current;
+    delta
 }
 
 /// Renders the current snapshot as a pretty-printed JSON document in the
@@ -807,6 +1034,8 @@ mod tests {
         with_recording(|| {
             counter_add("c.one", 7);
             observe("h.one", 0.5, &[0.0, 1.0]);
+            quantile_observe("q.one", 125.0);
+            quantile_observe("q.one", 3_000.0);
             record_series("s.one", 3, 0.25);
             {
                 let _sp = start_span("root");
@@ -818,9 +1047,75 @@ mod tests {
             assert_eq!(back, snap);
             // Export contains the contractual top-level keys.
             let root = Json::parse(&text).unwrap();
-            for key in ["source", "version", "spans", "counters", "histograms", "series"] {
+            for key in [
+                "source", "version", "spans", "counters", "histograms", "quantiles", "series",
+            ] {
                 assert!(root.get(key).is_some(), "missing {key}");
             }
+        });
+    }
+
+    #[test]
+    fn version1_documents_without_quantiles_still_parse() {
+        let doc = r#"{
+            "source": "qsnc-telemetry", "version": 1,
+            "spans": [], "counters": [{"name": "c", "value": 4}],
+            "histograms": [], "series": []
+        }"#;
+        let snap = Snapshot::from_json(doc).expect("v1 doc");
+        assert_eq!(snap.counter("c"), Some(4));
+        assert!(snap.quantiles.is_empty());
+    }
+
+    #[test]
+    fn quantile_registry_records_and_queries() {
+        with_recording(|| {
+            for i in 1..=100 {
+                quantile_observe("lat", i as f64);
+            }
+            let snap = snapshot();
+            let q = snap.quantile_sketch("lat").expect("registered");
+            assert_eq!(q.count, 100);
+            assert_eq!(q.quantile(0.0), 1.0);
+            assert_eq!(q.quantile(1.0), 100.0);
+            let p50 = q.quantile(0.5);
+            assert!((p50 - 50.0).abs() / 50.0 < 0.02, "p50 {p50}");
+        });
+    }
+
+    #[test]
+    fn delta_snapshots_window_every_instrument_kind() {
+        with_recording(|| {
+            let mut cursor = DeltaCursor::new();
+            counter_add("d.c", 10);
+            observe("d.h", 1.5, &[1.0, 2.0]);
+            quantile_observe("d.q", 100.0);
+            record_series("d.s", 0, 1.0);
+            let first = snapshot_since(&mut cursor);
+            assert_eq!(first.counter("d.c"), Some(10));
+            assert_eq!(first.histogram("d.h").unwrap().count, 1);
+            assert_eq!(first.quantile_sketch("d.q").unwrap().count, 1);
+            assert_eq!(first.series("d.s").unwrap().len(), 1);
+
+            counter_add("d.c", 5);
+            quantile_observe("d.q", 9_000.0);
+            quantile_observe("d.q", 9_000.0);
+            record_series("d.s", 1, 2.0);
+            let second = snapshot_since(&mut cursor);
+            assert_eq!(second.counter("d.c"), Some(5));
+            assert_eq!(second.histogram("d.h").unwrap().count, 0);
+            let q = second.quantile_sketch("d.q").unwrap();
+            assert_eq!(q.count, 2);
+            // The window holds only the 9000s, so its p50 must not see the
+            // baseline's 100.
+            let p50 = q.quantile(0.5);
+            assert!((p50 - 9_000.0).abs() / 9_000.0 < 0.011, "windowed p50 {p50}");
+            assert_eq!(second.series("d.s").unwrap(), &[(1, 2.0)]);
+
+            // A third, idle window is all zeros but keeps the names.
+            let third = snapshot_since(&mut cursor);
+            assert_eq!(third.counter("d.c"), Some(0));
+            assert_eq!(third.quantile_sketch("d.q").unwrap().count, 0);
         });
     }
 

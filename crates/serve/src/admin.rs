@@ -22,9 +22,12 @@
 //! with a `path` label. Step series are JSON-only — scrape `/snapshot`
 //! for those.
 //!
-//! The listener is single-threaded on purpose: scrapes serialize, the
-//! data plane never waits on the admin plane, and delta cursors need no
-//! locking.
+//! Each accepted connection is answered on its own short-lived handler
+//! thread with a 2-second (`SCRAPE_TIMEOUT`) read/write timeout, so one stalled
+//! scraper can neither delay the next `/metrics` poll (it used to hold
+//! the single-threaded listener for the whole timeout) nor hold a thread
+//! forever. Delta cursors live behind a mutex shared by the handlers; the
+//! data plane never waits on the admin plane.
 
 use qsnc_telemetry::{DeltaCursor, HistogramSnapshot, QuantileSnapshot, Snapshot, SpanSnapshot};
 use std::collections::HashMap;
@@ -32,7 +35,7 @@ use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -41,6 +44,10 @@ const SUMMARY_QUANTILES: &[f64] = &[0.5, 0.9, 0.99, 0.999];
 
 /// Largest request head (request line + headers) the parser accepts.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Read/write timeout on accepted admin connections: the longest a stalled
+/// scraper can hold one handler thread.
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Binds `addr` and starts the admin thread. Returns the resolved local
 /// address (port 0 becomes the actual ephemeral port) and the thread
@@ -57,7 +64,7 @@ pub(crate) fn spawn(
 }
 
 fn admin_loop(listener: &TcpListener, running: &AtomicBool) {
-    let mut cursors: HashMap<String, DeltaCursor> = HashMap::new();
+    let cursors: Arc<Mutex<HashMap<String, DeltaCursor>>> = Arc::new(Mutex::new(HashMap::new()));
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -73,18 +80,28 @@ fn admin_loop(listener: &TcpListener, running: &AtomicBool) {
         // Serve even the final connection: a scrape racing shutdown gets
         // its answer, and the drain nudge carries no request so it falls
         // straight through the read. Timeouts bound a stalled client.
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-        let _ = handle_connection(stream, &mut cursors);
+        let _ = stream.set_read_timeout(Some(SCRAPE_TIMEOUT));
+        let _ = stream.set_write_timeout(Some(SCRAPE_TIMEOUT));
         if stop {
+            // Answer the final scrape inline; there is no one left to
+            // accept for while it runs.
+            let _ = handle_connection(stream, &cursors);
             break;
         }
+        // Handler threads keep the accept loop responsive while a slow
+        // scraper trickles its request or reads its response; the timeout
+        // above bounds each handler's lifetime, so these threads cannot
+        // accumulate past (stalled scrapers × timeout).
+        let cursors = Arc::clone(&cursors);
+        std::thread::spawn(move || {
+            let _ = handle_connection(stream, &cursors);
+        });
     }
 }
 
 fn handle_connection(
     mut stream: TcpStream,
-    cursors: &mut HashMap<String, DeltaCursor>,
+    cursors: &Mutex<HashMap<String, DeltaCursor>>,
 ) -> io::Result<()> {
     let mut head = Vec::new();
     let mut buf = [0u8; 1024];
@@ -119,10 +136,15 @@ fn handle_connection(
         }
         "/snapshot" => {
             let snap = match query.and_then(query_cursor) {
-                Some(name) => {
-                    let cursor = cursors.entry(name).or_default();
-                    qsnc_telemetry::snapshot_since(cursor)
-                }
+                Some(name) => match cursors.lock() {
+                    Ok(mut cursors) => {
+                        let cursor = cursors.entry(name).or_default();
+                        qsnc_telemetry::snapshot_since(cursor)
+                    }
+                    // A handler panicked holding the map; serve the full
+                    // snapshot rather than nothing.
+                    Err(_) => qsnc_telemetry::snapshot(),
+                },
                 None => qsnc_telemetry::snapshot(),
             };
             respond(&mut stream, "200 OK", "application/json", &snap.to_json().render())

@@ -10,21 +10,47 @@
 //! throughput/latency trade dynamic batching makes, tuned by the
 //! `QSNC_SERVE_MAX_BATCH` / `QSNC_SERVE_MAX_DELAY_US` knobs.
 
+use crate::event_loop::LoopShared;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One admitted inference request travelling from a connection thread to a
-/// worker.
+/// Where a finished inference result goes. The threaded front end blocks a
+/// connection thread on a per-request channel; the event-loop front end
+/// routes the reply back to the loop that owns the connection via its
+/// completion queue + wakeup pipe.
+pub(crate) enum ReplyRoute {
+    /// Per-request rendezvous with a blocking connection thread.
+    Thread(Sender<WorkerReply>),
+    /// Hand-off to an event loop's completion queue (wakes the loop).
+    Loop {
+        /// The owning loop's shared half.
+        shared: Arc<LoopShared>,
+        /// Connection slot index in that loop.
+        conn: u32,
+        /// Slot generation — a stale completion (connection since closed
+        /// and slot reused) is dropped instead of misdelivered.
+        generation: u32,
+        /// The client's request tag (`None` for a v1 frame).
+        tag: Option<u32>,
+    },
+}
+
+/// One admitted inference request travelling from a front end to a worker.
 pub(crate) struct Request {
     /// Decoded input example.
     pub(crate) input: Vec<f32>,
-    /// Where the worker sends the result; the connection thread blocks on
-    /// the paired receiver.
-    pub(crate) reply_tx: Sender<WorkerReply>,
+    /// Where the worker sends the result.
+    pub(crate) route: ReplyRoute,
     /// When the request was admitted to the queue (serve.latency_us start).
     pub(crate) enqueued: Instant,
+    /// Microseconds the front end spent decoding the frame (for the slow
+    /// trace; zero when telemetry is off).
+    pub(crate) decode_us: u64,
+    /// Process-wide request id (for the slow trace; zero when telemetry is
+    /// off).
+    pub(crate) id: u64,
 }
 
 /// A finished inference result, carrying the worker-side stage timings the
@@ -111,7 +137,13 @@ mod tests {
     fn request(v: f32) -> (Request, mpsc::Receiver<WorkerReply>) {
         let (reply_tx, reply_rx) = mpsc::channel();
         (
-            Request { input: vec![v], reply_tx, enqueued: Instant::now() },
+            Request {
+                input: vec![v],
+                route: ReplyRoute::Thread(reply_tx),
+                enqueued: Instant::now(),
+                decode_us: 0,
+                id: 0,
+            },
             reply_rx,
         )
     }

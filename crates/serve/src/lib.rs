@@ -2,14 +2,33 @@
 //!
 //! A batched TCP inference server over [`qsnc_memristor::SpikingNetwork`] —
 //! the layer that turns the integer fast-path engine into a system that
-//! accepts traffic. Zero dependencies beyond `std::net` + the workspace.
+//! accepts traffic. Zero dependencies beyond `std::net` + the workspace
+//! (the epoll front end issues its three syscalls with inline assembly
+//! rather than pulling in `libc`).
 //!
-//! Architecture, one request's journey:
+//! Two front ends share one pipeline (see [`FrontEnd`]):
 //!
-//! 1. **Connection thread** decodes a length-prefixed binary frame
-//!    ([`protocol`]) and admits the request to a **bounded queue**. A full
-//!    queue answers [`Status::Busy`] immediately — explicit backpressure
-//!    instead of unbounded buffering.
+//! - **Event loop** (default on Linux x86-64/aarch64) — a small number of
+//!   epoll readiness loops own every client socket non-blocking. Protocol
+//!   v2 frames carry a request *tag*, so one connection can hold many
+//!   requests in flight and take replies out of order
+//!   ([`protocol::write_request_tagged`]); v1 untagged lockstep frames
+//!   keep working unchanged on the same port. Per-connection backpressure:
+//!   an in-flight budget ([`ServeConfig::max_inflight_per_conn`]) answers
+//!   [`Status::Busy`] when exhausted, and a slow reader's output buffer
+//!   passing its high-water mark pauses reads from that client until it
+//!   drains.
+//! - **Threaded** — the PR 4 design, one blocking thread per connection,
+//!   kept as a baseline and portability fallback, now bounded by
+//!   [`ServeConfig::max_conns`] (a thread-per-connection front end cannot
+//!   honestly accept unbounded clients).
+//!
+//! One request's journey (either front end):
+//!
+//! 1. The front end decodes a length-prefixed binary frame ([`protocol`])
+//!    and admits the request to a **bounded queue**. A full queue answers
+//!    [`Status::Busy`] immediately — explicit backpressure instead of
+//!    unbounded buffering.
 //! 2. The **micro-batcher** collects admitted requests into a batch,
 //!    flushing when `max_batch` requests arrived or `max_delay_us` elapsed
 //!    since the first — whichever comes first.
@@ -20,23 +39,29 @@
 //!    serving at a warm batch size performs zero fresh scratch allocations
 //!    (workers are persistent threads, so the `qsnc_tensor::scratch` arena
 //!    stays warm).
-//! 4. The worker's reply travels back to the connection thread, which
-//!    writes the logits + argmax frame.
+//! 4. The result returns to the front end — a rendezvous channel to the
+//!    blocking connection thread, or the owning event loop's completion
+//!    queue plus a wakeup byte — which encodes the logits + argmax frame,
+//!    echoing the request's tag.
 //!
-//! [`Server::shutdown`] drains: accepting stops, open connections are
-//! nudged off their reads, every request already admitted is batched,
-//! inferred, and answered, and only then do the batcher and workers exit
-//! (the admin listener, when enabled, goes down last so `/metrics` stays
-//! scrapeable through the drain).
+//! [`Server::shutdown`] drains: accepting stops, no new frames are
+//! admitted, every request already admitted (including tagged in-flight
+//! pipelines) is batched, inferred, answered, and flushed, and only then
+//! do the batcher and workers exit (the admin listener, when enabled,
+//! goes down last so `/metrics` stays scrapeable through the drain).
 //!
 //! Telemetry (enable with `QSNC_TELEMETRY`) records under the frozen
 //! `serve.*` taxonomy: `serve.queue.depth` and `serve.batch.size`
 //! fixed-bucket histograms; `serve.latency_us` and the per-stage
 //! `serve.stage.{decode,queue,infer,encode}.us` quantile sketches; the
 //! `serve.rejected` counter; plus `serve.requests` / `serve.batches` /
-//! `serve.connections` / `serve.bad_requests` totals. Requests slower
-//! than `QSNC_SERVE_SLOW_US` leave a full stage trace in the telemetry
-//! flight recorder.
+//! `serve.connections` / `serve.bad_requests` totals. The event-loop
+//! front end adds `serve.conn.active` / `serve.conn.inflight` histograms,
+//! `serve.conn.refused` / `serve.conn.rejected` counters, and
+//! `serve.loop.{wakeups,events,completions}` counters with the
+//! `serve.loop.dispatch.us` sketch. Requests slower than
+//! `QSNC_SERVE_SLOW_US` leave a full stage trace in the telemetry flight
+//! recorder.
 //!
 //! Setting `QSNC_SERVE_ADMIN_ADDR` (or [`ServeConfig::admin_addr`])
 //! starts a second listener speaking just enough HTTP/1.1 for an
@@ -51,9 +76,20 @@ pub mod admin;
 mod batcher;
 pub mod protocol;
 
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod sys;
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+#[path = "event_loop.rs"]
+mod event_loop;
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+#[path = "event_loop_stub.rs"]
+mod event_loop;
+
 pub use protocol::{Reply, Status};
 
-use batcher::{MicroBatcher, Request, WorkerReply, QUEUE_DEPTH_EDGES};
+use batcher::{MicroBatcher, ReplyRoute, Request, WorkerReply, QUEUE_DEPTH_EDGES};
+use event_loop::{Completion, LoopConfig, LoopShared};
 use qsnc_memristor::SpikingNetwork;
 use qsnc_tensor::Tensor;
 use std::io;
@@ -63,6 +99,33 @@ use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Whether this build has the raw-syscall epoll layer ([`mod@sys`] exists
+/// only on Linux x86-64/aarch64).
+const EPOLL_SUPPORTED: bool =
+    cfg!(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")));
+
+/// Which connection-handling architecture the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// Epoll readiness loops with non-blocking sockets and connection
+    /// multiplexing (protocol v2 tags). The default where supported.
+    EventLoop,
+    /// One blocking thread per connection (the original design): simple,
+    /// portable, capped at [`ServeConfig::max_conns`] concurrent clients.
+    Threaded,
+}
+
+impl FrontEnd {
+    /// The front end that will actually run: [`FrontEnd::EventLoop`] falls
+    /// back to [`FrontEnd::Threaded`] on platforms without the epoll layer.
+    pub fn resolve(self) -> FrontEnd {
+        match self {
+            FrontEnd::EventLoop if !EPOLL_SUPPORTED => FrontEnd::Threaded,
+            other => other,
+        }
+    }
+}
 
 /// Serving parameters. `..Default::default()` gives the production knobs;
 /// `from_env` layers the `QSNC_SERVE_*` environment overrides on top.
@@ -79,6 +142,26 @@ pub struct ServeConfig {
     /// Inference worker threads. One is right for single-core deployments;
     /// each worker keeps its own warm scratch arena.
     pub workers: usize,
+    /// Connection-handling architecture (`QSNC_SERVE_FRONT_END`:
+    /// `event-loop` or `threaded`). Resolved through
+    /// [`FrontEnd::resolve`], so requesting the event loop on an
+    /// unsupported platform runs threaded instead of failing.
+    pub front_end: FrontEnd,
+    /// Event-loop threads (`QSNC_SERVE_LOOPS`). One loop comfortably
+    /// multiplexes hundreds of connections; add loops when accept/IO work
+    /// itself saturates a core. Ignored by the threaded front end.
+    pub loops: usize,
+    /// Per-connection in-flight request budget over the multiplexed v2
+    /// protocol (`QSNC_SERVE_MAX_INFLIGHT_PER_CONN`); the budget'th + 1
+    /// concurrent request on one connection is answered [`Status::Busy`]
+    /// with its tag. Ignored by the threaded front end (which is
+    /// inherently lockstep).
+    pub max_inflight_per_conn: usize,
+    /// Concurrent-connection cap (`QSNC_SERVE_MAX_CONNS`). `None` picks
+    /// the front end's default: 4096 for the event loop, 128 for the
+    /// threaded front end (each connection there costs a blocking thread).
+    /// Connections over the cap are refused with [`Status::Busy`].
+    pub max_conns: Option<usize>,
     /// Bind address for the admin observability endpoint
     /// (`QSNC_SERVE_ADMIN_ADDR`; e.g. `127.0.0.1:0`). `None` — the
     /// default — serves no admin plane at all. When set and telemetry is
@@ -92,6 +175,13 @@ pub struct ServeConfig {
     pub slow_us: Option<u64>,
 }
 
+/// Default connection cap for the event-loop front end.
+const DEFAULT_MAX_CONNS_EVENT_LOOP: usize = 4096;
+
+/// Default connection cap for the threaded front end — every connection
+/// holds a blocking OS thread, so the honest bound is small.
+const DEFAULT_MAX_CONNS_THREADED: usize = 128;
+
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
@@ -99,6 +189,10 @@ impl Default for ServeConfig {
             max_delay_us: 200,
             queue_cap: 64,
             workers: 1,
+            front_end: FrontEnd::EventLoop,
+            loops: 1,
+            max_inflight_per_conn: 32,
+            max_conns: None,
             admin_addr: None,
             slow_us: None,
         }
@@ -106,9 +200,10 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
-    /// Default config with `QSNC_SERVE_MAX_BATCH` / `QSNC_SERVE_MAX_DELAY_US`
-    /// / `QSNC_SERVE_ADMIN_ADDR` / `QSNC_SERVE_SLOW_US` environment
-    /// overrides applied (invalid values are ignored).
+    /// Default config with the `QSNC_SERVE_*` environment overrides
+    /// applied (invalid values are ignored): `MAX_BATCH`, `MAX_DELAY_US`,
+    /// `FRONT_END`, `LOOPS`, `MAX_INFLIGHT_PER_CONN`, `MAX_CONNS`,
+    /// `ADMIN_ADDR`, `SLOW_US`.
     pub fn from_env() -> Self {
         let mut config = ServeConfig::default();
         if let Some(v) = env_parse("QSNC_SERVE_MAX_BATCH") {
@@ -116,6 +211,22 @@ impl ServeConfig {
         }
         if let Some(v) = env_parse("QSNC_SERVE_MAX_DELAY_US") {
             config.max_delay_us = v;
+        }
+        if let Ok(v) = std::env::var("QSNC_SERVE_FRONT_END") {
+            match v.trim() {
+                "threaded" | "thread" => config.front_end = FrontEnd::Threaded,
+                "event-loop" | "event_loop" | "epoll" => config.front_end = FrontEnd::EventLoop,
+                _ => {}
+            }
+        }
+        if let Some(v) = env_parse("QSNC_SERVE_LOOPS") {
+            config.loops = 1.max(v as usize);
+        }
+        if let Some(v) = env_parse("QSNC_SERVE_MAX_INFLIGHT_PER_CONN") {
+            config.max_inflight_per_conn = 1.max(v as usize);
+        }
+        if let Some(v) = env_parse("QSNC_SERVE_MAX_CONNS") {
+            config.max_conns = Some(1.max(v as usize));
         }
         if let Ok(addr) = std::env::var("QSNC_SERVE_ADMIN_ADDR") {
             let addr = addr.trim();
@@ -153,6 +264,22 @@ type ConnSlot = (Option<TcpStream>, JoinHandle<()>);
 /// connections stay distinguishable. Only assigned while telemetry is on.
 static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
 
+pub(crate) fn next_request_id() -> u64 {
+    NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The per-front-end half of a running [`Server`].
+enum FrontHandles {
+    Threaded {
+        acceptor: Option<JoinHandle<()>>,
+        conns: Arc<Mutex<Vec<ConnSlot>>>,
+    },
+    EventLoop {
+        loops: Vec<JoinHandle<()>>,
+        shareds: Vec<Arc<LoopShared>>,
+    },
+}
+
 /// A running inference server. Dropping it (or calling
 /// [`Server::shutdown`]) drains in-flight work before returning.
 pub struct Server {
@@ -160,10 +287,9 @@ pub struct Server {
     admin_addr: Option<SocketAddr>,
     running: Arc<AtomicBool>,
     req_tx: Option<SyncSender<Request>>,
-    acceptor: Option<JoinHandle<()>>,
+    front: FrontHandles,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<ConnSlot>>>,
     admin: Option<JoinHandle<()>>,
 }
 
@@ -179,8 +305,9 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Panics if `config` has a zero `max_batch`, `queue_cap`, or
-    /// `workers`, or if `input_dims` is empty/zero-sized.
+    /// Panics if `config` has a zero `max_batch`, `queue_cap`, `workers`,
+    /// `loops`, or `max_inflight_per_conn`, or if `input_dims` is
+    /// empty/zero-sized.
     ///
     /// # Examples
     ///
@@ -214,12 +341,18 @@ impl Server {
     ///     ServeConfig::default(),
     /// )?;
     ///
-    /// // One request over plain TCP: frame out, logits + argmax back.
+    /// // One v1 request over plain TCP: frame out, logits + argmax back.
     /// let mut conn = std::net::TcpStream::connect(server.local_addr())?;
     /// protocol::write_request(&mut conn, &[0.5f32; 28 * 28])?;
     /// let reply = protocol::read_reply(&mut conn)?;
     /// assert_eq!(reply.status, Status::Ok);
     /// assert_eq!(reply.logits.len(), 10);
+    ///
+    /// // Or pipeline tagged v2 requests and match replies by tag.
+    /// protocol::write_request_tagged(&mut conn, 7, &[0.5f32; 28 * 28])?;
+    /// protocol::write_request_tagged(&mut conn, 8, &[0.1f32; 28 * 28])?;
+    /// let first = protocol::read_reply(&mut conn)?;
+    /// assert!(first.tag == Some(7) || first.tag == Some(8));
     ///
     /// server.shutdown();
     /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -233,6 +366,8 @@ impl Server {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
         assert!(config.queue_cap >= 1, "queue_cap must be at least 1");
         assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.loops >= 1, "need at least one event loop");
+        assert!(config.max_inflight_per_conn >= 1, "max_inflight_per_conn must be at least 1");
         let input_len: usize = input_dims.iter().product();
         assert!(input_len > 0, "input_dims must describe a non-empty example");
 
@@ -292,16 +427,46 @@ impl Server {
             })
             .collect();
 
-        let conns: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
-        let acceptor = {
-            let running = Arc::clone(&running);
-            let conns = Arc::clone(&conns);
-            let req_tx = req_tx.clone();
-            let depth = Arc::clone(&depth);
-            let slow_us = config.slow_us;
-            std::thread::spawn(move || {
-                acceptor_loop(&listener, &running, req_tx, &conns, input_len, &depth, slow_us)
-            })
+        let front = match config.front_end.resolve() {
+            FrontEnd::EventLoop => {
+                let max_conns = config.max_conns.unwrap_or(DEFAULT_MAX_CONNS_EVENT_LOOP);
+                let loop_cfg = LoopConfig {
+                    input_len,
+                    max_inflight: config.max_inflight_per_conn,
+                    // The cap is per loop; split the budget across loops so
+                    // the process-wide total honors the config.
+                    max_conns: max_conns.div_ceil(config.loops),
+                    slow_us: config.slow_us,
+                };
+                let (loops, shareds) = event_loop::spawn(
+                    listener,
+                    config.loops,
+                    loop_cfg,
+                    Arc::clone(&running),
+                    req_tx.clone(),
+                    Arc::clone(&depth),
+                    Arc::new(AtomicUsize::new(0)),
+                )?;
+                FrontHandles::EventLoop { loops, shareds }
+            }
+            FrontEnd::Threaded => {
+                let conns: Arc<Mutex<Vec<ConnSlot>>> = Arc::new(Mutex::new(Vec::new()));
+                let max_conns = config.max_conns.unwrap_or(DEFAULT_MAX_CONNS_THREADED);
+                let acceptor = {
+                    let running = Arc::clone(&running);
+                    let conns = Arc::clone(&conns);
+                    let req_tx = req_tx.clone();
+                    let depth = Arc::clone(&depth);
+                    let slow_us = config.slow_us;
+                    std::thread::spawn(move || {
+                        acceptor_loop(
+                            &listener, &running, req_tx, &conns, input_len, &depth, slow_us,
+                            max_conns,
+                        )
+                    })
+                };
+                FrontHandles::Threaded { acceptor: Some(acceptor), conns }
+            }
         };
 
         Ok(Server {
@@ -309,10 +474,9 @@ impl Server {
             admin_addr,
             running,
             req_tx: Some(req_tx),
-            acceptor: Some(acceptor),
+            front,
             batcher: Some(batcher),
             workers,
-            conns,
             admin: admin_handle,
         })
     }
@@ -330,29 +494,51 @@ impl Server {
     }
 
     /// Graceful shutdown: stops accepting, answers every request already
-    /// admitted to the queue, then joins every thread.
+    /// admitted (tagged in-flight pipelines included), then joins every
+    /// thread.
     pub fn shutdown(mut self) {
         self.drain();
     }
 
     fn drain(&mut self) {
-        let Some(acceptor) = self.acceptor.take() else { return };
-        self.running.store(false, Ordering::SeqCst);
-        // Unblock the acceptor; refused is fine — it means the acceptor
-        // already exited on a late real connection.
-        let _ = TcpStream::connect(self.addr);
-        let _ = acceptor.join();
-        // Nudge idle connections off their blocking reads; threads mid
-        // request still receive and write their reply first, because the
-        // batcher and workers below outlive the connection joins.
-        let conns = std::mem::take(&mut *self.conns.lock().unwrap());
-        for (stream, _) in &conns {
-            if let Some(s) = stream {
-                let _ = s.shutdown(Shutdown::Read);
+        match &mut self.front {
+            FrontHandles::Threaded { acceptor, conns } => {
+                let Some(acceptor) = acceptor.take() else { return };
+                self.running.store(false, Ordering::SeqCst);
+                // Unblock the acceptor; refused is fine — it means the
+                // acceptor already exited on a late real connection.
+                let _ = TcpStream::connect(self.addr);
+                let _ = acceptor.join();
+                // Nudge idle connections off their blocking reads; threads
+                // mid request still receive and write their reply first,
+                // because the batcher and workers below outlive the
+                // connection joins.
+                let conns = std::mem::take(&mut *conns.lock().unwrap());
+                for (stream, _) in &conns {
+                    if let Some(s) = stream {
+                        let _ = s.shutdown(Shutdown::Read);
+                    }
+                }
+                for (_, handle) in conns {
+                    let _ = handle.join();
+                }
             }
-        }
-        for (_, handle) in conns {
-            let _ = handle.join();
+            FrontHandles::EventLoop { loops, shareds } => {
+                if loops.is_empty() {
+                    return;
+                }
+                self.running.store(false, Ordering::SeqCst);
+                // Wake every loop; each stops parsing, answers its
+                // in-flight requests (workers below are still running),
+                // flushes, and exits.
+                for s in shareds.iter() {
+                    s.wake();
+                }
+                for h in loops.drain(..) {
+                    let _ = h.join();
+                }
+                shareds.clear();
+            }
         }
         // All producers are gone: the batcher drains the queue, flushes the
         // final partial batch, and hangs up on the workers.
@@ -386,10 +572,18 @@ impl std::fmt::Debug for Server {
             .field("addr", &self.addr)
             .field("admin_addr", &self.admin_addr)
             .field("running", &self.running.load(Ordering::Relaxed))
+            .field(
+                "front_end",
+                match &self.front {
+                    FrontHandles::Threaded { .. } => &FrontEnd::Threaded,
+                    FrontHandles::EventLoop { .. } => &FrontEnd::EventLoop,
+                },
+            )
             .finish()
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn acceptor_loop(
     listener: &TcpListener,
     running: &AtomicBool,
@@ -398,7 +592,9 @@ fn acceptor_loop(
     input_len: usize,
     depth: &Arc<AtomicUsize>,
     slow_us: Option<u64>,
+    max_conns: usize,
 ) {
+    let active = Arc::new(AtomicUsize::new(0));
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -415,10 +611,25 @@ fn acceptor_loop(
             let mut stream = stream;
             let _ = protocol::write_error_reply(
                 &mut stream,
+                None,
                 Status::ShuttingDown,
                 "server shutting down",
             );
             break;
+        }
+        if active.load(Ordering::Relaxed) >= max_conns {
+            // Every connection costs a blocking thread here: refuse past
+            // the cap instead of degrading the whole process.
+            qsnc_telemetry::counter_add("serve.conn.refused", 1);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = protocol::write_error_reply(
+                &mut stream,
+                None,
+                Status::Busy,
+                "connection limit reached: retry later",
+            );
+            continue;
         }
         qsnc_telemetry::counter_add("serve.connections", 1);
         let _ = stream.set_nodelay(true);
@@ -428,8 +639,12 @@ fn acceptor_loop(
         let read_half = stream.try_clone().ok();
         let tx = req_tx.clone();
         let d = Arc::clone(depth);
-        let handle =
-            std::thread::spawn(move || connection_loop(stream, input_len, &tx, &d, slow_us));
+        active.fetch_add(1, Ordering::Relaxed);
+        let active_thread = Arc::clone(&active);
+        let handle = std::thread::spawn(move || {
+            connection_loop(stream, input_len, &tx, &d, slow_us);
+            active_thread.fetch_sub(1, Ordering::Relaxed);
+        });
         conns.lock().unwrap().push((read_half, handle));
     }
 }
@@ -449,17 +664,19 @@ fn connection_loop(
         let read = if tele {
             protocol::read_request_traced(&mut stream, input_len, &mut input)
         } else {
-            protocol::read_request(&mut stream, input_len, &mut input).map(|()| 0)
+            protocol::read_request(&mut stream, input_len, &mut input)
         };
         match read {
-            Ok(decode_us) => {
-                let id = if tele { NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed) } else { 0 };
+            Ok(meta) => {
+                let id = if tele { next_request_id() } else { 0 };
                 let (reply_tx, reply_rx) = mpsc::channel::<WorkerReply>();
                 let admitted = Instant::now();
                 let req = Request {
                     input: std::mem::take(&mut input),
-                    reply_tx,
+                    route: ReplyRoute::Thread(reply_tx),
                     enqueued: admitted,
+                    decode_us: meta.decode_us,
+                    id,
                 };
                 // Count before sending so the batcher's decrement can never
                 // observe the admission before the gauge does.
@@ -470,7 +687,7 @@ fn connection_loop(
                             qsnc_telemetry::counter_add("serve.requests", 1);
                             qsnc_telemetry::quantile_observe(
                                 "serve.stage.decode.us",
-                                decode_us as f64,
+                                meta.decode_us as f64,
                             );
                             qsnc_telemetry::observe(
                                 "serve.queue.depth",
@@ -483,6 +700,7 @@ fn connection_loop(
                                 let t_encode = tele.then(Instant::now);
                                 if protocol::write_ok_reply(
                                     &mut stream,
+                                    meta.tag,
                                     reply.argmax,
                                     &reply.logits,
                                 )
@@ -506,7 +724,7 @@ fn connection_loop(
                                             "serve.slow",
                                             id,
                                             &[
-                                                ("decode_us", decode_us),
+                                                ("decode_us", meta.decode_us),
                                                 ("queue_us", reply.queue_us),
                                                 ("infer_us", reply.infer_us),
                                                 ("encode_us", encode_us),
@@ -522,6 +740,7 @@ fn connection_loop(
                                 // teardown): tell the client and bail.
                                 let _ = protocol::write_error_reply(
                                     &mut stream,
+                                    meta.tag,
                                     Status::ShuttingDown,
                                     "server draining",
                                 );
@@ -535,6 +754,7 @@ fn connection_loop(
                         qsnc_telemetry::counter_add("serve.rejected", 1);
                         if protocol::write_error_reply(
                             &mut stream,
+                            meta.tag,
                             Status::Busy,
                             "request queue full (backpressure): retry",
                         )
@@ -548,6 +768,7 @@ fn connection_loop(
                         drop(req);
                         let _ = protocol::write_error_reply(
                             &mut stream,
+                            meta.tag,
                             Status::ShuttingDown,
                             "server shutting down",
                         );
@@ -557,13 +778,15 @@ fn connection_loop(
             }
             Err(protocol::FrameError::Bad(msg)) => {
                 qsnc_telemetry::counter_add("serve.bad_requests", 1);
-                if protocol::write_error_reply(&mut stream, Status::BadRequest, &msg).is_err() {
+                if protocol::write_error_reply(&mut stream, None, Status::BadRequest, &msg)
+                    .is_err()
+                {
                     break;
                 }
             }
             Err(protocol::FrameError::Fatal(msg)) => {
                 qsnc_telemetry::counter_add("serve.bad_requests", 1);
-                let _ = protocol::write_error_reply(&mut stream, Status::BadRequest, &msg);
+                let _ = protocol::write_error_reply(&mut stream, None, Status::BadRequest, &msg);
                 break;
             }
             Err(protocol::FrameError::Disconnected) | Err(protocol::FrameError::Io(_)) => break,
@@ -621,15 +844,25 @@ fn worker_loop(
             if tele {
                 qsnc_telemetry::quantile_observe("serve.stage.queue.us", queue_us as f64);
             }
-            // A send error means the client hung up mid-request; the
-            // connection thread already noticed, nothing to do.
-            let _ = req.reply_tx.send(WorkerReply {
-                argmax,
-                logits,
-                queue_us,
-                infer_us,
-                batch: b as u32,
-            });
+            let reply = WorkerReply { argmax, logits, queue_us, infer_us, batch: b as u32 };
+            match req.route {
+                // A send error means the client hung up mid-request; the
+                // connection thread already noticed, nothing to do.
+                ReplyRoute::Thread(tx) => {
+                    let _ = tx.send(reply);
+                }
+                // The loop drops the completion itself if the connection
+                // died first (generation mismatch).
+                ReplyRoute::Loop { shared, conn, generation, tag } => shared.complete(Completion {
+                    conn,
+                    generation,
+                    tag,
+                    reply,
+                    enqueued: req.enqueued,
+                    decode_us: req.decode_us,
+                    id: req.id,
+                }),
+            }
         }
     }
 }

@@ -1,6 +1,6 @@
-//! Length-prefixed binary wire protocol.
+//! Length-prefixed binary wire protocol, versions 1 and 2.
 //!
-//! Every frame — request or reply — starts with the same 10-byte header:
+//! **Version 1** — one request in flight per connection, untagged frames:
 //!
 //! ```text
 //! offset  size  field
@@ -10,6 +10,32 @@
 //! 6       4     payload length in bytes, little-endian
 //! 10      len   payload
 //! ```
+//!
+//! **Version 2** — connection multiplexing: every frame carries a 32-bit
+//! request **tag** chosen by the client, many requests may be in flight on
+//! one connection, and replies return tagged — possibly out of order. The
+//! reply to the request tagged `t` is the reply frame tagged `t`,
+//! whatever order the server finishes in:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic   = 0x434E5351
+//! 4       1     version = 2
+//! 5       1     request: op (0 = infer) / reply: status code
+//! 6       4     tag, little-endian (echoed verbatim in the reply)
+//! 10      4     payload length in bytes, little-endian
+//! 14      len   payload
+//! ```
+//!
+//! Both versions interleave freely on one connection. A v1 frame gates
+//! further parsing until its reply is written (its reply is only
+//! identifiable by arrival order), so lockstep v1 clients keep their exact
+//! PR 4 semantics; v2 frames pipeline up to the server's per-connection
+//! in-flight cap (`QSNC_SERVE_MAX_INFLIGHT_PER_CONN`), beyond which the
+//! server answers [`Status::Busy`] with the offending tag. A tag may be
+//! reused after its reply arrives; two live requests with the same tag on
+//! one connection are answered [`Status::BadRequest`] (the reply would be
+//! unroutable).
 //!
 //! An infer request's payload is the example as little-endian `f32`s and
 //! must be exactly `4 · input_len` bytes for the model being served. An
@@ -25,8 +51,11 @@ use std::time::Instant;
 /// Frame magic: the bytes `QSNC` read as a little-endian `u32`.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"QSNC");
 
-/// Protocol version this build speaks.
+/// Protocol version 1: untagged lockstep frames.
 pub const VERSION: u8 = 1;
+
+/// Protocol version 2: tagged multiplexed frames.
+pub const VERSION_V2: u8 = 2;
 
 /// Request opcode: run inference on one example.
 pub const OP_INFER: u8 = 0;
@@ -34,15 +63,19 @@ pub const OP_INFER: u8 = 0;
 /// Upper bound on a frame payload; anything larger is rejected unread.
 pub const MAX_FRAME_BYTES: u32 = 4 << 20;
 
-/// Bytes in the fixed frame header.
+/// Bytes in the fixed v1 frame header.
 pub const HEADER_BYTES: usize = 10;
+
+/// Bytes in the fixed v2 frame header (v1 plus the tag field).
+pub const HEADER_V2_BYTES: usize = 14;
 
 /// Reply status codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Status {
     /// Inference ran; payload carries argmax + logits.
     Ok,
-    /// The bounded request queue was full — retry later (backpressure).
+    /// Backpressure — the bounded request queue or the connection's
+    /// in-flight budget was full; retry later.
     Busy,
     /// The request was malformed; payload carries a message.
     BadRequest,
@@ -76,6 +109,8 @@ impl Status {
 pub struct Reply {
     /// Outcome of the request.
     pub status: Status,
+    /// The request tag this reply answers (`None` for v1 frames).
+    pub tag: Option<u32>,
     /// Index of the largest logit (valid when `status` is [`Status::Ok`]).
     pub argmax: u32,
     /// Class logits (empty unless `status` is [`Status::Ok`]).
@@ -98,6 +133,94 @@ pub enum FrameError {
     Io(io::Error),
 }
 
+/// Everything the server needs to know about one well-framed request
+/// beyond its payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestMeta {
+    /// The client's tag (`None` for a v1 frame). The reply must carry the
+    /// same tag in the same protocol version.
+    pub tag: Option<u32>,
+    /// Microseconds spent reading + parsing the payload after the header
+    /// arrived (zero on the untraced path).
+    pub decode_us: u64,
+}
+
+/// Outcome of [`parse_frame`] on a byte buffer that may hold a partial
+/// frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameView {
+    /// Protocol version of the frame (1 or 2).
+    pub version: u8,
+    /// Request opcode byte.
+    pub op: u8,
+    /// Tag for v2 frames, `None` for v1.
+    pub tag: Option<u32>,
+    /// Byte offset of the payload within the parsed buffer.
+    pub payload_start: usize,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// Total frame size in bytes — advance the buffer by this much.
+    pub consumed: usize,
+}
+
+/// Incremental server-side parser for the non-blocking front end: examines
+/// the start of `buf` and returns `Ok(None)` when more bytes are needed,
+/// `Ok(Some(view))` when a complete frame (of either version) is present,
+/// or a [`FrameError::Fatal`] when the stream cannot be resynchronized
+/// (bad magic, unknown version, oversized declaration). Opcode and
+/// payload-length validation against the served model is the caller's job
+/// — those are [`FrameError::Bad`]-class errors that consume the frame
+/// and keep the connection.
+pub fn parse_frame(buf: &[u8]) -> Result<Option<FrameView>, FrameError> {
+    if buf.len() < HEADER_BYTES {
+        return Ok(None);
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(FrameError::Fatal(format!(
+            "bad magic 0x{magic:08x} (expected 0x{MAGIC:08x})"
+        )));
+    }
+    let version = buf[4];
+    let op = buf[5];
+    let (tag, len, header) = match version {
+        VERSION => {
+            let len = u32::from_le_bytes(buf[6..10].try_into().unwrap());
+            (None, len, HEADER_BYTES)
+        }
+        VERSION_V2 => {
+            if buf.len() < HEADER_V2_BYTES {
+                return Ok(None);
+            }
+            let tag = u32::from_le_bytes(buf[6..10].try_into().unwrap());
+            let len = u32::from_le_bytes(buf[10..14].try_into().unwrap());
+            (Some(tag), len, HEADER_V2_BYTES)
+        }
+        other => {
+            return Err(FrameError::Fatal(format!(
+                "unsupported protocol version {other} (expected {VERSION} or {VERSION_V2})"
+            )));
+        }
+    };
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Fatal(format!(
+            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )));
+    }
+    let total = header + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some(FrameView {
+        version,
+        op,
+        tag,
+        payload_start: header,
+        payload_len: len as usize,
+        consumed: total,
+    }))
+}
+
 fn read_exact_or_disconnect(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
     match r.read_exact(buf) {
         Ok(()) => Ok(()),
@@ -106,20 +229,21 @@ fn read_exact_or_disconnect(r: &mut impl Read, buf: &mut [u8]) -> Result<(), Fra
     }
 }
 
-/// Server side: reads one infer request, validating framing and that the
-/// payload holds exactly `input_len` `f32`s, which are appended to `input`
-/// (cleared first). Payload bytes stage through the thread's
+/// Server side (blocking, threaded front end): reads one infer request of
+/// either protocol version, validating framing and that the payload holds
+/// exactly `input_len` `f32`s, which are appended to `input` (cleared
+/// first). Payload bytes stage through the thread's
 /// [`qsnc_tensor::scratch`] arena, so a persistent connection thread reads
 /// allocation-free once warm.
 pub fn read_request(
     r: &mut impl Read,
     input_len: usize,
     input: &mut Vec<f32>,
-) -> Result<(), FrameError> {
-    read_request_inner(r, input_len, input, false).map(|_| ())
+) -> Result<RequestMeta, FrameError> {
+    read_request_inner(r, input_len, input, false)
 }
 
-/// [`read_request`] plus decode timing: on success returns the
+/// [`read_request`] plus decode timing: on success `decode_us` holds the
 /// microseconds spent reading and parsing the payload *after* the header
 /// arrived. Header wait is excluded on purpose — on a keep-alive
 /// connection it is idle time between requests, not decode work. The
@@ -129,7 +253,7 @@ pub fn read_request_traced(
     r: &mut impl Read,
     input_len: usize,
     input: &mut Vec<f32>,
-) -> Result<u64, FrameError> {
+) -> Result<RequestMeta, FrameError> {
     read_request_inner(r, input_len, input, true)
 }
 
@@ -138,7 +262,7 @@ fn read_request_inner(
     input_len: usize,
     input: &mut Vec<f32>,
     timed: bool,
-) -> Result<u64, FrameError> {
+) -> Result<RequestMeta, FrameError> {
     let mut header = [0u8; HEADER_BYTES];
     read_exact_or_disconnect(r, &mut header)?;
     let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
@@ -147,101 +271,200 @@ fn read_request_inner(
             "bad magic 0x{magic:08x} (expected 0x{MAGIC:08x})"
         )));
     }
-    if header[4] != VERSION {
-        return Err(FrameError::Fatal(format!(
-            "unsupported protocol version {} (expected {VERSION})",
-            header[4]
-        )));
-    }
+    let version = header[4];
     let op = header[5];
-    let len = u32::from_le_bytes(header[6..10].try_into().unwrap());
+    let t0 = timed.then(Instant::now);
+    let (tag, len) = match version {
+        VERSION => (None, u32::from_le_bytes(header[6..10].try_into().unwrap())),
+        VERSION_V2 => {
+            let tag = u32::from_le_bytes(header[6..10].try_into().unwrap());
+            let mut rest = [0u8; 4];
+            read_exact_or_disconnect(r, &mut rest)?;
+            (Some(tag), u32::from_le_bytes(rest))
+        }
+        other => {
+            return Err(FrameError::Fatal(format!(
+                "unsupported protocol version {other} (expected {VERSION} or {VERSION_V2})"
+            )));
+        }
+    };
     if len > MAX_FRAME_BYTES {
         return Err(FrameError::Fatal(format!(
             "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
         )));
     }
-    let t0 = timed.then(Instant::now);
     // From here the payload length is trusted: consume it fully so the
     // stream stays framed even when the request is rejected.
     let mut payload = qsnc_tensor::scratch::take_u8(len as usize);
     let read = read_exact_or_disconnect(r, &mut payload);
     let result = read.and_then(|()| {
-        if op != OP_INFER {
-            return Err(FrameError::Bad(format!("unknown opcode {op}")));
-        }
-        if payload.len() != 4 * input_len {
-            return Err(FrameError::Bad(format!(
-                "payload is {} bytes, model expects {} ({} f32 values)",
-                payload.len(),
-                4 * input_len,
-                input_len
-            )));
-        }
-        input.clear();
-        input.extend(
-            payload
-                .chunks_exact(4)
-                .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
-        );
-        Ok(t0.map_or(0, |t| t.elapsed().as_micros() as u64))
+        decode_infer_payload(op, &payload, input_len, input)?;
+        Ok(RequestMeta { tag, decode_us: t0.map_or(0, |t| t.elapsed().as_micros() as u64) })
     });
     qsnc_tensor::scratch::put_u8(payload);
     result
 }
 
-fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
-    let mut frame = qsnc_tensor::scratch::take_u8(HEADER_BYTES + payload.len());
-    frame[0..4].copy_from_slice(&MAGIC.to_le_bytes());
-    frame[4] = VERSION;
-    frame[5] = kind;
-    frame[6..10].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-    frame[HEADER_BYTES..].copy_from_slice(payload);
+/// Validates an infer payload and decodes it into `input` (cleared first).
+/// Returns [`FrameError::Bad`] — frame consumed, connection keeps going —
+/// on an unknown opcode or a payload that does not match the model.
+pub fn decode_infer_payload(
+    op: u8,
+    payload: &[u8],
+    input_len: usize,
+    input: &mut Vec<f32>,
+) -> Result<(), FrameError> {
+    if op != OP_INFER {
+        return Err(FrameError::Bad(format!("unknown opcode {op}")));
+    }
+    if payload.len() != 4 * input_len {
+        return Err(FrameError::Bad(format!(
+            "payload is {} bytes, model expects {} ({} f32 values)",
+            payload.len(),
+            4 * input_len,
+            input_len
+        )));
+    }
+    input.clear();
+    input.extend(payload.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())));
+    Ok(())
+}
+
+/// Appends a frame header (of the version implied by `tag`) + payload
+/// length to `out`, returning the offset where the payload begins.
+fn encode_header(out: &mut Vec<u8>, kind: u8, tag: Option<u32>, payload_len: usize) {
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    match tag {
+        None => {
+            out.push(VERSION);
+            out.push(kind);
+        }
+        Some(tag) => {
+            out.push(VERSION_V2);
+            out.push(kind);
+            out.extend_from_slice(&tag.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+/// Appends a complete [`Status::Ok`] reply frame to `out` — v1 when `tag`
+/// is `None`, v2 carrying `tag` otherwise. The event-loop front end
+/// encodes replies straight into per-connection output buffers with this.
+pub fn encode_ok_reply(out: &mut Vec<u8>, tag: Option<u32>, argmax: u32, logits: &[f32]) {
+    encode_header(out, Status::Ok.code(), tag, 8 + 4 * logits.len());
+    out.extend_from_slice(&argmax.to_le_bytes());
+    out.extend_from_slice(&(logits.len() as u32).to_le_bytes());
+    for v in logits {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Appends a complete error reply frame to `out` — v1 when `tag` is
+/// `None`, v2 carrying `tag` otherwise.
+pub fn encode_error_reply(out: &mut Vec<u8>, tag: Option<u32>, status: Status, message: &str) {
+    debug_assert_ne!(status, Status::Ok, "error replies carry non-Ok statuses");
+    encode_header(out, status.code(), tag, message.len());
+    out.extend_from_slice(message.as_bytes());
+}
+
+/// Bytes in the header of a frame of the version implied by `tag`.
+fn header_len(tag: Option<u32>) -> usize {
+    if tag.is_some() {
+        HEADER_V2_BYTES
+    } else {
+        HEADER_BYTES
+    }
+}
+
+/// Stages one frame of exactly `size` bytes through the thread's scratch
+/// arena so persistent blocking writers stay allocation-free once warm:
+/// the borrowed buffer's capacity covers `size`, so the appending encoders
+/// never grow it.
+fn write_encoded(
+    w: &mut impl Write,
+    size: usize,
+    encode: impl FnOnce(&mut Vec<u8>),
+) -> io::Result<()> {
+    let mut frame = qsnc_tensor::scratch::take_u8(size);
+    frame.clear();
+    encode(&mut frame);
+    debug_assert_eq!(frame.len(), size, "encoder produced a different frame size");
     let result = w.write_all(&frame).and_then(|()| w.flush());
     qsnc_tensor::scratch::put_u8(frame);
     result
 }
 
-/// Client side: writes one infer request frame.
+/// Client side: writes one v1 (untagged, lockstep) infer request frame.
 pub fn write_request(w: &mut impl Write, input: &[f32]) -> io::Result<()> {
-    let mut payload = qsnc_tensor::scratch::take_u8(4 * input.len());
-    for (chunk, v) in payload.chunks_exact_mut(4).zip(input) {
-        chunk.copy_from_slice(&v.to_le_bytes());
-    }
-    let result = write_frame(w, OP_INFER, &payload);
-    qsnc_tensor::scratch::put_u8(payload);
-    result
+    write_encoded(w, HEADER_BYTES + 4 * input.len(), |frame| {
+        encode_header(frame, OP_INFER, None, 4 * input.len());
+        for v in input {
+            frame.extend_from_slice(&v.to_le_bytes());
+        }
+    })
 }
 
-/// Server side: writes an [`Status::Ok`] reply with argmax + logits.
-pub fn write_ok_reply(w: &mut impl Write, argmax: u32, logits: &[f32]) -> io::Result<()> {
-    let mut payload = qsnc_tensor::scratch::take_u8(8 + 4 * logits.len());
-    payload[0..4].copy_from_slice(&argmax.to_le_bytes());
-    payload[4..8].copy_from_slice(&(logits.len() as u32).to_le_bytes());
-    for (chunk, v) in payload[8..].chunks_exact_mut(4).zip(logits) {
-        chunk.copy_from_slice(&v.to_le_bytes());
-    }
-    let result = write_frame(w, Status::Ok.code(), &payload);
-    qsnc_tensor::scratch::put_u8(payload);
-    result
+/// Client side: writes one v2 infer request frame tagged `tag`. Many may
+/// be written back to back on one connection (up to the server's
+/// per-connection in-flight cap); match replies to requests by tag, not
+/// by order.
+pub fn write_request_tagged(w: &mut impl Write, tag: u32, input: &[f32]) -> io::Result<()> {
+    write_encoded(w, HEADER_V2_BYTES + 4 * input.len(), |frame| {
+        encode_header(frame, OP_INFER, Some(tag), 4 * input.len());
+        for v in input {
+            frame.extend_from_slice(&v.to_le_bytes());
+        }
+    })
 }
 
-/// Server side: writes an error reply carrying `message`.
-pub fn write_error_reply(w: &mut impl Write, status: Status, message: &str) -> io::Result<()> {
-    debug_assert_ne!(status, Status::Ok, "error replies carry non-Ok statuses");
-    write_frame(w, status.code(), message.as_bytes())
+/// Server side: writes an [`Status::Ok`] reply with argmax + logits — v1
+/// when `tag` is `None`, v2 otherwise.
+pub fn write_ok_reply(
+    w: &mut impl Write,
+    tag: Option<u32>,
+    argmax: u32,
+    logits: &[f32],
+) -> io::Result<()> {
+    write_encoded(w, header_len(tag) + 8 + 4 * logits.len(), |frame| {
+        encode_ok_reply(frame, tag, argmax, logits)
+    })
 }
 
-/// Client side: reads one reply frame.
+/// Server side: writes an error reply carrying `message` — v1 when `tag`
+/// is `None`, v2 otherwise.
+pub fn write_error_reply(
+    w: &mut impl Write,
+    tag: Option<u32>,
+    status: Status,
+    message: &str,
+) -> io::Result<()> {
+    write_encoded(w, header_len(tag) + message.len(), |frame| {
+        encode_error_reply(frame, tag, status, message)
+    })
+}
+
+/// Client side: reads one reply frame of either protocol version;
+/// [`Reply::tag`] is `Some` exactly when the reply is v2.
 pub fn read_reply(r: &mut impl Read) -> io::Result<Reply> {
     let mut header = [0u8; HEADER_BYTES];
     r.read_exact(&mut header)?;
     let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
-    if magic != MAGIC || header[4] != VERSION {
+    if magic != MAGIC {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad reply header"));
     }
     let status = Status::from_code(header[5])
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unknown status"))?;
-    let len = u32::from_le_bytes(header[6..10].try_into().unwrap());
+    let (tag, len) = match header[4] {
+        VERSION => (None, u32::from_le_bytes(header[6..10].try_into().unwrap())),
+        VERSION_V2 => {
+            let tag = u32::from_le_bytes(header[6..10].try_into().unwrap());
+            let mut rest = [0u8; 4];
+            r.read_exact(&mut rest)?;
+            (Some(tag), u32::from_le_bytes(rest))
+        }
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad reply header")),
+    };
     if len > MAX_FRAME_BYTES {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "oversized reply"));
     }
@@ -261,10 +484,11 @@ pub fn read_reply(r: &mut impl Read) -> io::Result<Reply> {
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
                 .collect();
-            Ok(Reply { status, argmax, logits, message: String::new() })
+            Ok(Reply { status, tag, argmax, logits, message: String::new() })
         }
         _ => Ok(Reply {
             status,
+            tag,
             argmax: 0,
             logits: Vec::new(),
             message: String::from_utf8_lossy(&payload).into_owned(),
@@ -283,8 +507,21 @@ mod tests {
         write_request(&mut wire, &input).unwrap();
         assert_eq!(wire.len(), HEADER_BYTES + 16);
         let mut decoded = Vec::new();
-        read_request(&mut wire.as_slice(), 4, &mut decoded).unwrap();
+        let meta = read_request(&mut wire.as_slice(), 4, &mut decoded).unwrap();
         assert_eq!(decoded, input);
+        assert_eq!(meta.tag, None);
+    }
+
+    #[test]
+    fn tagged_request_round_trip() {
+        let input = vec![1.0f32, -2.0];
+        let mut wire = Vec::new();
+        write_request_tagged(&mut wire, 0xDEAD_BEEF, &input).unwrap();
+        assert_eq!(wire.len(), HEADER_V2_BYTES + 8);
+        let mut decoded = Vec::new();
+        let meta = read_request(&mut wire.as_slice(), 2, &mut decoded).unwrap();
+        assert_eq!(decoded, input);
+        assert_eq!(meta.tag, Some(0xDEAD_BEEF));
     }
 
     #[test]
@@ -293,29 +530,35 @@ mod tests {
         let mut wire = Vec::new();
         write_request(&mut wire, &input).unwrap();
         let mut decoded = Vec::new();
-        let us = read_request_traced(&mut wire.as_slice(), 8, &mut decoded).unwrap();
+        let meta = read_request_traced(&mut wire.as_slice(), 8, &mut decoded).unwrap();
         assert_eq!(decoded, input);
-        assert!(us < 1_000_000, "decode of an in-memory frame took {us}µs");
+        assert!(meta.decode_us < 1_000_000, "decode took {}µs", meta.decode_us);
     }
 
     #[test]
-    fn ok_reply_round_trip() {
+    fn ok_reply_round_trip_both_versions() {
         let logits = vec![0.25f32, -0.5, 9.0];
-        let mut wire = Vec::new();
-        write_ok_reply(&mut wire, 2, &logits).unwrap();
-        let reply = read_reply(&mut wire.as_slice()).unwrap();
-        assert_eq!(reply.status, Status::Ok);
-        assert_eq!(reply.argmax, 2);
-        assert_eq!(reply.logits, logits);
+        for tag in [None, Some(7u32)] {
+            let mut wire = Vec::new();
+            write_ok_reply(&mut wire, tag, 2, &logits).unwrap();
+            let reply = read_reply(&mut wire.as_slice()).unwrap();
+            assert_eq!(reply.status, Status::Ok);
+            assert_eq!(reply.tag, tag);
+            assert_eq!(reply.argmax, 2);
+            assert_eq!(reply.logits, logits);
+        }
     }
 
     #[test]
-    fn error_reply_carries_message() {
-        let mut wire = Vec::new();
-        write_error_reply(&mut wire, Status::Busy, "queue full — retry").unwrap();
-        let reply = read_reply(&mut wire.as_slice()).unwrap();
-        assert_eq!(reply.status, Status::Busy);
-        assert_eq!(reply.message, "queue full — retry");
+    fn error_reply_carries_message_and_tag() {
+        for tag in [None, Some(41u32)] {
+            let mut wire = Vec::new();
+            write_error_reply(&mut wire, tag, Status::Busy, "queue full — retry").unwrap();
+            let reply = read_reply(&mut wire.as_slice()).unwrap();
+            assert_eq!(reply.status, Status::Busy);
+            assert_eq!(reply.tag, tag);
+            assert_eq!(reply.message, "queue full — retry");
+        }
     }
 
     #[test]
@@ -328,19 +571,32 @@ mod tests {
             Err(FrameError::Fatal(msg)) => assert!(msg.contains("magic"), "{msg}"),
             other => panic!("expected Fatal, got {other:?}"),
         }
+        match parse_frame(&wire) {
+            Err(FrameError::Fatal(msg)) => assert!(msg.contains("magic"), "{msg}"),
+            other => panic!("expected Fatal, got {other:?}"),
+        }
     }
 
     #[test]
     fn oversized_declaration_is_fatal_without_reading_payload() {
-        let mut wire = Vec::new();
-        wire.extend_from_slice(&MAGIC.to_le_bytes());
-        wire.push(VERSION);
-        wire.push(OP_INFER);
-        wire.extend_from_slice(&u32::MAX.to_le_bytes());
-        let mut buf = Vec::new();
-        match read_request(&mut wire.as_slice(), 1, &mut buf) {
-            Err(FrameError::Fatal(msg)) => assert!(msg.contains("cap"), "{msg}"),
-            other => panic!("expected Fatal, got {other:?}"),
+        for tag in [None, Some(3u32)] {
+            let mut wire = Vec::new();
+            wire.extend_from_slice(&MAGIC.to_le_bytes());
+            wire.push(if tag.is_some() { VERSION_V2 } else { VERSION });
+            wire.push(OP_INFER);
+            if let Some(t) = tag {
+                wire.extend_from_slice(&t.to_le_bytes());
+            }
+            wire.extend_from_slice(&u32::MAX.to_le_bytes());
+            let mut buf = Vec::new();
+            match read_request(&mut wire.as_slice(), 1, &mut buf) {
+                Err(FrameError::Fatal(msg)) => assert!(msg.contains("cap"), "{msg}"),
+                other => panic!("expected Fatal, got {other:?}"),
+            }
+            match parse_frame(&wire) {
+                Err(FrameError::Fatal(msg)) => assert!(msg.contains("cap"), "{msg}"),
+                other => panic!("expected Fatal, got {other:?}"),
+            }
         }
     }
 
@@ -370,6 +626,63 @@ mod tests {
         assert!(matches!(
             read_request(&mut [0x51u8, 0x53].as_slice(), 2, &mut buf),
             Err(FrameError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn incremental_parser_needs_exactly_the_full_frame() {
+        let input = vec![0.5f32; 4];
+        let mut wire = Vec::new();
+        write_request_tagged(&mut wire, 9, &input).unwrap();
+        // Every strict prefix: NeedMore, never an error.
+        for cut in 0..wire.len() {
+            assert!(
+                matches!(parse_frame(&wire[..cut]), Ok(None)),
+                "prefix of {cut} bytes must ask for more"
+            );
+        }
+        let view = parse_frame(&wire).unwrap().expect("complete frame");
+        assert_eq!(view.version, VERSION_V2);
+        assert_eq!(view.tag, Some(9));
+        assert_eq!(view.consumed, wire.len());
+        assert_eq!(view.payload_len, 16);
+        let mut decoded = Vec::new();
+        decode_infer_payload(
+            view.op,
+            &wire[view.payload_start..view.payload_start + view.payload_len],
+            4,
+            &mut decoded,
+        )
+        .unwrap();
+        assert_eq!(decoded, input);
+    }
+
+    #[test]
+    fn incremental_parser_walks_interleaved_versions() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &[1.0]).unwrap();
+        write_request_tagged(&mut wire, 5, &[2.0]).unwrap();
+        write_request(&mut wire, &[3.0]).unwrap();
+        let mut at = 0;
+        let mut tags = Vec::new();
+        while let Some(view) = parse_frame(&wire[at..]).unwrap() {
+            tags.push(view.tag);
+            at += view.consumed;
+        }
+        assert_eq!(at, wire.len());
+        assert_eq!(tags, vec![None, Some(5), None]);
+    }
+
+    #[test]
+    fn unknown_version_is_fatal() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, &[1.0]).unwrap();
+        wire[4] = 3;
+        assert!(matches!(parse_frame(&wire), Err(FrameError::Fatal(_))));
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_request(&mut wire.as_slice(), 1, &mut buf),
+            Err(FrameError::Fatal(_))
         ));
     }
 }

@@ -315,6 +315,49 @@ fn admin_speaks_enough_http() {
 }
 
 #[test]
+fn stalled_scraper_does_not_delay_the_next_metrics_poll() {
+    let _guard = TelemetryGuard::recording();
+    let snn = served_network(67);
+    let server =
+        Server::spawn(Arc::clone(&snn), &INPUT_DIMS, "127.0.0.1:0", admin_config()).expect("spawn");
+    let admin = server.admin_local_addr().expect("admin plane is configured");
+
+    // Stalled scrapers: connections that send a partial request (or
+    // nothing at all) and then just sit there. Before handler threads,
+    // each of these held the single-threaded listener for the full
+    // read-timeout, serializing every later poll behind it.
+    let mut stallers = Vec::new();
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(admin).expect("staller connect");
+        stream.write_all(b"GET /metrics HTTP/1.1\r\n").expect("partial request");
+        stallers.push(stream); // held open, never finished
+    }
+
+    // A well-behaved scrape right behind them must answer promptly —
+    // far sooner than even one staller's timeout, let alone three.
+    let t0 = std::time::Instant::now();
+    let (status, body) = http_get(admin, "/metrics");
+    let elapsed = t0.elapsed();
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    assert!(!body.is_empty());
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "scrape stuck {elapsed:?} behind stalled connections"
+    );
+
+    // Cursored scrapes still work (cursor state is now shared across
+    // handler threads) while the stallers are still parked.
+    let (_, baseline) = http_get(admin, "/snapshot?cursor=stall");
+    Snapshot::from_json(&baseline).expect("cursor baseline parses");
+    let (_, delta) = http_get(admin, "/snapshot?cursor=stall");
+    let delta = Snapshot::from_json(&delta).expect("cursor delta parses");
+    assert_eq!(delta.counter("serve.requests"), None, "empty window has no serve.requests");
+
+    drop(stallers);
+    server.shutdown();
+}
+
+#[test]
 fn spawn_with_admin_enables_recording() {
     let _guard = TelemetryGuard::off();
     let snn = served_network(59);

@@ -56,6 +56,13 @@ fn reference_logits(snn: &SpikingNetwork, input: &[f32]) -> Vec<f32> {
     snn.infer_reference(&x).as_slice().to_vec()
 }
 
+/// Production defaults, except the front end follows `QSNC_SERVE_FRONT_END`
+/// so CI can run this whole v1 suite against both the event-loop and the
+/// threaded architectures.
+fn base() -> ServeConfig {
+    ServeConfig { front_end: ServeConfig::from_env().front_end, ..ServeConfig::default() }
+}
+
 fn connect(server: &Server) -> TcpStream {
     let stream = TcpStream::connect(server.local_addr()).expect("connect");
     stream
@@ -76,7 +83,7 @@ fn replies_bit_identical_to_reference_under_concurrency() {
         Arc::clone(&snn),
         &INPUT_DIMS,
         "127.0.0.1:0",
-        ServeConfig { max_batch: 4, max_delay_us: 500, ..ServeConfig::default() },
+        ServeConfig { max_batch: 4, max_delay_us: 500, ..base() },
     )
     .expect("spawn");
 
@@ -133,7 +140,7 @@ fn sequential_singles_are_bit_identical_too() {
         Arc::clone(&snn),
         &INPUT_DIMS,
         "127.0.0.1:0",
-        ServeConfig { max_batch: 8, max_delay_us: 100, ..ServeConfig::default() },
+        ServeConfig { max_batch: 8, max_delay_us: 100, ..base() },
     )
     .expect("spawn");
     let mut stream = connect(&server);
@@ -157,7 +164,7 @@ fn malformed_frames_get_error_replies_not_panics() {
         Arc::clone(&snn),
         &INPUT_DIMS,
         "127.0.0.1:0",
-        ServeConfig::default(),
+        base(),
     )
     .expect("spawn");
 
@@ -228,7 +235,7 @@ fn mid_request_disconnect_does_not_kill_the_server() {
         Arc::clone(&snn),
         &INPUT_DIMS,
         "127.0.0.1:0",
-        ServeConfig::default(),
+        base(),
     )
     .expect("spawn");
 
@@ -269,7 +276,7 @@ fn overload_answers_ok_or_busy_and_recovers() {
         Arc::clone(&snn),
         &INPUT_DIMS,
         "127.0.0.1:0",
-        ServeConfig { max_batch: 2, max_delay_us: 50, queue_cap: 2, workers: 1, ..ServeConfig::default() },
+        ServeConfig { max_batch: 2, max_delay_us: 50, queue_cap: 2, workers: 1, ..base() },
     )
     .expect("spawn");
 
@@ -322,7 +329,7 @@ fn shutdown_drains_and_then_refuses() {
         Arc::clone(&snn),
         &INPUT_DIMS,
         "127.0.0.1:0",
-        ServeConfig::default(),
+        base(),
     )
     .expect("spawn");
     let addr = server.local_addr();
@@ -358,7 +365,7 @@ fn idle_server_drops_cleanly() {
         Arc::clone(&snn),
         &INPUT_DIMS,
         "127.0.0.1:0",
-        ServeConfig::default(),
+        base(),
     )
     .expect("spawn");
     let _idle_a = connect(&server);

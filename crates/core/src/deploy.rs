@@ -41,6 +41,41 @@ pub fn deploy_to_snc_reliable(
     SpikingNetwork::compile(net, &config, rng)
 }
 
+/// Freezes a deployed network into a versioned `.qsnca` artifact —
+/// the deploy-side half of the serving cold-start story. The artifact
+/// carries the compiled integer fast path (packed codes, scales,
+/// precomputed IFC threshold tables), the crossbar tile map, and a
+/// provenance record tying it back to the checkpoint digest and
+/// quantization config it was built from. Serve workers reload it with
+/// [`qsnc_memristor::load_artifact`] (or
+/// `qsnc_serve::Server::spawn_from_artifact`) without touching the
+/// training stack.
+///
+/// `checkpoint_digest` should be [`qsnc_nn::checkpoint_digest`] over the
+/// exact checkpoint bytes the network was restored from (0 when the
+/// network was trained in-process).
+///
+/// # Errors
+///
+/// [`qsnc_memristor::ArtifactError::NotCompiled`] when the network has no
+/// integer fast path (noisy or fault-active deployments), plus the write
+/// errors of [`qsnc_memristor::save_artifact`].
+pub fn export_artifact(
+    snn: &SpikingNetwork,
+    kind: qsnc_nn::ModelKind,
+    quant: &QuantConfig,
+    checkpoint_digest: u64,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), qsnc_memristor::ArtifactError> {
+    let provenance = qsnc_memristor::Provenance {
+        checkpoint_digest,
+        weight_bits: quant.weight_bits,
+        activation_bits: quant.activation_bits,
+        model: kind.to_string(),
+    };
+    qsnc_memristor::save_artifact(snn, &kind.input_dims(), &provenance, path)
+}
+
 /// The degradation report of a deployed network as a [`Table`]: one row per
 /// synaptic layer plus a `total` row, mirroring the frozen
 /// `snc.fault.{cells,unrecoverable,remapped,masked}` telemetry counters.

@@ -50,7 +50,11 @@ fn stage_us(name: &str, t0: Option<Instant>) -> Option<Instant> {
 const EXACT_F32_BOUND: i64 = 1 << 24;
 
 /// How a synaptic stage's accumulator becomes the stage output.
-enum EngineOut {
+///
+/// `pub(crate)` (like [`EngineSyn`], [`EngineStage`], and the [`IntEngine`]
+/// fields) so the [`crate::artifact`] serializer can walk and rebuild a
+/// compiled engine without re-deriving thresholds.
+pub(crate) enum EngineOut {
     /// Intermediate stage: IFC + `M`-bit counter, precompiled to ascending
     /// per-neuron thresholds. `thresholds[f · max_level + (c−1)]` is the
     /// smallest accumulator for which neuron `f` counts at least `c`
@@ -70,18 +74,18 @@ enum EngineOut {
 }
 
 /// One synaptic stage in integer form.
-struct EngineSyn {
-    kind: SynKind,
-    packed: PackedCodes,
-    weight_scale: f32,
-    in_scale: f32,
-    bias: Vec<f32>,
-    rectify: bool,
-    out_quant: Option<ActivationQuantizer>,
-    out: EngineOut,
+pub(crate) struct EngineSyn {
+    pub(crate) kind: SynKind,
+    pub(crate) packed: PackedCodes,
+    pub(crate) weight_scale: f32,
+    pub(crate) in_scale: f32,
+    pub(crate) bias: Vec<f32>,
+    pub(crate) rectify: bool,
+    pub(crate) out_quant: Option<ActivationQuantizer>,
+    pub(crate) out: EngineOut,
 }
 
-enum EngineStage {
+pub(crate) enum EngineStage {
     // Boxed: a compiled synaptic stage carries several packed panels and
     // would otherwise dwarf the other variants.
     Syn(Box<EngineSyn>),
@@ -116,8 +120,8 @@ impl SignalShape {
 
 /// The compiled integer engine for one [`crate::SpikingNetwork`].
 pub(crate) struct IntEngine {
-    stages: Vec<EngineStage>,
-    input_quant: ActivationQuantizer,
+    pub(crate) stages: Vec<EngineStage>,
+    pub(crate) input_quant: ActivationQuantizer,
 }
 
 /// Spike count of `stage` output neuron `f` for exact integer accumulator

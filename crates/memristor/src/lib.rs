@@ -22,9 +22,13 @@
 //!   [`DegradationStats`] every faulty deploy reports.
 //! - [`hwmodel`]: the calibrated speed/energy/area model that regenerates
 //!   Table 5.
+//! - [`artifact`]: versioned `.qsnca` deployment artifacts — a compiled
+//!   network's integer fast path frozen to disk and reloaded by serve
+//!   workers without the training stack.
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod crossbar;
 pub mod device;
 mod engine;
@@ -35,6 +39,10 @@ pub mod pipeline;
 pub mod program;
 pub mod spike;
 
+pub use artifact::{
+    decode_artifact, encode_artifact, load_artifact, save_artifact, ArtifactError,
+    LoadedArtifact, Provenance, TileMap,
+};
 pub use crossbar::Crossbar;
 pub use device::{Device, DeviceConfig};
 pub use fault::{

@@ -401,6 +401,28 @@ impl TiledMatrix {
         self.out_dim
     }
 
+    /// Physical crossbar edge length used for tiling.
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// Tile-grid rows, `⌈in_dim / tile⌉`.
+    pub fn row_blocks(&self) -> usize {
+        self.row_blocks
+    }
+
+    /// Tile-grid columns, `⌈out_dim / tile⌉`.
+    pub fn col_blocks(&self) -> usize {
+        self.col_blocks
+    }
+
+    /// Per-tile logical-column → physical-bitline assignments, in
+    /// block-row-major tile order; `None` for matrices deployed without the
+    /// reliability layer (identity placement everywhere).
+    pub fn remap_assignments(&self) -> Option<&[Vec<usize>]> {
+        self.remap.as_ref().map(|r| r.assignments.as_slice())
+    }
+
     /// Number of physical crossbars (matches Eq. 1).
     pub fn crossbar_count(&self) -> usize {
         self.tiles.len()

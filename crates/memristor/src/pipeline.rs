@@ -92,7 +92,7 @@ pub(crate) enum SynKind {
 #[derive(Debug)]
 pub(crate) struct SynapticStage {
     pub(crate) kind: SynKind,
-    tiles: TiledMatrix,
+    pub(crate) tiles: TiledMatrix,
     pub(crate) weight_scale: f32,
     pub(crate) bias: Vec<f32>,
     pub(crate) in_quant: ActivationQuantizer,
@@ -633,6 +633,11 @@ impl SpikingNetwork {
                 return Tensor::from_vec(out, shape.dims());
             }
         }
+        assert!(
+            !self.is_artifact_only(),
+            "artifact-loaded network has no float substrate: noisy inference \
+             requires a network compiled in-process from the training stack"
+        );
         let coded = self.input_quant.quantize(x);
         let mut rng = rng;
         run_stages(&self.stages, &coded, &mut rng)
@@ -706,6 +711,42 @@ impl SpikingNetwork {
         self.engine.is_some()
     }
 
+    /// Builds a network around an already-compiled integer engine with no
+    /// float substrate behind it — the form [`crate::artifact`] loading
+    /// produces. Only the noise-free engine entry points work on such a
+    /// network; the float paths panic (see [`Self::is_artifact_only`]).
+    pub(crate) fn from_engine(
+        engine: crate::engine::IntEngine,
+        input_quant: ActivationQuantizer,
+    ) -> SpikingNetwork {
+        SpikingNetwork {
+            stages: Vec::new(),
+            input_quant,
+            engine: Some(engine),
+            degradation: Vec::new(),
+        }
+    }
+
+    /// The compiled stage list (empty for artifact-loaded networks).
+    pub(crate) fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// The compiled integer engine, when one exists.
+    pub(crate) fn engine(&self) -> Option<&crate::engine::IntEngine> {
+        self.engine.as_ref()
+    }
+
+    /// `true` when this network was loaded from a deployment artifact and
+    /// therefore has **only** the integer fast path: [`Self::infer`] without
+    /// noise, [`Self::infer_into`], [`Self::infer_batch_into`], and
+    /// [`Self::evaluate`] without noise all work; noisy inference and
+    /// [`Self::infer_reference`] panic because the float substrate was never
+    /// shipped.
+    pub fn is_artifact_only(&self) -> bool {
+        self.stages.is_empty() && self.engine.is_some()
+    }
+
     /// The whole-network degradation report: what deploying onto the
     /// configured (possibly faulty) hardware cost, merged over all synaptic
     /// layers. All-zero for ideal hardware.
@@ -728,7 +769,17 @@ impl SpikingNetwork {
     /// path is bit-identical to this on every network it compiles for;
     /// the conductance simulation differs from it only by the analog read
     /// approximation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an artifact-loaded network ([`Self::is_artifact_only`]):
+    /// the float substrate is not part of the deployment artifact.
     pub fn infer_reference(&self, x: &Tensor) -> Tensor {
+        assert!(
+            !self.is_artifact_only(),
+            "artifact-loaded network has no float substrate: infer_reference \
+             requires a network compiled in-process from the training stack"
+        );
         let coded = self.input_quant.quantize(x);
         run_stages_reference(&self.stages, &coded)
     }

@@ -88,6 +88,45 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     Ok(u32::from_le_bytes(buf))
 }
 
+/// Largest allocation the reader makes ahead of bytes actually received.
+/// Declared lengths in the stream are untrusted; they are only honoured one
+/// chunk at a time.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Reads exactly `len` bytes, growing the buffer at most [`READ_CHUNK`]
+/// ahead of the data actually received — a hostile declared length hits
+/// `UnexpectedEof` after buffering only what the stream really contained,
+/// instead of reserving multi-GiB up front.
+fn read_exact_budgeted<R: Read>(r: &mut R, len: usize) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    let mut remaining = len;
+    while remaining > 0 {
+        let chunk = remaining.min(READ_CHUNK);
+        let start = buf.len();
+        buf.resize(start + chunk, 0);
+        r.read_exact(&mut buf[start..])?;
+        remaining -= chunk;
+    }
+    Ok(buf)
+}
+
+/// 64-bit FNV-1a digest of a serialized checkpoint (or any byte string).
+///
+/// This is the provenance hash deployment artifacts record: `qsnc deploy`
+/// digests the exact checkpoint bytes it compiled from, so a serving
+/// process can verify which trained parameters a `.qsnca` artifact came
+/// from without re-reading the training stack.
+pub fn checkpoint_digest(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// Writes every parameter of `net` (weights, biases, norm affine terms) to
 /// `w`. A `&mut File` or `&mut Vec<u8>` both work.
 ///
@@ -128,25 +167,35 @@ pub fn read_checkpoint<R: Read>(mut r: R) -> Result<HashMap<String, Tensor>, Che
     if version != VERSION {
         return Err(CheckpointError::BadVersion(version));
     }
+    // Every count below comes from the (possibly corrupt or hostile)
+    // stream: nothing is allocated from a declared size until the
+    // corresponding bytes have actually been read, chunk by chunk.
     let count = read_u32(&mut r)? as usize;
-    let mut map = HashMap::with_capacity(count);
+    let mut map = HashMap::new();
     for _ in 0..count {
         let name_len = read_u32(&mut r)? as usize;
-        let mut name_buf = vec![0u8; name_len];
-        r.read_exact(&mut name_buf)?;
+        let name_buf = read_exact_budgeted(&mut r, name_len)?;
         let name = String::from_utf8(name_buf).map_err(|_| CheckpointError::BadName)?;
         let rank = read_u32(&mut r)? as usize;
-        let mut dims = Vec::with_capacity(rank);
+        let mut dims = Vec::new();
         for _ in 0..rank {
             dims.push(read_u32(&mut r)? as usize);
         }
-        let len: usize = dims.iter().product();
-        let mut data = vec![0.0f32; len];
-        for v in &mut data {
-            let mut buf = [0u8; 4];
-            r.read_exact(&mut buf)?;
-            *v = f32::from_le_bytes(buf);
-        }
+        let len = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .and_then(|n| n.checked_mul(4))
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("declared tensor shape {dims:?} overflows the byte count"),
+                )
+            })?;
+        let raw = read_exact_budgeted(&mut r, len)?;
+        let data: Vec<f32> = raw
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
         map.insert(name, Tensor::from_vec(data, dims));
     }
     Ok(map)
@@ -249,6 +298,71 @@ mod tests {
         b.push(Linear::new("other", 4, 8, &mut rng));
         let err = load_params(&mut b, buf.as_slice()).unwrap_err();
         assert!(matches!(err, CheckpointError::MissingParam(_)), "{err}");
+    }
+
+    #[test]
+    fn absurd_declared_element_count_is_rejected_without_allocating() {
+        // Header declaring one parameter whose single dim claims u32::MAX
+        // elements (16 GiB of f32 data) followed by almost no bytes. The
+        // budgeted reader must fail with an I/O error after buffering only
+        // the bytes actually present — this test would OOM/abort otherwise.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes()); // param count
+        buf.extend_from_slice(&1u32.to_le_bytes()); // name len
+        buf.push(b'w');
+        buf.extend_from_slice(&1u32.to_le_bytes()); // rank
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // dim 0
+        buf.extend_from_slice(&[0u8; 16]); // a token amount of "data"
+        let err = read_checkpoint(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn absurd_declared_name_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // 4 GiB name
+        buf.extend_from_slice(b"tiny");
+        let err = read_checkpoint(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn overflowing_shape_product_is_rejected() {
+        // Dims whose product overflows usize must be caught by checked_mul,
+        // not wrap to a tiny allocation that then misreads the stream.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(b'w');
+        buf.extend_from_slice(&3u32.to_le_bytes()); // rank 3
+        for _ in 0..3 {
+            buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        }
+        let err = read_checkpoint(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        // FNV-1a-64 known-answer vectors.
+        assert_eq!(checkpoint_digest(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(checkpoint_digest(b"a"), 0xaf63_dc4c_8601_ec8c);
+        let mut a = net(1);
+        let mut buf = Vec::new();
+        save_params(&mut a, &mut buf).unwrap();
+        let d = checkpoint_digest(&buf);
+        assert_eq!(d, checkpoint_digest(&buf), "digest must be deterministic");
+        let mut flipped = buf.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 1;
+        assert_ne!(d, checkpoint_digest(&flipped));
     }
 
     #[test]

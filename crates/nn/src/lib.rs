@@ -39,7 +39,9 @@ pub mod schedule;
 mod sequential;
 pub mod train;
 
-pub use checkpoint::{load_params, read_checkpoint, save_params, CheckpointError};
+pub use checkpoint::{
+    checkpoint_digest, load_params, read_checkpoint, save_params, CheckpointError,
+};
 pub use layer::{Layer, LayerDesc, Mode, Param};
 pub use metrics::{top_k_accuracy, ConfusionMatrix};
 pub use models::ModelKind;

@@ -68,6 +68,21 @@ pub struct IntWeights {
 }
 
 impl IntWeights {
+    /// Builds the integer deployment form directly from a code/pitch pair —
+    /// the export path deployment artifacts take, where the codes come from
+    /// an already-compiled layer rather than a [`QuantizedWeights`].
+    ///
+    /// Returns `None` when a code does not fit `i8` or the pitch is
+    /// zero/non-finite, mirroring [`QuantizedWeights::int_weights`].
+    pub fn from_codes(codes: &[i32], scale: f32) -> Option<IntWeights> {
+        if !(scale.is_finite() && scale != 0.0) {
+            return None;
+        }
+        let codes: Option<Vec<i8>> = codes.iter().map(|&c| i8::try_from(c).ok()).collect();
+        let (mantissa, shift) = decompose_scale(scale);
+        Some(IntWeights { codes: codes?, mantissa, shift })
+    }
+
     /// Reconstructs the grid pitch; bit-identical to the `scale` this was
     /// derived from.
     pub fn scale(&self) -> f32 {

@@ -633,13 +633,29 @@ impl EventLoop {
                         Err(_) => unreachable!("payload decode cannot fail any other way"),
                     }
                 }
+                Err(FrameError::TooLarge { tag, declared }) => {
+                    // The tag parsed before the length check, so a v2
+                    // client gets the rejection attributed to its request
+                    // (not a bare drop); the stream still can't be
+                    // resynchronized past an unread payload, so flush and
+                    // close.
+                    qsnc_telemetry::counter_add("serve.bad_requests", 1);
+                    protocol::encode_error_reply(
+                        &mut conn.out,
+                        tag,
+                        Status::BadRequest,
+                        &FrameError::too_large_message(declared),
+                    );
+                    conn.closing = true;
+                    break;
+                }
                 Err(FrameError::Fatal(msg)) => {
                     qsnc_telemetry::counter_add("serve.bad_requests", 1);
                     protocol::encode_error_reply(&mut conn.out, None, Status::BadRequest, &msg);
                     conn.closing = true;
                     break;
                 }
-                // parse_frame only returns Fatal errors.
+                // parse_frame only returns Fatal/TooLarge errors.
                 Err(_) => unreachable!("parse_frame cannot fail any other way"),
             }
         }

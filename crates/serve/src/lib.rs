@@ -481,6 +481,35 @@ impl Server {
         })
     }
 
+    /// Loads a `.qsnca` deployment artifact and serves it — the cold-start
+    /// path. One file read reconstructs the integer engine (packed codes,
+    /// scales, precomputed threshold tables); no training stack, no
+    /// clustering, no threshold search runs in the serving process. The
+    /// per-example input dims come from the artifact itself.
+    ///
+    /// The `qsnc serve` CLI reaches this through `--artifact` or the
+    /// `QSNC_SERVE_ARTIFACT` environment variable.
+    ///
+    /// # Errors
+    ///
+    /// Artifact I/O errors pass through with their original
+    /// [`io::ErrorKind`]; validation failures ([`ArtifactError`] otherwise)
+    /// surface as [`io::ErrorKind::InvalidData`] carrying the typed error's
+    /// message. Bind/listen errors are returned as from [`Server::spawn`].
+    ///
+    /// [`ArtifactError`]: qsnc_memristor::ArtifactError
+    pub fn spawn_from_artifact(
+        path: impl AsRef<std::path::Path>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        let loaded = qsnc_memristor::load_artifact(path).map_err(|e| match e {
+            qsnc_memristor::ArtifactError::Io(io) => io,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        })?;
+        Server::spawn(Arc::new(loaded.network), &loaded.input_dims, addr, config)
+    }
+
     /// The bound address (resolves port 0 to the actual ephemeral port).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
@@ -783,6 +812,19 @@ fn connection_loop(
                 {
                     break;
                 }
+            }
+            Err(protocol::FrameError::TooLarge { tag, declared }) => {
+                // Oversized declaration: reply to the offending tag (so a
+                // multiplexed client sees *which* request died) before
+                // closing the unresynchronizable stream.
+                qsnc_telemetry::counter_add("serve.bad_requests", 1);
+                let _ = protocol::write_error_reply(
+                    &mut stream,
+                    tag,
+                    Status::BadRequest,
+                    &protocol::FrameError::too_large_message(declared),
+                );
+                break;
             }
             Err(protocol::FrameError::Fatal(msg)) => {
                 qsnc_telemetry::counter_add("serve.bad_requests", 1);

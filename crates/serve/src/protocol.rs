@@ -43,7 +43,10 @@
 //! little-endian `f32` logits; every other status carries a UTF-8 error
 //! message. Payloads are capped at [`MAX_FRAME_BYTES`]; a frame declaring
 //! more than that (or a bad magic/version) cannot be resynchronized and the
-//! server closes the connection after replying.
+//! server closes the connection after replying. An oversized declaration on
+//! a v2 frame still gets a **tagged** [`Status::BadRequest`] reply first,
+//! so multiplexed clients can attribute the rejection to the offending
+//! request rather than seeing a bare disconnect.
 
 use std::io::{self, Read, Write};
 use std::time::Instant;
@@ -126,11 +129,32 @@ pub enum FrameError {
     Disconnected,
     /// Well-framed but invalid request; the connection can continue.
     Bad(String),
-    /// Unframeable input (bad magic/version, oversized declaration); the
-    /// connection cannot be resynchronized and must close after replying.
+    /// Unframeable input (bad magic, unknown version); the connection
+    /// cannot be resynchronized and must close after replying.
     Fatal(String),
+    /// The frame declared a payload beyond [`MAX_FRAME_BYTES`]. The stream
+    /// cannot be resynchronized (the payload is deliberately unread), but
+    /// unlike [`FrameError::Fatal`] the header parsed far enough to know
+    /// which request is at fault — the server must send `tag` a
+    /// [`Status::BadRequest`] reply *before* closing, so multiplexed (v2)
+    /// clients see the rejection attributed to the right request instead
+    /// of a bare connection drop.
+    TooLarge {
+        /// Tag of the offending frame (`None` on a v1 frame).
+        tag: Option<u32>,
+        /// The declared payload length.
+        declared: u32,
+    },
     /// Transport error.
     Io(io::Error),
+}
+
+impl FrameError {
+    /// The reply message both front ends send for a [`FrameError::TooLarge`]
+    /// rejection, kept in one place so v1 and v2 clients see the same text.
+    pub fn too_large_message(declared: u32) -> String {
+        format!("frame of {declared} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
+    }
 }
 
 /// Everything the server needs to know about one well-framed request
@@ -166,8 +190,10 @@ pub struct FrameView {
 /// Incremental server-side parser for the non-blocking front end: examines
 /// the start of `buf` and returns `Ok(None)` when more bytes are needed,
 /// `Ok(Some(view))` when a complete frame (of either version) is present,
-/// or a [`FrameError::Fatal`] when the stream cannot be resynchronized
-/// (bad magic, unknown version, oversized declaration). Opcode and
+/// or an error when the stream cannot be resynchronized —
+/// [`FrameError::Fatal`] for bad magic / unknown version,
+/// [`FrameError::TooLarge`] (tag preserved) for an oversized payload
+/// declaration. Opcode and
 /// payload-length validation against the served model is the caller's job
 /// — those are [`FrameError::Bad`]-class errors that consume the frame
 /// and keep the connection.
@@ -203,11 +229,13 @@ pub fn parse_frame(buf: &[u8]) -> Result<Option<FrameView>, FrameError> {
         }
     };
     if len > MAX_FRAME_BYTES {
-        return Err(FrameError::Fatal(format!(
-            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
-        )));
+        return Err(FrameError::TooLarge { tag, declared: len });
     }
-    let total = header + len as usize;
+    // `len` is now capped, but stay overflow-proof by construction: a
+    // hostile declaration must never wrap the total frame size.
+    let total = header
+        .checked_add(len as usize)
+        .ok_or(FrameError::TooLarge { tag, declared: len })?;
     if buf.len() < total {
         return Ok(None);
     }
@@ -289,9 +317,7 @@ fn read_request_inner(
         }
     };
     if len > MAX_FRAME_BYTES {
-        return Err(FrameError::Fatal(format!(
-            "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
-        )));
+        return Err(FrameError::TooLarge { tag, declared: len });
     }
     // From here the payload length is trusted: consume it fully so the
     // stream stays framed even when the request is rejected.
@@ -477,7 +503,14 @@ pub fn read_reply(r: &mut impl Read) -> io::Result<Reply> {
             }
             let argmax = u32::from_le_bytes(payload[0..4].try_into().unwrap());
             let n = u32::from_le_bytes(payload[4..8].try_into().unwrap()) as usize;
-            if payload.len() != 8 + 4 * n {
+            // The declared logit count must reproduce the payload size under
+            // checked arithmetic — a hostile `n` near usize::MAX must fail
+            // the comparison, not wrap it.
+            let expected = n
+                .checked_mul(4)
+                .and_then(|b| b.checked_add(8))
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad logits length"))?;
+            if payload.len() != expected {
                 return Err(io::Error::new(io::ErrorKind::InvalidData, "bad logits length"));
             }
             let logits = payload[8..]
@@ -578,7 +611,9 @@ mod tests {
     }
 
     #[test]
-    fn oversized_declaration_is_fatal_without_reading_payload() {
+    fn oversized_declaration_is_rejected_without_reading_payload() {
+        // The tag must survive to the error so the server can attribute a
+        // tagged BadRequest reply to the offending v2 request.
         for tag in [None, Some(3u32)] {
             let mut wire = Vec::new();
             wire.extend_from_slice(&MAGIC.to_le_bytes());
@@ -590,14 +625,57 @@ mod tests {
             wire.extend_from_slice(&u32::MAX.to_le_bytes());
             let mut buf = Vec::new();
             match read_request(&mut wire.as_slice(), 1, &mut buf) {
-                Err(FrameError::Fatal(msg)) => assert!(msg.contains("cap"), "{msg}"),
-                other => panic!("expected Fatal, got {other:?}"),
+                Err(FrameError::TooLarge { tag: t, declared }) => {
+                    assert_eq!(t, tag);
+                    assert_eq!(declared, u32::MAX);
+                }
+                other => panic!("expected TooLarge, got {other:?}"),
             }
             match parse_frame(&wire) {
-                Err(FrameError::Fatal(msg)) => assert!(msg.contains("cap"), "{msg}"),
-                other => panic!("expected Fatal, got {other:?}"),
+                Err(FrameError::TooLarge { tag: t, declared }) => {
+                    assert_eq!(t, tag);
+                    assert_eq!(declared, u32::MAX);
+                }
+                other => panic!("expected TooLarge, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn barely_oversized_declaration_is_rejected_and_cap_is_accepted() {
+        // Exactly at the cap: framing proceeds (parser asks for payload).
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC.to_le_bytes());
+        wire.push(VERSION);
+        wire.push(OP_INFER);
+        wire.extend_from_slice(&MAX_FRAME_BYTES.to_le_bytes());
+        assert!(matches!(parse_frame(&wire), Ok(None)));
+        // One past the cap: typed rejection.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC.to_le_bytes());
+        wire.push(VERSION_V2);
+        wire.push(OP_INFER);
+        wire.extend_from_slice(&7u32.to_le_bytes());
+        wire.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        match parse_frame(&wire) {
+            Err(FrameError::TooLarge { tag, declared }) => {
+                assert_eq!(tag, Some(7));
+                assert_eq!(declared, MAX_FRAME_BYTES + 1);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_logit_count_in_reply_is_invalid_data() {
+        // Ok reply whose payload declares u32::MAX logits but carries none:
+        // the checked size comparison must reject it, not wrap.
+        let mut wire = Vec::new();
+        encode_header(&mut wire, Status::Ok.code(), None, 8);
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_reply(&mut wire.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

@@ -15,8 +15,8 @@ use qsnc_quant::{
     insert_signal_stages, quantize_network_weights, ActivationQuantizer, ActivationRegularizer,
     WeightQuantMethod,
 };
-use qsnc_serve::protocol::{self, Status, MAGIC, OP_INFER, VERSION};
-use qsnc_serve::{ServeConfig, Server};
+use qsnc_serve::protocol::{self, Status, MAGIC, OP_INFER, VERSION, VERSION_V2};
+use qsnc_serve::{FrontEnd, ServeConfig, Server};
 use qsnc_tensor::{Tensor, TensorRng};
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -372,4 +372,55 @@ fn idle_server_drops_cleanly() {
     let _idle_b = connect(&server);
     std::thread::sleep(Duration::from_millis(50));
     drop(server); // Drop runs the same drain as shutdown()
+}
+
+/// Regression: an oversized declared payload length must produce a
+/// [`Status::BadRequest`] reply attributed to the offending frame — tagged
+/// on a v2 frame, untagged on v1 — followed by an orderly close, on
+/// **both** front ends. Before the fix the rejection was always untagged,
+/// so a multiplexed client could not tell which pipelined request died.
+#[test]
+fn oversized_declaration_replies_before_close_on_both_front_ends() {
+    let snn = served_network(31);
+    let front_ends: &[FrontEnd] = if cfg!(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )) {
+        &[FrontEnd::Threaded, FrontEnd::EventLoop]
+    } else {
+        &[FrontEnd::Threaded]
+    };
+    for &front_end in front_ends {
+        let server = Server::spawn(
+            Arc::clone(&snn),
+            &INPUT_DIMS,
+            "127.0.0.1:0",
+            ServeConfig { front_end, ..ServeConfig::default() },
+        )
+        .expect("spawn");
+        for tag in [None, Some(0xCAFE_F00Du32)] {
+            let mut stream = connect(&server);
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&MAGIC.to_le_bytes());
+            frame.push(if tag.is_some() { VERSION_V2 } else { VERSION });
+            frame.push(OP_INFER);
+            if let Some(t) = tag {
+                frame.extend_from_slice(&t.to_le_bytes());
+            }
+            frame.extend_from_slice(&u32::MAX.to_le_bytes());
+            stream.write_all(&frame).expect("oversized header");
+            let reply = protocol::read_reply(&mut stream).expect("reply before close");
+            assert_eq!(reply.status, Status::BadRequest, "{front_end:?} tag {tag:?}");
+            assert_eq!(reply.tag, tag, "{front_end:?}: reply must echo the frame's tag");
+            assert!(reply.message.contains("cap"), "got {:?}", reply.message);
+            // The stream cannot be resynchronized: the server must close.
+            let mut probe = [0u8; 1];
+            assert_eq!(
+                stream.read(&mut probe).unwrap_or(0),
+                0,
+                "{front_end:?} tag {tag:?}: connection must close after the reply"
+            );
+        }
+        server.shutdown();
+    }
 }

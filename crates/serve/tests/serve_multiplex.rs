@@ -234,7 +234,9 @@ fn v1_and_v2_frames_interleave_on_one_connection() {
 
 /// An oversized declared payload arriving mid-pipeline is unframeable: the
 /// server must still answer every request admitted before it, send one
-/// fatal [`Status::BadRequest`], and close — without panicking a loop.
+/// [`Status::BadRequest`] **tagged with the offending request's tag** (a
+/// bare drop would leave the client unable to tell which pipelined request
+/// died), and close — without panicking a loop.
 #[test]
 fn oversized_tagged_frame_mid_pipeline_errors_and_closes() {
     let snn = served_network(53);
@@ -270,6 +272,11 @@ fn oversized_tagged_frame_mid_pipeline_errors_and_closes() {
     let fatal: Vec<_> = replies.iter().filter(|r| r.status == Status::BadRequest).collect();
     assert_eq!(fatal.len(), 1);
     assert!(fatal[0].message.contains("cap"), "got {:?}", fatal[0].message);
+    assert_eq!(
+        fatal[0].tag,
+        Some(77),
+        "the rejection must be attributed to the oversized frame's tag"
+    );
     let mut ok_tags: Vec<u32> = replies
         .iter()
         .filter(|r| r.status == Status::Ok)

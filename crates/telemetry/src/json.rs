@@ -3,8 +3,11 @@
 //! The build environment has no registry access and the vendored `serde`
 //! stub is marker-traits only, so telemetry carries its own JSON layer.
 //! It covers exactly what the exporters need: objects (order-preserving),
-//! arrays, strings, finite numbers, booleans, and null. Numbers are `f64`;
-//! non-finite values serialize as `null` (matching `serde_json`).
+//! arrays, strings, finite numbers, booleans, and null. Numbers are `f64`
+//! and round-trip bit-exactly through render → parse (including `-0.0`);
+//! non-finite values serialize as `null` under [`Json::render`] (matching
+//! `serde_json`), while [`Json::try_render`] rejects them loudly with the
+//! offending JSON path.
 
 use std::fmt::Write as _;
 
@@ -85,6 +88,35 @@ impl Json {
         out
     }
 
+    /// Renders compact JSON like [`Json::render`], but fails instead of
+    /// silently degrading non-finite numbers to `null`. Use this when the
+    /// document feeds a consumer that must not observe a dropped metric.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] naming the JSON path of the first
+    /// non-finite number in the tree.
+    pub fn try_render(&self) -> Result<String, JsonError> {
+        self.check_finite("$")?;
+        Ok(self.render())
+    }
+
+    fn check_finite(&self, path: &str) -> Result<(), JsonError> {
+        match self {
+            Json::Num(n) if !n.is_finite() => {
+                Err(JsonError::new(0, format!("non-finite number {n} at {path}")))
+            }
+            Json::Arr(items) => items
+                .iter()
+                .enumerate()
+                .try_for_each(|(i, v)| v.check_finite(&format!("{path}[{i}]"))),
+            Json::Obj(pairs) => pairs
+                .iter()
+                .try_for_each(|(k, v)| v.check_finite(&format!("{path}.{k}"))),
+            _ => Ok(()),
+        }
+    }
+
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         let (nl, pad, pad_in) = match indent {
             Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
@@ -159,9 +191,17 @@ impl Json {
 fn write_number(out: &mut String, n: f64) {
     if !n.is_finite() {
         out.push_str("null");
+    } else if n == 0.0 {
+        // `0.0 as i64` would erase the sign of -0.0; keep it so the
+        // parsed value is bit-identical.
+        out.push_str(if n.is_sign_negative() { "-0.0" } else { "0" });
     } else if n == n.trunc() && n.abs() < 1e15 {
+        // Exact: every integer below 1e15 is well inside f64's 2^53
+        // contiguous-integer range.
         let _ = write!(out, "{}", n as i64);
     } else {
+        // f64's Display is the shortest string that parses back to the
+        // same bits, so this arm round-trips exactly too.
         let _ = write!(out, "{n}");
     }
 }
@@ -482,6 +522,79 @@ mod tests {
     fn non_finite_numbers_become_null() {
         assert_eq!(Json::Num(f64::NAN).render(), "null");
         assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn hostile_numbers_round_trip_bit_exactly() {
+        // Values chosen to poke every branch of the writer: signed zero,
+        // subnormals, the 1e15 integer/Display boundary, the 2^53 edge of
+        // f64's contiguous-integer range, and huge/tiny magnitudes.
+        let two_53 = 9_007_199_254_740_992.0_f64; // 2^53
+        for n in [
+            0.0,
+            -0.0,
+            5e-324,  // smallest subnormal
+            -5e-324,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -f64::MAX,
+            999_999_999_999_999.0, // 1e15 - 1: last integer-path value
+            1e15,                  // first Display-path integer
+            -1e15,
+            two_53 - 1.0,
+            two_53,
+            two_53 + 2.0, // 2^53 + 1 is not representable; +2 is
+            u64::MAX as f64,
+            0.1,
+            1.0 / 3.0,
+            std::f64::consts::PI,
+            -2.225_073_858_507_201e-308, // largest subnormal, negated
+        ] {
+            let text = Json::Num(n).render();
+            let back = Json::parse(&text).unwrap();
+            let m = back.as_f64().unwrap();
+            assert_eq!(
+                m.to_bits(),
+                n.to_bits(),
+                "render→parse changed {n:?} ({text}) to {m:?}"
+            );
+            // Render must be a fixed point: rendering the parsed value
+            // reproduces the same bytes.
+            assert_eq!(back.render(), text, "render of {n:?} is not a fixed point");
+        }
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        let text = Json::Num(-0.0).render();
+        assert_eq!(text, "-0.0");
+        let back = Json::parse(&text).unwrap().as_f64().unwrap();
+        assert!(back == 0.0 && back.is_sign_negative());
+        // And positive zero still renders as a bare integer.
+        assert_eq!(Json::Num(0.0).render(), "0");
+    }
+
+    #[test]
+    fn strict_render_rejects_non_finite_with_path() {
+        for (n, name) in [
+            (f64::NAN, "NaN"),
+            (f64::INFINITY, "inf"),
+            (f64::NEG_INFINITY, "-inf"),
+        ] {
+            let doc = Json::obj(vec![
+                ("ok", Json::Num(1.0)),
+                ("rows", Json::Arr(vec![Json::Num(2.0), Json::Num(n)])),
+            ]);
+            let err = doc.try_render().expect_err(name);
+            assert!(
+                err.message.contains("$.rows[1]"),
+                "{name}: error should name the path, got {}",
+                err.message
+            );
+        }
+        // Finite documents render identically through both APIs.
+        let fine = Json::obj(vec![("x", Json::Num(-0.0)), ("y", Json::Num(1e300))]);
+        assert_eq!(fine.try_render().unwrap(), fine.render());
     }
 
     #[test]

@@ -114,6 +114,17 @@ impl PackedCodes {
         self.out_dim
     }
 
+    /// Recovers the code matrix in the repo's standard `[out, in]` layout —
+    /// exactly the slice [`Self::try_pack`] was given. Deployment-artifact
+    /// serialization uses this to export a compiled layer's codes; packing
+    /// the returned codes again reproduces an identical `PackedCodes`
+    /// (packing is deterministic).
+    pub fn unpack_codes(&self) -> Vec<i32> {
+        // rows16 already holds the codes in `[out, in]` order; every code
+        // fits i8 so the i16 → i32 widening is lossless.
+        self.rows16.iter().map(|&c| c as i32).collect()
+    }
+
     /// Largest possible `|accumulator|` when the product is driven by
     /// counts in `[0, max_count]`: `max_j Σ_i |code[i,j]| · max_count`.
     /// Deployability checks compare this against `2^24` to guarantee the

@@ -4,7 +4,9 @@
 //! ```bash
 //! qsnc train     --model lenet --bits 4 --epochs 5 --out model.qsnc
 //! qsnc evaluate  --model lenet --bits 4 --checkpoint model.qsnc
-//! qsnc deploy    --model lenet --bits 4 --checkpoint model.qsnc [--write-sigma 0.05]
+//! qsnc deploy    --model lenet --bits 4 --checkpoint model.qsnc \
+//!                [--write-sigma 0.05] [--artifact model.qsnca]
+//! qsnc serve     --artifact model.qsnca [--addr 127.0.0.1:7643]
 //! qsnc hardware  --model alexnet --bits 4 [--crossbar 32] [--pipelined]
 //! qsnc info
 //! ```
@@ -12,7 +14,7 @@
 //! Every run is deterministic given `--seed`.
 
 use qsnc::core::{
-    deploy_to_snc, snc_accuracy, train_quant_aware, QuantConfig, TrainSettings,
+    deploy_to_snc, export_artifact, snc_accuracy, train_quant_aware, QuantConfig, TrainSettings,
 };
 use qsnc::data::{synth_digits, synth_objects, Dataset};
 use qsnc::memristor::{network_geometry, ExecutionMode, HwModel};
@@ -33,6 +35,7 @@ COMMANDS:
   train      train a quantization-aware model and save a checkpoint
   evaluate   evaluate a saved checkpoint (software-quantized accuracy)
   deploy     compile a checkpoint onto the memristor substrate and measure
+  serve      serve a .qsnca deployment artifact over TCP (no training stack)
   hardware   print the Table-5 style speed/energy/area model for a topology
   info       print the workspace's reproduction summary
 
@@ -47,6 +50,9 @@ COMMON OPTIONS:
   --crossbar N                   crossbar edge (hardware) [32]
   --pipelined                    pipelined schedule (hardware)
   --write-sigma F                device write variation (deploy) [0]
+  --artifact PATH                .qsnca artifact to write (deploy) or serve;
+                                 `serve` falls back to QSNC_SERVE_ARTIFACT
+  --addr HOST:PORT               serve listen address [127.0.0.1:7643]
 ";
 
 /// Parsed command-line arguments: a command plus `--key value` pairs.
@@ -171,7 +177,19 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_into_topology(args: &Args) -> Result<(Sequential, ModelKind, u32, u64, usize), String> {
+/// Loaded checkpoint state: the restored network plus the config it was
+/// rebuilt under and the FNV-1a-64 digest of the exact checkpoint bytes
+/// (artifact provenance).
+struct LoadedCheckpoint {
+    net: Sequential,
+    kind: ModelKind,
+    bits: u32,
+    seed: u64,
+    examples: usize,
+    digest: u64,
+}
+
+fn load_into_topology(args: &Args) -> Result<LoadedCheckpoint, String> {
     let kind = model_kind(&args.get_or("model", "lenet"))?;
     let bits: u32 = args.parse_or("bits", 4)?;
     let width: f32 = args.parse_or("width", 0.5)?;
@@ -182,13 +200,16 @@ fn load_into_topology(args: &Args) -> Result<(Sequential, ModelKind, u32, u64, u
         .get("checkpoint")
         .ok_or_else(|| "--checkpoint is required".to_string())?;
     let mut net = build_quantized_topology(kind, width, bits, 10, seed);
-    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    load_params(&mut net, file).map_err(|e| e.to_string())?;
-    Ok((net, kind, bits, seed, examples))
+    // One read serves both the parameter restore and the provenance digest,
+    // so the digest is over the exact bytes that shaped the network.
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let digest = qsnc::nn::checkpoint_digest(&bytes);
+    load_params(&mut net, bytes.as_slice()).map_err(|e| e.to_string())?;
+    Ok(LoadedCheckpoint { net, kind, bits, seed, examples, digest })
 }
 
 fn cmd_evaluate(args: &Args) -> Result<(), String> {
-    let (mut net, kind, _bits, seed, examples) = load_into_topology(args)?;
+    let LoadedCheckpoint { mut net, kind, seed, examples, .. } = load_into_topology(args)?;
     let mut rng = TensorRng::seed(seed);
     let (_, test) = dataset_for(kind, examples, &mut rng).split(0.8);
     let acc = evaluate(&mut net, &test.batches(64, None));
@@ -197,7 +218,7 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_deploy(args: &Args) -> Result<(), String> {
-    let (net, kind, bits, seed, examples) = load_into_topology(args)?;
+    let LoadedCheckpoint { net, kind, bits, seed, examples, digest } = load_into_topology(args)?;
     let write_sigma: f32 = args.parse_or("write-sigma", 0.0)?;
     let quant = QuantConfig::paper(bits, bits);
     let snn = if write_sigma > 0.0 {
@@ -214,12 +235,54 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
         snn.crossbar_count(),
         snn.device_count()
     );
+    if let Some(artifact) = args.options.get("artifact") {
+        export_artifact(&snn, kind, &quant, digest, artifact)
+            .map_err(|e| format!("cannot write artifact {artifact}: {e}"))?;
+        println!("artifact written to {artifact} (checkpoint digest {digest:016x})");
+    }
     let mut rng = TensorRng::seed(seed);
     let (_, test) = dataset_for(kind, examples, &mut rng).split(0.8);
     let sample = test.batches(100, None);
     let acc = snc_accuracy(&snn, &sample[..1], None);
     println!("spiking accuracy on 100 examples: {:.2}%", acc * 100.0);
     Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    // --artifact wins; QSNC_SERVE_ARTIFACT lets process supervisors point a
+    // plain `qsnc serve` at the deployment artifact.
+    let artifact = match args.options.get("artifact") {
+        Some(path) => path.clone(),
+        None => std::env::var("QSNC_SERVE_ARTIFACT")
+            .map_err(|_| "--artifact (or QSNC_SERVE_ARTIFACT) is required".to_string())?,
+    };
+    let addr = args.get_or("addr", "127.0.0.1:7643");
+    let loaded = qsnc::memristor::load_artifact(&artifact)
+        .map_err(|e| format!("cannot load artifact {artifact}: {e}"))?;
+    eprintln!(
+        "loaded {} artifact ({}-bit weights / {}-bit signals, checkpoint digest {:016x})",
+        loaded.provenance.model,
+        loaded.provenance.weight_bits,
+        loaded.provenance.activation_bits,
+        loaded.provenance.checkpoint_digest,
+    );
+    let input_dims = loaded.input_dims.clone();
+    let server = qsnc::serve::Server::spawn(
+        std::sync::Arc::new(loaded.network),
+        &input_dims,
+        addr.as_str(),
+        qsnc::serve::ServeConfig::from_env(),
+    )
+    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    // Flushed line with the resolved address: supervisors and tests parse
+    // this to learn the ephemeral port.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    // Serve until killed; the server threads own all the work.
+    loop {
+        std::thread::park();
+    }
 }
 
 fn cmd_hardware(args: &Args) -> Result<(), String> {
@@ -266,6 +329,7 @@ fn run() -> Result<(), String> {
         "train" => cmd_train(&args),
         "evaluate" => cmd_evaluate(&args),
         "deploy" => cmd_deploy(&args),
+        "serve" => cmd_serve(&args),
         "hardware" => cmd_hardware(&args),
         "info" => cmd_info(),
         other => Err(format!("unknown command {other}\n\n{USAGE}")),

@@ -17,6 +17,7 @@
 //! | [`data`] | synthetic MNIST/CIFAR stand-ins, MNIST IDX loader |
 //! | [`quant`] | Neuron Convergence, Weight Clustering, baselines |
 //! | [`memristor`] | devices, crossbars, Eq. 1 mapping, spiking pipeline, hw model |
+//! | [`serve`] | batched TCP inference serving over compiled networks |
 //! | [`core`] | end-to-end train → quantize → deploy flows |
 //! | [`telemetry`] | spans, counters, histograms (`QSNC_TELEMETRY`) |
 //!
@@ -35,5 +36,6 @@ pub use qsnc_data as data;
 pub use qsnc_memristor as memristor;
 pub use qsnc_nn as nn;
 pub use qsnc_quant as quant;
+pub use qsnc_serve as serve;
 pub use qsnc_telemetry as telemetry;
 pub use qsnc_tensor as tensor;

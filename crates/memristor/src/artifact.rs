@@ -23,6 +23,16 @@
 //! [`SECTION_PROVENANCE`]); unknown ids are skipped by their declared
 //! length, so future writers can add sections without breaking old readers.
 //!
+//! One artifact is one *model version* to the serving layer: `qsnc serve`
+//! registers several artifacts under distinct model names behind one
+//! port, and a hot swap (`qsnc-serve`'s `Server::swap_artifact` / the
+//! admin `POST /models/swap` route) runs this loader's full validation on
+//! the incoming file — plus an input-dims equality check against the
+//! model being replaced — *before* the engine pointer flips, so a
+//! rejected artifact leaves the old version serving untouched. The
+//! [`Provenance`] digest is what makes the swap auditable end to end
+//! (deploy log → serve log → admin `GET /models` → swap report).
+//!
 //! # Loading contract
 //!
 //! - **Single read, zero re-parse copies**: the whole file is read once

@@ -2,8 +2,8 @@
 //!
 //! When [`crate::ServeConfig::admin_addr`] is set, the server binds a
 //! second listener that speaks just enough HTTP/1.1 for scrapers and
-//! humans with `curl` — `GET` only, one request per connection, no
-//! keep-alive, no dependencies. Routes:
+//! humans with `curl` — one request per connection, no keep-alive, no
+//! dependencies. Routes:
 //!
 //! | route | payload |
 //! |---|---|
@@ -12,6 +12,13 @@
 //! | `GET /snapshot?cursor=NAME` | Windowed delta since the last scrape that used cursor `NAME` (first use returns everything; see `qsnc_telemetry::snapshot_since`) |
 //! | `GET /slow` | Flight-recorder dump: the retained slow-request stage traces as a JSON array |
 //! | `GET /healthz` | `ok` |
+//! | `GET /models` | JSON array of registered models: id, name, engine version, input dims, quota, in-flight count, swap count, provenance digest |
+//! | `POST /models/swap?model=NAME&artifact=PATH` | Hot-swaps model `NAME` to the `.qsnca` artifact at `PATH` (percent-encoded). `200` with the swap report on success; `404` unknown model, `400` artifact/dims rejection |
+//!
+//! `/models/swap` is the one mutating route and requires `POST`; every
+//! other route requires `GET`. The artifact path is read by the serving
+//! process, so expose the admin listener only on a trusted interface
+//! (the default has no admin plane at all).
 //!
 //! The exposition maps the frozen dotted taxonomy onto Prometheus names
 //! by replacing every non-alphanumeric character with `_` and prefixing
@@ -29,6 +36,7 @@
 //! forever. Delta cursors live behind a mutex shared by the handlers; the
 //! data plane never waits on the admin plane.
 
+use crate::registry::{ModelRegistry, ModelStatus};
 use qsnc_telemetry::{DeltaCursor, HistogramSnapshot, QuantileSnapshot, Snapshot, SpanSnapshot};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -56,14 +64,15 @@ const SCRAPE_TIMEOUT: Duration = Duration::from_secs(2);
 pub(crate) fn spawn(
     addr: &str,
     running: Arc<AtomicBool>,
+    registry: Arc<ModelRegistry>,
 ) -> io::Result<(SocketAddr, JoinHandle<()>)> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
-    let handle = std::thread::spawn(move || admin_loop(&listener, &running));
+    let handle = std::thread::spawn(move || admin_loop(&listener, &running, &registry));
     Ok((local, handle))
 }
 
-fn admin_loop(listener: &TcpListener, running: &AtomicBool) {
+fn admin_loop(listener: &TcpListener, running: &AtomicBool, registry: &Arc<ModelRegistry>) {
     let cursors: Arc<Mutex<HashMap<String, DeltaCursor>>> = Arc::new(Mutex::new(HashMap::new()));
     loop {
         let stream = match listener.accept() {
@@ -85,7 +94,7 @@ fn admin_loop(listener: &TcpListener, running: &AtomicBool) {
         if stop {
             // Answer the final scrape inline; there is no one left to
             // accept for while it runs.
-            let _ = handle_connection(stream, &cursors);
+            let _ = handle_connection(stream, &cursors, registry);
             break;
         }
         // Handler threads keep the accept loop responsive while a slow
@@ -93,8 +102,9 @@ fn admin_loop(listener: &TcpListener, running: &AtomicBool) {
         // above bounds each handler's lifetime, so these threads cannot
         // accumulate past (stalled scrapers × timeout).
         let cursors = Arc::clone(&cursors);
+        let registry = Arc::clone(registry);
         std::thread::spawn(move || {
-            let _ = handle_connection(stream, &cursors);
+            let _ = handle_connection(stream, &cursors, &registry);
         });
     }
 }
@@ -102,6 +112,7 @@ fn admin_loop(listener: &TcpListener, running: &AtomicBool) {
 fn handle_connection(
     mut stream: TcpStream,
     cursors: &Mutex<HashMap<String, DeltaCursor>>,
+    registry: &Arc<ModelRegistry>,
 ) -> io::Result<()> {
     let mut head = Vec::new();
     let mut buf = [0u8; 1024];
@@ -122,13 +133,39 @@ fn handle_connection(
         (Some(m), Some(t)) => (m, t),
         _ => return respond(&mut stream, "400 Bad Request", "text/plain", "bad request\n"),
     };
-    if method != "GET" {
-        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
-    }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, Some(q)),
         None => (target, None),
     };
+    if path == "/models/swap" {
+        // The one mutating route: POST only, so a stray GET crawler can
+        // never trigger a swap.
+        if method != "POST" {
+            return respond(&mut stream, "405 Method Not Allowed", "text/plain", "POST only\n");
+        }
+        let model = query.and_then(|q| query_param(q, "model"));
+        let artifact = query.and_then(|q| query_param(q, "artifact"));
+        let (Some(model), Some(artifact)) = (model, artifact) else {
+            return respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain",
+                "model and artifact query parameters are required\n",
+            );
+        };
+        return match registry.swap_from_artifact(&model, &artifact) {
+            Ok(report) => {
+                respond(&mut stream, "200 OK", "application/json", &swap_report_json(&report))
+            }
+            Err(e @ crate::registry::SwapError::UnknownModel(_)) => {
+                respond(&mut stream, "404 Not Found", "text/plain", &format!("{e}\n"))
+            }
+            Err(e) => respond(&mut stream, "400 Bad Request", "text/plain", &format!("{e}\n")),
+        };
+    }
+    if method != "GET" {
+        return respond(&mut stream, "405 Method Not Allowed", "text/plain", "GET only\n");
+    }
     match path {
         "/metrics" => {
             let body = render_prometheus(&qsnc_telemetry::snapshot());
@@ -155,8 +192,52 @@ fn handle_connection(
             respond(&mut stream, "200 OK", "application/json", &body)
         }
         "/healthz" => respond(&mut stream, "200 OK", "text/plain", "ok\n"),
+        "/models" => {
+            respond(&mut stream, "200 OK", "application/json", &models_json(&registry.statuses()))
+        }
         _ => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
     }
+}
+
+/// Renders the `/models` payload: one JSON object per registered model,
+/// in model-id order. Names need no escaping — the registry only admits
+/// `[A-Za-z0-9._-]` — and digests render as fixed-width hex strings
+/// (u64s do not survive JSON number parsers intact).
+fn models_json(statuses: &[ModelStatus]) -> String {
+    let mut out = String::from("[");
+    for (i, s) in statuses.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let dims =
+            s.input_dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join(",");
+        let quota = s.quota.map_or_else(|| "null".to_string(), |q| q.to_string());
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"name\":\"{}\",\"version\":{},\"input_dims\":[{}],\"quota\":{},\
+             \"inflight\":{},\"swaps\":{},\"checkpoint_digest\":\"{:016x}\"}}",
+            s.id, s.name, s.version, dims, quota, s.inflight, s.swaps, s.checkpoint_digest
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// Renders the `POST /models/swap` success payload.
+fn swap_report_json(r: &crate::registry::SwapReport) -> String {
+    format!(
+        "{{\"model\":\"{}\",\"model_id\":{},\"old_version\":{},\"new_version\":{},\
+         \"old_digest\":\"{:016x}\",\"new_digest\":\"{:016x}\",\"drained\":{},\
+         \"drain_wait_us\":{}}}",
+        r.model,
+        r.model_id,
+        r.old_version,
+        r.new_version,
+        r.old_digest,
+        r.new_digest,
+        r.drained,
+        r.drain_wait_us
+    )
 }
 
 /// Extracts `cursor=NAME` from a query string (no percent-decoding:
@@ -166,6 +247,37 @@ fn query_cursor(query: &str) -> Option<String> {
         let (k, v) = pair.split_once('=')?;
         (k == "cursor" && !v.is_empty()).then(|| v.to_string())
     })
+}
+
+/// Extracts `key=VALUE` from a query string with `%XX` decoding — swap
+/// artifact paths carry `/` and may carry spaces. A literal `+` stays a
+/// `+` (encode spaces as `%20`).
+fn query_param(query: &str, key: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key && !v.is_empty()).then(|| percent_decode(v))
+    })
+}
+
+/// Minimal `%XX` percent-decoding; malformed escapes pass through
+/// verbatim rather than erroring (the result then simply names no file).
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 2 < bytes.len() {
+            let hex = |b: u8| (b as char).to_digit(16);
+            if let (Some(hi), Some(lo)) = (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 fn respond(
@@ -324,5 +436,39 @@ mod tests {
     fn empty_snapshot_renders_empty_exposition() {
         let snap = Snapshot::default();
         assert!(render_prometheus(&snap).is_empty());
+    }
+
+    #[test]
+    fn query_params_percent_decode() {
+        assert_eq!(
+            query_param("model=canary&artifact=%2Ftmp%2Fa%20b.qsnca", "artifact"),
+            Some("/tmp/a b.qsnca".to_string())
+        );
+        assert_eq!(query_param("model=canary", "model"), Some("canary".to_string()));
+        assert_eq!(query_param("model=", "model"), None);
+        assert_eq!(query_param("artifact=a", "model"), None);
+        // Malformed escapes pass through verbatim; '+' is not a space.
+        assert_eq!(percent_decode("a%ZZb+c%2"), "a%ZZb+c%2");
+    }
+
+    #[test]
+    fn models_json_renders_status_fields() {
+        let statuses = vec![ModelStatus {
+            id: 0,
+            name: "default".to_string(),
+            version: 2,
+            input_dims: vec![1, 28, 28],
+            quota: Some(16),
+            inflight: 3,
+            swaps: 1,
+            checkpoint_digest: 0xdead_beef,
+        }];
+        let json = models_json(&statuses);
+        assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+        assert!(json.contains("\"name\":\"default\""), "{json}");
+        assert!(json.contains("\"version\":2"), "{json}");
+        assert!(json.contains("\"input_dims\":[1,28,28]"), "{json}");
+        assert!(json.contains("\"quota\":16"), "{json}");
+        assert!(json.contains("\"checkpoint_digest\":\"00000000deadbeef\""), "{json}");
     }
 }

@@ -41,6 +41,11 @@ pub(crate) enum ReplyRoute {
 pub(crate) struct Request {
     /// Decoded input example.
     pub(crate) input: Vec<f32>,
+    /// The model entry + engine version this request was admitted against.
+    /// Resolved by the front end **at admission**, so a hot swap mid-queue
+    /// never changes which engine serves it. `None` only in batcher unit
+    /// tests, which exercise windowing without a compiled network.
+    pub(crate) lease: Option<crate::registry::Lease>,
     /// Where the worker sends the result.
     pub(crate) route: ReplyRoute,
     /// When the request was admitted to the queue (serve.latency_us start).
@@ -83,6 +88,10 @@ pub(crate) struct MicroBatcher {
     max_delay: Duration,
     /// Shared queue-occupancy gauge, decremented as requests are popped.
     depth: Arc<AtomicUsize>,
+    /// A request popped from the queue but held back because it targets a
+    /// different engine version than the batch being assembled — it opens
+    /// the next batch instead. Already depth-decremented.
+    carry: Option<Request>,
 }
 
 impl MicroBatcher {
@@ -93,7 +102,7 @@ impl MicroBatcher {
         depth: Arc<AtomicUsize>,
     ) -> Self {
         assert!(max_batch >= 1, "max_batch must be at least 1");
-        MicroBatcher { rx, max_batch, max_delay, depth }
+        MicroBatcher { rx, max_batch, max_delay, depth, carry: None }
     }
 
     fn pop(&self, req: Request, batch: &mut Vec<Request>) {
@@ -101,15 +110,32 @@ impl MicroBatcher {
         batch.push(req);
     }
 
+    /// Whether `req` can run in the same `infer_batch_into` call as the
+    /// batch opener: a batch is **version-homogeneous** — one engine
+    /// snapshot per batch — so a request for a different model (or a
+    /// just-swapped version of the same model) ends the window and opens
+    /// the next batch.
+    fn joins(batch: &[Request], req: &Request) -> bool {
+        match (batch.first().and_then(|r| r.lease.as_ref()), req.lease.as_ref()) {
+            (Some(a), Some(b)) => a.same_version(b),
+            // Lease-less requests only exist in unit tests; batch freely.
+            _ => true,
+        }
+    }
+
     /// Blocks for the next batch. Returns `None` once every producer has
     /// disconnected and the queue is drained — buffered requests are still
     /// delivered first, which is what makes shutdown drain rather than
     /// drop.
-    pub(crate) fn next_batch(&self) -> Option<Vec<Request>> {
+    pub(crate) fn next_batch(&mut self) -> Option<Vec<Request>> {
         let mut batch = Vec::with_capacity(self.max_batch);
-        match self.rx.recv() {
-            Ok(req) => self.pop(req, &mut batch),
-            Err(_) => return None,
+        match self.carry.take() {
+            // A carried request was depth-decremented when first popped.
+            Some(req) => batch.push(req),
+            None => match self.rx.recv() {
+                Ok(req) => self.pop(req, &mut batch),
+                Err(_) => return None,
+            },
         }
         let deadline = Instant::now() + self.max_delay;
         while batch.len() < self.max_batch {
@@ -118,7 +144,14 @@ impl MicroBatcher {
                 break;
             }
             match self.rx.recv_timeout(remaining) {
-                Ok(req) => self.pop(req, &mut batch),
+                Ok(req) if Self::joins(&batch, &req) => self.pop(req, &mut batch),
+                Ok(req) => {
+                    // Different engine version: flush now, start the next
+                    // batch from this request.
+                    self.depth.fetch_sub(1, Ordering::Relaxed);
+                    self.carry = Some(req);
+                    break;
+                }
                 Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
             }
         }
@@ -139,6 +172,7 @@ mod tests {
         (
             Request {
                 input: vec![v],
+                lease: None,
                 route: ReplyRoute::Thread(reply_tx),
                 enqueued: Instant::now(),
                 decode_us: 0,
@@ -153,7 +187,7 @@ mod tests {
         let (tx, rx) = mpsc::sync_channel(16);
         let depth = Arc::new(AtomicUsize::new(0));
         // A generous delay: the flush below must come from the size bound.
-        let batcher = MicroBatcher::new(rx, 3, Duration::from_secs(30), Arc::clone(&depth));
+        let mut batcher = MicroBatcher::new(rx, 3, Duration::from_secs(30), Arc::clone(&depth));
         let mut replies = Vec::new();
         for i in 0..5 {
             let (req, rrx) = request(i as f32);
@@ -174,7 +208,7 @@ mod tests {
     fn flushes_partial_batch_at_deadline() {
         let (tx, rx) = mpsc::sync_channel(16);
         let depth = Arc::new(AtomicUsize::new(0));
-        let batcher = MicroBatcher::new(rx, 8, Duration::from_millis(20), Arc::clone(&depth));
+        let mut batcher = MicroBatcher::new(rx, 8, Duration::from_millis(20), Arc::clone(&depth));
         let (req, _rrx) = request(7.0);
         depth.fetch_add(1, Ordering::Relaxed);
         tx.send(req).unwrap();
@@ -188,7 +222,7 @@ mod tests {
     fn drains_queue_after_disconnect_then_stops() {
         let (tx, rx) = mpsc::sync_channel(16);
         let depth = Arc::new(AtomicUsize::new(0));
-        let batcher = MicroBatcher::new(rx, 2, Duration::from_millis(5), Arc::clone(&depth));
+        let mut batcher = MicroBatcher::new(rx, 2, Duration::from_millis(5), Arc::clone(&depth));
         let mut replies = Vec::new();
         for i in 0..3 {
             let (req, rrx) = request(i as f32);

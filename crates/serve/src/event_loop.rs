@@ -50,6 +50,7 @@
 
 use crate::batcher::{Request, ReplyRoute, WorkerReply, QUEUE_DEPTH_EDGES};
 use crate::protocol::{self, FrameError, Status};
+use crate::registry::{Lease, ModelEntry, ModelRegistry, ModelVersion};
 use crate::sys::{
     epoll_create, epoll_ctl, epoll_wait, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT,
     EPOLLRDHUP, EPOLL_CTL_ADD, EPOLL_CTL_DEL, EPOLL_CTL_MOD,
@@ -98,8 +99,10 @@ const CONN_INFLIGHT_EDGES: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
 /// Front-end parameters resolved by [`crate::Server::spawn`].
 #[derive(Clone)]
 pub(crate) struct LoopConfig {
-    /// `f32`s per example; frames are validated against this.
-    pub(crate) input_len: usize,
+    /// The model table: frames resolve their model id (default for v1/v2)
+    /// against it, payloads are validated against the resolved engine's
+    /// input length, and admission leases the engine snapshot.
+    pub(crate) registry: Arc<ModelRegistry>,
     /// In-flight request budget per connection (tagged + untagged).
     pub(crate) max_inflight: usize,
     /// Connection-slot capacity per loop; accepts beyond it are refused
@@ -608,17 +611,33 @@ impl EventLoop {
                     break;
                 }
                 Ok(Some(view)) => {
+                    let Some((entry, version)) = self.cfg.registry.resolve(view.model) else {
+                        // Unknown model id. The frame's length parsed fine,
+                        // so consume it whole and answer the tag: the
+                        // stream stays framed and the connection survives.
+                        qsnc_telemetry::counter_add("serve.model.unknown", 1);
+                        qsnc_telemetry::counter_add("serve.bad_requests", 1);
+                        protocol::encode_error_reply(
+                            &mut conn.out,
+                            view.tag,
+                            Status::UnknownModel,
+                            &FrameError::unknown_model_message(view.model.unwrap_or(0)),
+                        );
+                        conn.rpos += view.consumed;
+                        continue;
+                    };
+                    let input_len = version.input_len;
                     let start = conn.rpos + view.payload_start;
                     let payload = &conn.rbuf[start..start + view.payload_len];
-                    let mut input = Vec::with_capacity(self.cfg.input_len);
+                    let mut input = Vec::with_capacity(input_len);
                     let decoded =
-                        protocol::decode_infer_payload(view.op, payload, self.cfg.input_len, &mut input);
+                        protocol::decode_infer_payload(view.op, payload, input_len, &mut input);
                     conn.rpos += view.consumed;
                     match decoded {
                         Ok(()) => {
                             let decode_us =
                                 t0.map_or(0, |t| t.elapsed().as_micros() as u64);
-                            self.admit(idx, conn, view.tag, input, decode_us, tele);
+                            self.admit(idx, conn, view.tag, input, decode_us, entry, version, tele);
                         }
                         Err(FrameError::Bad(msg)) => {
                             qsnc_telemetry::counter_add("serve.bad_requests", 1);
@@ -674,6 +693,7 @@ impl EventLoop {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn admit(
         &mut self,
         idx: usize,
@@ -681,6 +701,8 @@ impl EventLoop {
         tag: Option<u32>,
         input: Vec<f32>,
         decode_us: u64,
+        entry: Arc<ModelEntry>,
+        version: Arc<ModelVersion>,
         tele: bool,
     ) {
         if tag.is_some_and(|t| conn.tags.contains(&t)) {
@@ -706,6 +728,18 @@ impl EventLoop {
             );
             return;
         }
+        // The quota tier: this model at capacity answers Busy without
+        // touching the shared queue.
+        let Some(lease) = Lease::acquire(&entry, &version) else {
+            qsnc_telemetry::counter_add(&entry.tele_rejected, 1);
+            protocol::encode_error_reply(
+                &mut conn.out,
+                tag,
+                Status::Busy,
+                "model admission quota reached: retry",
+            );
+            return;
+        };
         let id = if tele { crate::next_request_id() } else { 0 };
         let enqueued = Instant::now();
         // Count before sending so the batcher's decrement can never
@@ -713,6 +747,7 @@ impl EventLoop {
         let occupied = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
         let req = Request {
             input,
+            lease: Some(lease),
             route: ReplyRoute::Loop {
                 shared: Arc::clone(&self.shared),
                 conn: idx as u32,
@@ -732,6 +767,7 @@ impl EventLoop {
                 }
                 if tele {
                     qsnc_telemetry::counter_add("serve.requests", 1);
+                    qsnc_telemetry::counter_add(&entry.tele_requests, 1);
                     qsnc_telemetry::quantile_observe("serve.stage.decode.us", decode_us as f64);
                     qsnc_telemetry::observe("serve.queue.depth", occupied as f64, QUEUE_DEPTH_EDGES);
                     qsnc_telemetry::observe(

@@ -7,6 +7,7 @@
 #![allow(dead_code)]
 
 use crate::batcher::{Request, WorkerReply};
+use crate::registry::ModelRegistry;
 use std::io;
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicUsize};
@@ -18,7 +19,7 @@ use std::time::Instant;
 /// See the real `event_loop::LoopConfig`.
 #[derive(Clone)]
 pub(crate) struct LoopConfig {
-    pub(crate) input_len: usize,
+    pub(crate) registry: Arc<ModelRegistry>,
     pub(crate) max_inflight: usize,
     pub(crate) max_conns: usize,
     pub(crate) slow_us: Option<u64>,

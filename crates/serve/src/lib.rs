@@ -50,6 +50,21 @@
 //! do the batcher and workers exit (the admin listener, when enabled,
 //! goes down last so `/metrics` stays scrapeable through the drain).
 //!
+//! ## Multi-model serving and hot swap
+//!
+//! [`Server::spawn_models`] registers several compiled engines behind the
+//! same port (one [`ModelSpec`] each). Protocol v3 frames carry a model
+//! id ([`protocol::write_request_routed`]); v1/v2 frames — and v3 frames
+//! naming model 0 — route to the first registered model, so every
+//! existing client keeps working unchanged. Each model gets its own
+//! admission-quota tier in the backpressure ladder
+//! ([`ServeConfig::model_quota`] / [`ModelSpec::quota`]), and
+//! [`Server::swap_artifact`] (or the admin `POST /models/swap` route)
+//! hot-swaps one model's engine from a fresh `.qsnca` artifact: atomic
+//! engine-pointer swap, then a bounded drain of the requests admitted
+//! against the old version before it is released. See [`mod@registry`]
+//! for the admission/lease/drain mechanics.
+//!
 //! Telemetry (enable with `QSNC_TELEMETRY`) records under the frozen
 //! `serve.*` taxonomy: `serve.queue.depth` and `serve.batch.size`
 //! fixed-bucket histograms; `serve.latency_us` and the per-stage
@@ -59,7 +74,10 @@
 //! front end adds `serve.conn.active` / `serve.conn.inflight` histograms,
 //! `serve.conn.refused` / `serve.conn.rejected` counters, and
 //! `serve.loop.{wakeups,events,completions}` counters with the
-//! `serve.loop.dispatch.us` sketch. Requests slower than
+//! `serve.loop.dispatch.us` sketch. Multi-model serving adds the
+//! per-model `serve.model.{name}.requests` / `.rejected` / `.swaps`
+//! counters, the `serve.model.{name}.infer.us` sketch, and the
+//! `serve.model.unknown` counter. Requests slower than
 //! `QSNC_SERVE_SLOW_US` leave a full stage trace in the telemetry flight
 //! recorder.
 //!
@@ -75,6 +93,7 @@
 pub mod admin;
 mod batcher;
 pub mod protocol;
+pub mod registry;
 
 #[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
 mod sys;
@@ -87,11 +106,14 @@ mod event_loop;
 mod event_loop;
 
 pub use protocol::{Reply, Status};
+pub use registry::{ModelSpec, ModelStatus, SwapReport};
 
 use batcher::{MicroBatcher, ReplyRoute, Request, WorkerReply, QUEUE_DEPTH_EDGES};
 use event_loop::{Completion, LoopConfig, LoopShared};
 use qsnc_memristor::SpikingNetwork;
 use qsnc_tensor::Tensor;
+use registry::{Lease, ModelEntry, ModelRegistry, ModelVersion};
+use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -173,6 +195,18 @@ pub struct ServeConfig {
     /// admin `/slow` route (`QSNC_SERVE_SLOW_US`). `None` disables slow
     /// capture.
     pub slow_us: Option<u64>,
+    /// Default per-model admission quota (`QSNC_SERVE_MODEL_QUOTA`): at
+    /// most this many requests per model in flight at once, the overflow
+    /// answered [`Status::Busy`]. Applies to every registered model
+    /// without its own [`ModelSpec::quota`]; `None` — the default — means
+    /// unlimited (only the global queue bounds admission).
+    pub model_quota: Option<usize>,
+    /// How long a hot swap waits, in milliseconds, for requests admitted
+    /// against the old engine version to finish before giving up on the
+    /// synchronous drain (`QSNC_SERVE_SWAP_DRAIN_MS`). The old engine is
+    /// still released once its last request completes either way; see
+    /// [`SwapReport::drained`].
+    pub swap_drain_ms: u64,
 }
 
 /// Default connection cap for the event-loop front end.
@@ -195,6 +229,8 @@ impl Default for ServeConfig {
             max_conns: None,
             admin_addr: None,
             slow_us: None,
+            model_quota: None,
+            swap_drain_ms: 10_000,
         }
     }
 }
@@ -203,7 +239,7 @@ impl ServeConfig {
     /// Default config with the `QSNC_SERVE_*` environment overrides
     /// applied (invalid values are ignored): `MAX_BATCH`, `MAX_DELAY_US`,
     /// `FRONT_END`, `LOOPS`, `MAX_INFLIGHT_PER_CONN`, `MAX_CONNS`,
-    /// `ADMIN_ADDR`, `SLOW_US`.
+    /// `ADMIN_ADDR`, `SLOW_US`, `MODEL_QUOTA`, `SWAP_DRAIN_MS`.
     pub fn from_env() -> Self {
         let mut config = ServeConfig::default();
         if let Some(v) = env_parse("QSNC_SERVE_MAX_BATCH") {
@@ -235,6 +271,12 @@ impl ServeConfig {
             }
         }
         config.slow_us = env_parse("QSNC_SERVE_SLOW_US");
+        if let Some(v) = env_parse("QSNC_SERVE_MODEL_QUOTA") {
+            config.model_quota = Some(1.max(v as usize));
+        }
+        if let Some(v) = env_parse("QSNC_SERVE_SWAP_DRAIN_MS") {
+            config.swap_drain_ms = v;
+        }
         config
     }
 }
@@ -291,6 +333,7 @@ pub struct Server {
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     admin: Option<JoinHandle<()>>,
+    registry: Arc<ModelRegistry>,
 }
 
 impl Server {
@@ -363,13 +406,105 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServeConfig,
     ) -> io::Result<Server> {
+        Server::spawn_models(
+            vec![ModelSpec::new("default", snn, input_dims.to_vec())],
+            addr,
+            config,
+        )
+    }
+
+    /// Binds `addr` and serves **several models behind one port** — one
+    /// [`ModelSpec`] per model, the first spec becoming the default model
+    /// (id 0) that v1/v2 frames route to. Protocol v3 frames select a
+    /// model by its registration index
+    /// ([`protocol::write_request_routed`]); a frame naming an
+    /// unregistered id gets a tagged [`Status::UnknownModel`] reply and
+    /// the connection stays usable. [`Server::swap_artifact`] hot-swaps
+    /// any registered model's engine later without dropping traffic.
+    ///
+    /// # Errors
+    ///
+    /// An empty spec list, a duplicate or malformed model name
+    /// ([`ModelSpec::name`]) surfaces as [`io::ErrorKind::InvalidInput`];
+    /// bind/listen errors pass through.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` has a zero `max_batch`, `queue_cap`, `workers`,
+    /// `loops`, or `max_inflight_per_conn`, or if a spec's `input_dims`
+    /// is empty/zero-sized.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qsnc_memristor::{DeployConfig, SpikingNetwork};
+    /// use qsnc_quant::{
+    ///     insert_signal_stages, quantize_network_weights, ActivationQuantizer,
+    ///     ActivationRegularizer, WeightQuantMethod,
+    /// };
+    /// use qsnc_serve::{protocol, ModelSpec, ServeConfig, Server, Status};
+    /// use qsnc_tensor::TensorRng;
+    /// use std::sync::Arc;
+    ///
+    /// // Deploy a 4-bit LeNet and serve it under two model ids.
+    /// let mut rng = TensorRng::seed(0);
+    /// let mut net = qsnc_nn::models::lenet(0.25, 10, &mut rng);
+    /// let (switch, _) = insert_signal_stages(
+    ///     &mut net,
+    ///     ActivationRegularizer::neuron_convergence(4),
+    ///     0.0,
+    ///     ActivationQuantizer::new(4),
+    /// );
+    /// switch.set_enabled(true);
+    /// quantize_network_weights(&mut net, 4, WeightQuantMethod::Clustered);
+    /// let snn = Arc::new(SpikingNetwork::compile(&net, &DeployConfig::paper(4, 4), None)?);
+    ///
+    /// let mut server = Server::spawn_models(
+    ///     vec![
+    ///         // First spec = default model (id 0), what v1/v2 frames hit.
+    ///         ModelSpec::new("lenet-prod", Arc::clone(&snn), vec![1, 28, 28]),
+    ///         // Id 1, capped at 16 in-flight requests of its own.
+    ///         ModelSpec::new("lenet-canary", Arc::clone(&snn), vec![1, 28, 28]).with_quota(16),
+    ///     ],
+    ///     "127.0.0.1:0",
+    ///     ServeConfig::default(),
+    /// )?;
+    /// assert_eq!(server.models().len(), 2);
+    ///
+    /// // A v3 frame routed to model 1; the reply echoes the tag.
+    /// let mut conn = std::net::TcpStream::connect(server.local_addr())?;
+    /// protocol::write_request_routed(&mut conn, 7, 1, &[0.5f32; 28 * 28])?;
+    /// let reply = protocol::read_reply(&mut conn)?;
+    /// assert_eq!(reply.status, Status::Ok);
+    /// assert_eq!(reply.tag, Some(7));
+    ///
+    /// // An unregistered id answers UnknownModel; the connection survives.
+    /// protocol::write_request_routed(&mut conn, 8, 9, &[0.5f32; 28 * 28])?;
+    /// assert_eq!(protocol::read_reply(&mut conn)?.status, Status::UnknownModel);
+    /// protocol::write_request(&mut conn, &[0.5f32; 28 * 28])?; // v1 → default
+    /// assert_eq!(protocol::read_reply(&mut conn)?.status, Status::Ok);
+    ///
+    /// server.shutdown();
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn spawn_models(
+        specs: Vec<ModelSpec>,
+        addr: impl ToSocketAddrs,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
         assert!(config.max_batch >= 1, "max_batch must be at least 1");
         assert!(config.queue_cap >= 1, "queue_cap must be at least 1");
         assert!(config.workers >= 1, "need at least one worker");
         assert!(config.loops >= 1, "need at least one event loop");
         assert!(config.max_inflight_per_conn >= 1, "max_inflight_per_conn must be at least 1");
-        let input_len: usize = input_dims.iter().product();
-        assert!(input_len > 0, "input_dims must describe a non-empty example");
+        let registry = Arc::new(
+            ModelRegistry::new(
+                specs,
+                config.model_quota,
+                Duration::from_millis(config.swap_drain_ms),
+            )
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidInput, msg))?,
+        );
 
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
@@ -385,7 +520,7 @@ impl Server {
                 if !qsnc_telemetry::enabled() {
                     qsnc_telemetry::set_mode(qsnc_telemetry::TelemetryMode::Record);
                 }
-                Some(admin::spawn(addr, Arc::clone(&running))?)
+                Some(admin::spawn(addr, Arc::clone(&running), Arc::clone(&registry))?)
             }
             None => None,
         };
@@ -401,7 +536,7 @@ impl Server {
         let (work_tx, work_rx) = mpsc::sync_channel::<Vec<Request>>(0);
         let work_rx = Arc::new(Mutex::new(work_rx));
 
-        let micro = MicroBatcher::new(
+        let mut micro = MicroBatcher::new(
             req_rx,
             config.max_batch,
             Duration::from_micros(config.max_delay_us),
@@ -419,11 +554,9 @@ impl Server {
 
         let workers = (0..config.workers)
             .map(|_| {
-                let snn = Arc::clone(&snn);
-                let dims = input_dims.to_vec();
                 let rx = Arc::clone(&work_rx);
                 let max_batch = config.max_batch;
-                std::thread::spawn(move || worker_loop(&snn, &dims, max_batch, &rx))
+                std::thread::spawn(move || worker_loop(max_batch, &rx))
             })
             .collect();
 
@@ -431,7 +564,7 @@ impl Server {
             FrontEnd::EventLoop => {
                 let max_conns = config.max_conns.unwrap_or(DEFAULT_MAX_CONNS_EVENT_LOOP);
                 let loop_cfg = LoopConfig {
-                    input_len,
+                    registry: Arc::clone(&registry),
                     max_inflight: config.max_inflight_per_conn,
                     // The cap is per loop; split the budget across loops so
                     // the process-wide total honors the config.
@@ -458,9 +591,10 @@ impl Server {
                     let req_tx = req_tx.clone();
                     let depth = Arc::clone(&depth);
                     let slow_us = config.slow_us;
+                    let registry = Arc::clone(&registry);
                     std::thread::spawn(move || {
                         acceptor_loop(
-                            &listener, &running, req_tx, &conns, input_len, &depth, slow_us,
+                            &listener, &running, req_tx, &conns, &registry, &depth, slow_us,
                             max_conns,
                         )
                     })
@@ -478,6 +612,7 @@ impl Server {
             batcher: Some(batcher),
             workers,
             admin: admin_handle,
+            registry,
         })
     }
 
@@ -503,11 +638,41 @@ impl Server {
         addr: impl ToSocketAddrs,
         config: ServeConfig,
     ) -> io::Result<Server> {
-        let loaded = qsnc_memristor::load_artifact(path).map_err(|e| match e {
-            qsnc_memristor::ArtifactError::Io(io) => io,
-            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
-        })?;
-        Server::spawn(Arc::new(loaded.network), &loaded.input_dims, addr, config)
+        let spec = ModelSpec::from_artifact("default", path)?;
+        Server::spawn_models(vec![spec], addr, config)
+    }
+
+    /// Point-in-time status of every registered model, in model-id order:
+    /// current engine version, in-flight count, quota, swap count, and
+    /// provenance digest. The admin `GET /models` route serves the same
+    /// view as JSON.
+    pub fn models(&self) -> Vec<ModelStatus> {
+        self.registry.statuses()
+    }
+
+    /// Hot-swaps the model named `model` to the engine in the `.qsnca`
+    /// artifact at `path`, without dropping traffic: the artifact is
+    /// loaded and validated (its input dims must match the registered
+    /// model's), the engine pointer is swapped atomically, and the call
+    /// then waits — bounded by [`ServeConfig::swap_drain_ms`] — until
+    /// every request admitted against the old version has been answered.
+    /// Requests admitted before the swap get replies bit-identical to the
+    /// old engine's; requests admitted after run on the new engine. The
+    /// admin `POST /models/swap?model=NAME&artifact=PATH` route performs
+    /// the same operation over HTTP.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::NotFound`] for an unregistered model name,
+    /// [`io::ErrorKind::InvalidInput`] for an input-dims mismatch;
+    /// artifact I/O errors pass through and artifact validation failures
+    /// surface as [`io::ErrorKind::InvalidData`].
+    pub fn swap_artifact(
+        &self,
+        model: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> io::Result<SwapReport> {
+        self.registry.swap_from_artifact(model, path).map_err(registry::SwapError::into_io)
     }
 
     /// The bound address (resolves port 0 to the actual ephemeral port).
@@ -618,7 +783,7 @@ fn acceptor_loop(
     running: &AtomicBool,
     req_tx: SyncSender<Request>,
     conns: &Mutex<Vec<ConnSlot>>,
-    input_len: usize,
+    registry: &Arc<ModelRegistry>,
     depth: &Arc<AtomicUsize>,
     slow_us: Option<u64>,
     max_conns: usize,
@@ -668,10 +833,11 @@ fn acceptor_loop(
         let read_half = stream.try_clone().ok();
         let tx = req_tx.clone();
         let d = Arc::clone(depth);
+        let reg = Arc::clone(registry);
         active.fetch_add(1, Ordering::Relaxed);
         let active_thread = Arc::clone(&active);
         let handle = std::thread::spawn(move || {
-            connection_loop(stream, input_len, &tx, &d, slow_us);
+            connection_loop(stream, &reg, &tx, &d, slow_us);
             active_thread.fetch_sub(1, Ordering::Relaxed);
         });
         conns.lock().unwrap().push((read_half, handle));
@@ -680,28 +846,60 @@ fn acceptor_loop(
 
 fn connection_loop(
     mut stream: TcpStream,
-    input_len: usize,
+    registry: &Arc<ModelRegistry>,
     req_tx: &SyncSender<Request>,
     depth: &AtomicUsize,
     slow_us: Option<u64>,
 ) {
-    let mut input: Vec<f32> = Vec::with_capacity(input_len);
+    let mut input: Vec<f32> = Vec::new();
     loop {
         // One relaxed atomic load per request: with telemetry off the
         // untraced read path takes no timestamps at all.
         let tele = qsnc_telemetry::enabled();
-        let read = if tele {
-            protocol::read_request_traced(&mut stream, input_len, &mut input)
-        } else {
-            protocol::read_request(&mut stream, input_len, &mut input)
+        // The model the frame being read resolves to, stashed by the
+        // lookup callback mid-read so admission can lease the same engine
+        // snapshot the payload was validated against.
+        let mut resolved: Option<(Arc<ModelEntry>, Arc<ModelVersion>)> = None;
+        let read = {
+            let resolved = &mut resolved;
+            let mut lookup = |model: Option<u32>| -> Option<usize> {
+                let (entry, version) = registry.resolve(model)?;
+                let input_len = version.input_len;
+                *resolved = Some((entry, version));
+                Some(input_len)
+            };
+            if tele {
+                protocol::read_request_routed_traced(&mut stream, &mut lookup, &mut input)
+            } else {
+                protocol::read_request_routed(&mut stream, &mut lookup, &mut input)
+            }
         };
         match read {
             Ok(meta) => {
+                let (entry, version) =
+                    resolved.take().expect("a parsed request always resolved its model");
+                // The quota tier: this model at capacity answers Busy
+                // without touching the shared queue.
+                let Some(lease) = Lease::acquire(&entry, &version) else {
+                    qsnc_telemetry::counter_add(&entry.tele_rejected, 1);
+                    if protocol::write_error_reply(
+                        &mut stream,
+                        meta.tag,
+                        Status::Busy,
+                        "model admission quota reached: retry",
+                    )
+                    .is_err()
+                    {
+                        break;
+                    }
+                    continue;
+                };
                 let id = if tele { next_request_id() } else { 0 };
                 let (reply_tx, reply_rx) = mpsc::channel::<WorkerReply>();
                 let admitted = Instant::now();
                 let req = Request {
                     input: std::mem::take(&mut input),
+                    lease: Some(lease),
                     route: ReplyRoute::Thread(reply_tx),
                     enqueued: admitted,
                     decode_us: meta.decode_us,
@@ -714,6 +912,7 @@ fn connection_loop(
                     Ok(()) => {
                         if tele {
                             qsnc_telemetry::counter_add("serve.requests", 1);
+                            qsnc_telemetry::counter_add(&entry.tele_requests, 1);
                             qsnc_telemetry::quantile_observe(
                                 "serve.stage.decode.us",
                                 meta.decode_us as f64,
@@ -813,6 +1012,22 @@ fn connection_loop(
                     break;
                 }
             }
+            Err(protocol::FrameError::UnknownModel { tag, model }) => {
+                // The payload was consumed, so the stream is still framed:
+                // answer the offending tag and keep serving the connection.
+                qsnc_telemetry::counter_add("serve.model.unknown", 1);
+                qsnc_telemetry::counter_add("serve.bad_requests", 1);
+                if protocol::write_error_reply(
+                    &mut stream,
+                    tag,
+                    Status::UnknownModel,
+                    &protocol::FrameError::unknown_model_message(model),
+                )
+                .is_err()
+                {
+                    break;
+                }
+            }
             Err(protocol::FrameError::TooLarge { tag, declared }) => {
                 // Oversized declaration: reply to the offending tag (so a
                 // multiplexed client sees *which* request died) before
@@ -836,16 +1051,11 @@ fn connection_loop(
     }
 }
 
-fn worker_loop(
-    snn: &SpikingNetwork,
-    input_dims: &[usize],
-    max_batch: usize,
-    work_rx: &Mutex<Receiver<Vec<Request>>>,
-) {
-    let input_len: usize = input_dims.iter().product();
-    // One cached input tensor per batch size: after each size has been
-    // seen once, packing + inference allocate nothing.
-    let mut tensors: Vec<Option<Tensor>> = (0..=max_batch).map(|_| None).collect();
+fn worker_loop(max_batch: usize, work_rx: &Mutex<Receiver<Vec<Request>>>) {
+    // One cached input tensor per (input shape, batch size): after each
+    // combination has been seen once, packing + inference allocate
+    // nothing. Keyed by shape because different models can differ in dims.
+    let mut tensors: HashMap<Vec<usize>, Vec<Option<Tensor>>> = HashMap::new();
     let mut out: Vec<f32> = Vec::new();
     loop {
         let batch = match work_rx.lock() {
@@ -855,14 +1065,26 @@ fn worker_loop(
         let Ok(batch) = batch else { break };
         let b = batch.len();
         debug_assert!(b >= 1 && b <= max_batch, "batcher produced batch of {b}");
+        // The batcher keeps batches version-homogeneous, so the opener's
+        // lease names the engine for the whole batch.
+        let (entry, version) = {
+            let lease = batch[0].lease.as_ref().expect("served requests always carry a lease");
+            (Arc::clone(lease.entry()), Arc::clone(lease.version()))
+        };
+        let input_len = version.input_len;
         let tele = qsnc_telemetry::enabled();
         // Queue time ends when the worker takes the batch over: everything
         // between admission and here (queue wait + batch forming) is the
         // queue stage from the request's point of view.
         let picked_up = tele.then(Instant::now);
-        let xs = tensors[b].get_or_insert_with(|| {
+        if !tensors.contains_key(&version.input_dims) {
+            tensors
+                .insert(version.input_dims.clone(), (0..=max_batch).map(|_| None).collect());
+        }
+        let cache = tensors.get_mut(&version.input_dims).expect("inserted above");
+        let xs = cache[b].get_or_insert_with(|| {
             let mut dims = vec![b];
-            dims.extend_from_slice(input_dims);
+            dims.extend_from_slice(&version.input_dims);
             Tensor::from_vec(vec![0.0; b * input_len], dims)
         });
         let slice = xs.as_mut_slice();
@@ -870,12 +1092,13 @@ fn worker_loop(
             slice[i * input_len..(i + 1) * input_len].copy_from_slice(&req.input);
         }
         let t_infer = tele.then(Instant::now);
-        snn.infer_batch_into(xs, &mut out);
+        version.network.infer_batch_into(xs, &mut out);
         // The batched engine call is shared: infer_us is recorded once per
         // batch in the sketch but attached to every request's trace.
         let infer_us = t_infer.map_or(0, |t| t.elapsed().as_micros() as u64);
         if tele {
             qsnc_telemetry::quantile_observe("serve.stage.infer.us", infer_us as f64);
+            qsnc_telemetry::quantile_observe(&entry.tele_infer_us, infer_us as f64);
         }
         let stride = out.len() / b;
         for (i, req) in batch.into_iter().enumerate() {

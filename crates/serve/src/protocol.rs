@@ -1,4 +1,4 @@
-//! Length-prefixed binary wire protocol, versions 1 and 2.
+//! Length-prefixed binary wire protocol, versions 1, 2 and 3.
 //!
 //! **Version 1** — one request in flight per connection, untagged frames:
 //!
@@ -27,7 +27,31 @@
 //! 14      len   payload
 //! ```
 //!
-//! Both versions interleave freely on one connection. A v1 frame gates
+//! **Version 3** — model routing: a v2 tagged frame plus a 32-bit **model
+//! id** selecting which registered model serves the request (`0` is always
+//! the default model, so a v3 frame with model 0 behaves exactly like a v2
+//! frame). Replies to v3 requests come back as **v2 tagged frames** — the
+//! model id shapes routing, not the reply wire format:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic   = 0x434E5351
+//! 4       1     version = 3
+//! 5       1     request: op (0 = infer)
+//! 6       4     tag, little-endian (echoed in the v2 reply)
+//! 10      4     model id, little-endian (0 = default model)
+//! 14      4     payload length in bytes, little-endian
+//! 18      len   payload
+//! ```
+//!
+//! A model id no registered model answers to gets a **tagged**
+//! [`Status::UnknownModel`] reply; the frame is consumed and the
+//! connection survives (the payload length parsed fine, so the stream
+//! stays framed). Frames without a model id (v1 and v2) route to the
+//! default model, which is what keeps every pre-v3 client working
+//! unchanged against a multi-model server.
+//!
+//! All versions interleave freely on one connection. A v1 frame gates
 //! further parsing until its reply is written (its reply is only
 //! identifiable by arrival order), so lockstep v1 clients keep their exact
 //! PR 4 semantics; v2 frames pipeline up to the server's per-connection
@@ -60,6 +84,9 @@ pub const VERSION: u8 = 1;
 /// Protocol version 2: tagged multiplexed frames.
 pub const VERSION_V2: u8 = 2;
 
+/// Protocol version 3: tagged frames carrying a model id (replies stay v2).
+pub const VERSION_V3: u8 = 3;
+
 /// Request opcode: run inference on one example.
 pub const OP_INFER: u8 = 0;
 
@@ -71,6 +98,9 @@ pub const HEADER_BYTES: usize = 10;
 
 /// Bytes in the fixed v2 frame header (v1 plus the tag field).
 pub const HEADER_V2_BYTES: usize = 14;
+
+/// Bytes in the fixed v3 frame header (v2 plus the model-id field).
+pub const HEADER_V3_BYTES: usize = 18;
 
 /// Reply status codes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +114,9 @@ pub enum Status {
     BadRequest,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// A v3 frame named a model id no registered model answers to. The
+    /// frame was consumed; the connection survives.
+    UnknownModel,
 }
 
 impl Status {
@@ -93,6 +126,7 @@ impl Status {
             Status::Busy => 1,
             Status::BadRequest => 2,
             Status::ShuttingDown => 3,
+            Status::UnknownModel => 4,
         }
     }
 
@@ -102,6 +136,7 @@ impl Status {
             1 => Some(Status::Busy),
             2 => Some(Status::BadRequest),
             3 => Some(Status::ShuttingDown),
+            4 => Some(Status::UnknownModel),
             _ => None,
         }
     }
@@ -145,6 +180,16 @@ pub enum FrameError {
         /// The declared payload length.
         declared: u32,
     },
+    /// A v3 frame named a model id the server's registry does not hold.
+    /// The payload was consumed (its length parsed fine), so the stream
+    /// stays framed and the connection survives; the server must send
+    /// `tag` a [`Status::UnknownModel`] reply.
+    UnknownModel {
+        /// Tag of the offending frame.
+        tag: Option<u32>,
+        /// The model id no registered model answers to.
+        model: u32,
+    },
     /// Transport error.
     Io(io::Error),
 }
@@ -155,6 +200,12 @@ impl FrameError {
     pub fn too_large_message(declared: u32) -> String {
         format!("frame of {declared} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
     }
+
+    /// The reply message both front ends send for a
+    /// [`FrameError::UnknownModel`] rejection.
+    pub fn unknown_model_message(model: u32) -> String {
+        format!("no model registered under id {model}")
+    }
 }
 
 /// Everything the server needs to know about one well-framed request
@@ -162,8 +213,12 @@ impl FrameError {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RequestMeta {
     /// The client's tag (`None` for a v1 frame). The reply must carry the
-    /// same tag in the same protocol version.
+    /// same tag — in a v2 frame when the request was v2 **or v3** (model
+    /// routing never changes the reply wire format).
     pub tag: Option<u32>,
+    /// The model id a v3 frame routed to (`None` for v1/v2 frames, which
+    /// route to the default model).
+    pub model: Option<u32>,
     /// Microseconds spent reading + parsing the payload after the header
     /// arrived (zero on the untraced path).
     pub decode_us: u64,
@@ -173,12 +228,14 @@ pub struct RequestMeta {
 /// frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameView {
-    /// Protocol version of the frame (1 or 2).
+    /// Protocol version of the frame (1, 2 or 3).
     pub version: u8,
     /// Request opcode byte.
     pub op: u8,
-    /// Tag for v2 frames, `None` for v1.
+    /// Tag for v2/v3 frames, `None` for v1.
     pub tag: Option<u32>,
+    /// Model id for v3 frames, `None` for v1/v2 (default-model routing).
+    pub model: Option<u32>,
     /// Byte offset of the payload within the parsed buffer.
     pub payload_start: usize,
     /// Payload length in bytes.
@@ -209,10 +266,10 @@ pub fn parse_frame(buf: &[u8]) -> Result<Option<FrameView>, FrameError> {
     }
     let version = buf[4];
     let op = buf[5];
-    let (tag, len, header) = match version {
+    let (tag, model, len, header) = match version {
         VERSION => {
             let len = u32::from_le_bytes(buf[6..10].try_into().unwrap());
-            (None, len, HEADER_BYTES)
+            (None, None, len, HEADER_BYTES)
         }
         VERSION_V2 => {
             if buf.len() < HEADER_V2_BYTES {
@@ -220,11 +277,20 @@ pub fn parse_frame(buf: &[u8]) -> Result<Option<FrameView>, FrameError> {
             }
             let tag = u32::from_le_bytes(buf[6..10].try_into().unwrap());
             let len = u32::from_le_bytes(buf[10..14].try_into().unwrap());
-            (Some(tag), len, HEADER_V2_BYTES)
+            (Some(tag), None, len, HEADER_V2_BYTES)
+        }
+        VERSION_V3 => {
+            if buf.len() < HEADER_V3_BYTES {
+                return Ok(None);
+            }
+            let tag = u32::from_le_bytes(buf[6..10].try_into().unwrap());
+            let model = u32::from_le_bytes(buf[10..14].try_into().unwrap());
+            let len = u32::from_le_bytes(buf[14..18].try_into().unwrap());
+            (Some(tag), Some(model), len, HEADER_V3_BYTES)
         }
         other => {
             return Err(FrameError::Fatal(format!(
-                "unsupported protocol version {other} (expected {VERSION} or {VERSION_V2})"
+                "unsupported protocol version {other} (expected {VERSION}, {VERSION_V2} or {VERSION_V3})"
             )));
         }
     };
@@ -243,6 +309,7 @@ pub fn parse_frame(buf: &[u8]) -> Result<Option<FrameView>, FrameError> {
         version,
         op,
         tag,
+        model,
         payload_start: header,
         payload_len: len as usize,
         consumed: total,
@@ -258,9 +325,10 @@ fn read_exact_or_disconnect(r: &mut impl Read, buf: &mut [u8]) -> Result<(), Fra
 }
 
 /// Server side (blocking, threaded front end): reads one infer request of
-/// either protocol version, validating framing and that the payload holds
-/// exactly `input_len` `f32`s, which are appended to `input` (cleared
-/// first). Payload bytes stage through the thread's
+/// any protocol version against a **single-model** server serving
+/// `input_len`-element examples. A v3 frame naming any model id other than
+/// 0 yields [`FrameError::UnknownModel`]. The decoded example is appended
+/// to `input` (cleared first). Payload bytes stage through the thread's
 /// [`qsnc_tensor::scratch`] arena, so a persistent connection thread reads
 /// allocation-free once warm.
 pub fn read_request(
@@ -268,7 +336,7 @@ pub fn read_request(
     input_len: usize,
     input: &mut Vec<f32>,
 ) -> Result<RequestMeta, FrameError> {
-    read_request_inner(r, input_len, input, false)
+    read_request_routed_inner(r, &mut single_model_lookup(input_len), input, false)
 }
 
 /// [`read_request`] plus decode timing: on success `decode_us` holds the
@@ -282,12 +350,47 @@ pub fn read_request_traced(
     input_len: usize,
     input: &mut Vec<f32>,
 ) -> Result<RequestMeta, FrameError> {
-    read_request_inner(r, input_len, input, true)
+    read_request_routed_inner(r, &mut single_model_lookup(input_len), input, true)
 }
 
-fn read_request_inner(
+/// The lookup a single-model server implies: frames without a model id and
+/// v3 frames naming model 0 resolve to the one model; everything else is
+/// unknown.
+fn single_model_lookup(input_len: usize) -> impl FnMut(Option<u32>) -> Option<usize> {
+    move |model| match model {
+        None | Some(0) => Some(input_len),
+        Some(_) => None,
+    }
+}
+
+/// Server side (blocking, threaded front end), **multi-model**: reads one
+/// infer request of any protocol version, resolving the frame's model id
+/// through `lookup` — called exactly once per frame with `None` for v1/v2
+/// frames (default-model routing) or `Some(id)` for v3 frames, returning
+/// the resolved model's expected `input_len` (or `None` when no model
+/// answers to the id, which yields [`FrameError::UnknownModel`] after the
+/// payload is consumed to keep the stream framed). The callback is where
+/// the serving layer snapshots which engine will run the request.
+pub fn read_request_routed(
     r: &mut impl Read,
-    input_len: usize,
+    lookup: &mut dyn FnMut(Option<u32>) -> Option<usize>,
+    input: &mut Vec<f32>,
+) -> Result<RequestMeta, FrameError> {
+    read_request_routed_inner(r, lookup, input, false)
+}
+
+/// [`read_request_routed`] plus decode timing, as [`read_request_traced`].
+pub fn read_request_routed_traced(
+    r: &mut impl Read,
+    lookup: &mut dyn FnMut(Option<u32>) -> Option<usize>,
+    input: &mut Vec<f32>,
+) -> Result<RequestMeta, FrameError> {
+    read_request_routed_inner(r, lookup, input, true)
+}
+
+fn read_request_routed_inner(
+    r: &mut impl Read,
+    lookup: &mut dyn FnMut(Option<u32>) -> Option<usize>,
     input: &mut Vec<f32>,
     timed: bool,
 ) -> Result<RequestMeta, FrameError> {
@@ -302,30 +405,42 @@ fn read_request_inner(
     let version = header[4];
     let op = header[5];
     let t0 = timed.then(Instant::now);
-    let (tag, len) = match version {
-        VERSION => (None, u32::from_le_bytes(header[6..10].try_into().unwrap())),
+    let (tag, model, len) = match version {
+        VERSION => (None, None, u32::from_le_bytes(header[6..10].try_into().unwrap())),
         VERSION_V2 => {
             let tag = u32::from_le_bytes(header[6..10].try_into().unwrap());
             let mut rest = [0u8; 4];
             read_exact_or_disconnect(r, &mut rest)?;
-            (Some(tag), u32::from_le_bytes(rest))
+            (Some(tag), None, u32::from_le_bytes(rest))
+        }
+        VERSION_V3 => {
+            let tag = u32::from_le_bytes(header[6..10].try_into().unwrap());
+            let mut rest = [0u8; 8];
+            read_exact_or_disconnect(r, &mut rest)?;
+            let model = u32::from_le_bytes(rest[0..4].try_into().unwrap());
+            (Some(tag), Some(model), u32::from_le_bytes(rest[4..8].try_into().unwrap()))
         }
         other => {
             return Err(FrameError::Fatal(format!(
-                "unsupported protocol version {other} (expected {VERSION} or {VERSION_V2})"
+                "unsupported protocol version {other} (expected {VERSION}, {VERSION_V2} or {VERSION_V3})"
             )));
         }
     };
     if len > MAX_FRAME_BYTES {
         return Err(FrameError::TooLarge { tag, declared: len });
     }
+    let resolved = lookup(model);
     // From here the payload length is trusted: consume it fully so the
-    // stream stays framed even when the request is rejected.
+    // stream stays framed even when the request is rejected (including the
+    // unknown-model case — its connection must survive).
     let mut payload = qsnc_tensor::scratch::take_u8(len as usize);
     let read = read_exact_or_disconnect(r, &mut payload);
     let result = read.and_then(|()| {
+        let Some(input_len) = resolved else {
+            return Err(FrameError::UnknownModel { tag, model: model.unwrap_or(0) });
+        };
         decode_infer_payload(op, &payload, input_len, input)?;
-        Ok(RequestMeta { tag, decode_us: t0.map_or(0, |t| t.elapsed().as_micros() as u64) })
+        Ok(RequestMeta { tag, model, decode_us: t0.map_or(0, |t| t.elapsed().as_micros() as u64) })
     });
     qsnc_tensor::scratch::put_u8(payload);
     result
@@ -438,6 +553,31 @@ pub fn write_request(w: &mut impl Write, input: &[f32]) -> io::Result<()> {
 pub fn write_request_tagged(w: &mut impl Write, tag: u32, input: &[f32]) -> io::Result<()> {
     write_encoded(w, HEADER_V2_BYTES + 4 * input.len(), |frame| {
         encode_header(frame, OP_INFER, Some(tag), 4 * input.len());
+        for v in input {
+            frame.extend_from_slice(&v.to_le_bytes());
+        }
+    })
+}
+
+/// Client side: writes one v3 infer request frame tagged `tag`, routed to
+/// the server-side model registered under `model` (`0` is always the
+/// default model). The reply arrives as a **v2 tagged frame** carrying the
+/// same tag; match replies to requests by tag exactly as with
+/// [`write_request_tagged`]. A model id no model answers to gets a tagged
+/// [`Status::UnknownModel`] reply and the connection keeps going.
+pub fn write_request_routed(
+    w: &mut impl Write,
+    tag: u32,
+    model: u32,
+    input: &[f32],
+) -> io::Result<()> {
+    write_encoded(w, HEADER_V3_BYTES + 4 * input.len(), |frame| {
+        frame.extend_from_slice(&MAGIC.to_le_bytes());
+        frame.push(VERSION_V3);
+        frame.push(OP_INFER);
+        frame.extend_from_slice(&tag.to_le_bytes());
+        frame.extend_from_slice(&model.to_le_bytes());
+        frame.extend_from_slice(&(4 * input.len() as u32).to_le_bytes());
         for v in input {
             frame.extend_from_slice(&v.to_le_bytes());
         }
@@ -755,12 +895,104 @@ mod tests {
     fn unknown_version_is_fatal() {
         let mut wire = Vec::new();
         write_request(&mut wire, &[1.0]).unwrap();
-        wire[4] = 3;
+        wire[4] = 9;
         assert!(matches!(parse_frame(&wire), Err(FrameError::Fatal(_))));
         let mut buf = Vec::new();
         assert!(matches!(
             read_request(&mut wire.as_slice(), 1, &mut buf),
             Err(FrameError::Fatal(_))
         ));
+    }
+
+    #[test]
+    fn routed_request_round_trip() {
+        let input = vec![0.5f32, -1.5, 2.0];
+        let mut wire = Vec::new();
+        write_request_routed(&mut wire, 11, 2, &input).unwrap();
+        assert_eq!(wire.len(), HEADER_V3_BYTES + 12);
+        let mut decoded = Vec::new();
+        let mut seen = Vec::new();
+        let mut lookup = |m: Option<u32>| {
+            seen.push(m);
+            Some(3usize)
+        };
+        let meta = read_request_routed(&mut wire.as_slice(), &mut lookup, &mut decoded).unwrap();
+        assert_eq!(decoded, input);
+        assert_eq!(meta.tag, Some(11));
+        assert_eq!(meta.model, Some(2));
+        assert_eq!(seen, vec![Some(2)], "lookup runs exactly once with the frame's model id");
+    }
+
+    #[test]
+    fn model_zero_routes_like_v2_on_a_single_model_reader() {
+        let input = vec![1.0f32, 2.0];
+        let mut wire = Vec::new();
+        write_request_routed(&mut wire, 4, 0, &input).unwrap();
+        let mut decoded = Vec::new();
+        let meta = read_request(&mut wire.as_slice(), 2, &mut decoded).unwrap();
+        assert_eq!(decoded, input);
+        assert_eq!(meta.tag, Some(4));
+        assert_eq!(meta.model, Some(0));
+    }
+
+    #[test]
+    fn unknown_model_consumes_frame_and_keeps_stream_framed() {
+        // Two frames back to back: the first names a model nobody serves,
+        // the second is fine. The reader must consume the first payload and
+        // then read the second frame cleanly.
+        let mut wire = Vec::new();
+        write_request_routed(&mut wire, 1, 7, &[9.0f32; 4]).unwrap();
+        write_request_routed(&mut wire, 2, 0, &[1.0f32, 2.0]).unwrap();
+        let mut r = wire.as_slice();
+        let mut decoded = Vec::new();
+        match read_request(&mut r, 2, &mut decoded) {
+            Err(FrameError::UnknownModel { tag, model }) => {
+                assert_eq!(tag, Some(1));
+                assert_eq!(model, 7);
+            }
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
+        let meta = read_request(&mut r, 2, &mut decoded).unwrap();
+        assert_eq!(meta.tag, Some(2));
+        assert_eq!(decoded, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn incremental_parser_handles_v3_frames() {
+        let input = vec![3.0f32; 2];
+        let mut wire = Vec::new();
+        write_request_routed(&mut wire, 21, 5, &input).unwrap();
+        for cut in 0..wire.len() {
+            assert!(
+                matches!(parse_frame(&wire[..cut]), Ok(None)),
+                "prefix of {cut} bytes must ask for more"
+            );
+        }
+        let view = parse_frame(&wire).unwrap().expect("complete frame");
+        assert_eq!(view.version, VERSION_V3);
+        assert_eq!(view.tag, Some(21));
+        assert_eq!(view.model, Some(5));
+        assert_eq!(view.payload_start, HEADER_V3_BYTES);
+        assert_eq!(view.consumed, wire.len());
+        let mut decoded = Vec::new();
+        decode_infer_payload(
+            view.op,
+            &wire[view.payload_start..view.payload_start + view.payload_len],
+            2,
+            &mut decoded,
+        )
+        .unwrap();
+        assert_eq!(decoded, input);
+    }
+
+    #[test]
+    fn unknown_model_status_round_trips() {
+        let mut wire = Vec::new();
+        write_error_reply(&mut wire, Some(9), Status::UnknownModel, "no model registered")
+            .unwrap();
+        let reply = read_reply(&mut wire.as_slice()).unwrap();
+        assert_eq!(reply.status, Status::UnknownModel);
+        assert_eq!(reply.tag, Some(9));
+        assert!(reply.message.contains("no model"));
     }
 }

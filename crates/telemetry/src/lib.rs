@@ -42,7 +42,13 @@
 //! thread records under the joined path (`"train.epoch/nn.forward.00"`),
 //! which is how per-layer timings appear inside their epoch. Counters and
 //! histograms are flat, named by a dotted taxonomy documented in
-//! README.md § Observability — the names are a public contract.
+//! README.md § Observability — the names are a public contract. Names may
+//! embed a runtime-chosen segment (the serving layer's per-model
+//! `serve.model.{name}.*` family does); such families are still part of
+//! the taxonomy — the *pattern* is frozen, and emitters must keep the
+//! segment cardinality bounded (model names come from an operator-sized
+//! registry, not from request data) and pre-format the name once rather
+//! than formatting per event on a hot path.
 //!
 //! All mutation is lock-free on the hot increment paths (atomics), so the
 //! scoped worker threads of `qsnc_tensor::parallel` can record

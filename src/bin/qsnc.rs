@@ -6,7 +6,8 @@
 //! qsnc evaluate  --model lenet --bits 4 --checkpoint model.qsnc
 //! qsnc deploy    --model lenet --bits 4 --checkpoint model.qsnc \
 //!                [--write-sigma 0.05] [--artifact model.qsnca]
-//! qsnc serve     --artifact model.qsnca [--addr 127.0.0.1:7643]
+//! qsnc serve     --artifact model.qsnca [--artifact canary=other.qsnca]... \
+//!                [--addr 127.0.0.1:7643] [--admin 127.0.0.1:0] [--quota N]
 //! qsnc hardware  --model alexnet --bits 4 [--crossbar 32] [--pipelined]
 //! qsnc info
 //! ```
@@ -52,14 +53,24 @@ COMMON OPTIONS:
   --write-sigma F                device write variation (deploy) [0]
   --artifact PATH                .qsnca artifact to write (deploy) or serve;
                                  `serve` falls back to QSNC_SERVE_ARTIFACT
+                                 (a comma-separated list of the same syntax)
+  --artifact NAME=PATH           (serve, repeatable) register the artifact
+                                 under model NAME; the first artifact is the
+                                 default model that v1/v2 clients reach
   --addr HOST:PORT               serve listen address [127.0.0.1:7643]
+  --admin HOST:PORT              serve admin endpoint (metrics, GET /models,
+                                 POST /models/swap); off by default
+  --quota N                      serve per-model admission quota (default:
+                                 unlimited; per-model Busy above it)
 ";
 
 /// Parsed command-line arguments: a command plus `--key value` pairs.
+/// Repeating an option accumulates values in order (`--artifact a
+/// --artifact b`); single-valued accessors take the last occurrence.
 #[derive(Debug, Clone, PartialEq)]
 struct Args {
     command: String,
-    options: HashMap<String, String>,
+    options: HashMap<String, Vec<String>>,
     flags: Vec<String>,
 }
 
@@ -74,7 +85,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     if command.starts_with("--") {
         return Err(format!("expected a command before {command}"));
     }
-    let mut options = HashMap::new();
+    let mut options: HashMap<String, Vec<String>> = HashMap::new();
     let mut flags = Vec::new();
     while let Some(arg) = iter.next() {
         let key = arg
@@ -82,7 +93,10 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
             .ok_or_else(|| format!("unexpected positional argument {arg}"))?;
         match iter.peek() {
             Some(next) if !next.starts_with("--") => {
-                options.insert(key.to_string(), iter.next().unwrap().clone());
+                options
+                    .entry(key.to_string())
+                    .or_default()
+                    .push(iter.next().unwrap().clone());
             }
             _ => flags.push(key.to_string()),
         }
@@ -95,12 +109,22 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
 }
 
 impl Args {
+    /// Last occurrence of a single-valued option, or `None`.
+    fn get(&self, key: &str) -> Option<&String> {
+        self.options.get(key).and_then(|v| v.last())
+    }
+
+    /// Every occurrence of a repeatable option, in command-line order.
+    fn all(&self, key: &str) -> &[String] {
+        self.options.get(key).map_or(&[], Vec::as_slice)
+    }
+
     fn get_or(&self, key: &str, default: &str) -> String {
-        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.get(key).cloned().unwrap_or_else(|| default.to_string())
     }
 
     fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
-        match self.options.get(key) {
+        match self.get(key) {
             None => Ok(default),
             Some(v) => v
                 .parse()
@@ -196,7 +220,6 @@ fn load_into_topology(args: &Args) -> Result<LoadedCheckpoint, String> {
     let seed: u64 = args.parse_or("seed", 2018)?;
     let examples: usize = args.parse_or("examples", 4000)?;
     let path = args
-        .options
         .get("checkpoint")
         .ok_or_else(|| "--checkpoint is required".to_string())?;
     let mut net = build_quantized_topology(kind, width, bits, 10, seed);
@@ -235,7 +258,7 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
         snn.crossbar_count(),
         snn.device_count()
     );
-    if let Some(artifact) = args.options.get("artifact") {
+    if let Some(artifact) = args.get("artifact") {
         export_artifact(&snn, kind, &quant, digest, artifact)
             .map_err(|e| format!("cannot write artifact {artifact}: {e}"))?;
         println!("artifact written to {artifact} (checkpoint digest {digest:016x})");
@@ -248,35 +271,72 @@ fn cmd_deploy(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Splits one `--artifact` value into `(model name, path)`: `NAME=PATH`
+/// registers under `NAME` (only when the part before `=` looks like a
+/// name, not a path), a bare `PATH` registers under `default`.
+fn artifact_spec(raw: &str) -> (String, String) {
+    match raw.split_once('=') {
+        Some((name, path))
+            if !name.is_empty() && !name.contains('/') && !name.contains('\\') =>
+        {
+            (name.to_string(), path.to_string())
+        }
+        _ => ("default".to_string(), raw.to_string()),
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    // --artifact wins; QSNC_SERVE_ARTIFACT lets process supervisors point a
-    // plain `qsnc serve` at the deployment artifact.
-    let artifact = match args.options.get("artifact") {
-        Some(path) => path.clone(),
-        None => std::env::var("QSNC_SERVE_ARTIFACT")
-            .map_err(|_| "--artifact (or QSNC_SERVE_ARTIFACT) is required".to_string())?,
+    // --artifact (repeatable) wins; QSNC_SERVE_ARTIFACT — a comma-separated
+    // list of the same NAME=PATH / PATH syntax — lets process supervisors
+    // point a plain `qsnc serve` at the deployment artifacts.
+    let raw_artifacts: Vec<String> = if args.all("artifact").is_empty() {
+        std::env::var("QSNC_SERVE_ARTIFACT")
+            .map_err(|_| "--artifact (or QSNC_SERVE_ARTIFACT) is required".to_string())?
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    } else {
+        args.all("artifact").to_vec()
     };
+    if raw_artifacts.is_empty() {
+        return Err("--artifact (or QSNC_SERVE_ARTIFACT) is required".to_string());
+    }
     let addr = args.get_or("addr", "127.0.0.1:7643");
-    let loaded = qsnc::memristor::load_artifact(&artifact)
-        .map_err(|e| format!("cannot load artifact {artifact}: {e}"))?;
-    eprintln!(
-        "loaded {} artifact ({}-bit weights / {}-bit signals, checkpoint digest {:016x})",
-        loaded.provenance.model,
-        loaded.provenance.weight_bits,
-        loaded.provenance.activation_bits,
-        loaded.provenance.checkpoint_digest,
-    );
-    let input_dims = loaded.input_dims.clone();
-    let server = qsnc::serve::Server::spawn(
-        std::sync::Arc::new(loaded.network),
-        &input_dims,
-        addr.as_str(),
-        qsnc::serve::ServeConfig::from_env(),
-    )
-    .map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    // Flushed line with the resolved address: supervisors and tests parse
-    // this to learn the ephemeral port.
+
+    let mut specs = Vec::with_capacity(raw_artifacts.len());
+    for raw in &raw_artifacts {
+        let (name, path) = artifact_spec(raw);
+        let spec = qsnc::serve::ModelSpec::from_artifact(name, &path)
+            .map_err(|e| format!("cannot load artifact {path}: {e}"))?;
+        eprintln!(
+            "loaded model '{}' from {path} ({} input dims, checkpoint digest {:016x})",
+            spec.name,
+            spec.input_dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x"),
+            spec.checkpoint_digest,
+        );
+        specs.push(spec);
+    }
+
+    let mut config = qsnc::serve::ServeConfig::from_env();
+    if let Some(admin) = args.get("admin") {
+        config.admin_addr = Some(admin.clone());
+    }
+    if let Some(quota) = args.get("quota") {
+        let quota: usize = quota
+            .parse()
+            .map_err(|_| format!("invalid value for --quota: {quota}"))?;
+        config.model_quota = Some(quota.max(1));
+    }
+    let server = qsnc::serve::Server::spawn_models(specs, addr.as_str(), config)
+        .map_err(|e| format!("cannot serve on {addr}: {e}"))?;
+    // Flushed lines with the resolved addresses: supervisors and tests
+    // parse these to learn the ephemeral ports.
     println!("listening on {}", server.local_addr());
+    if let Some(admin) = server.admin_local_addr() {
+        println!("admin on {admin}");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     // Serve until killed; the server threads own all the work.
@@ -359,9 +419,34 @@ mod tests {
         let a = parse_args(&args(&["train", "--model", "alexnet", "--pipelined", "--bits", "3"]))
             .unwrap();
         assert_eq!(a.command, "train");
-        assert_eq!(a.options["model"], "alexnet");
-        assert_eq!(a.options["bits"], "3");
+        assert_eq!(a.get("model"), Some(&"alexnet".to_string()));
+        assert_eq!(a.get("bits"), Some(&"3".to_string()));
         assert!(a.has_flag("pipelined"));
+    }
+
+    #[test]
+    fn repeated_options_accumulate_in_order() {
+        let a = parse_args(&args(&[
+            "serve", "--artifact", "a.qsnca", "--artifact", "canary=b.qsnca", "--addr", "x",
+            "--addr", "y",
+        ]))
+        .unwrap();
+        assert_eq!(a.all("artifact"), ["a.qsnca", "canary=b.qsnca"]);
+        // Single-valued accessors take the last occurrence.
+        assert_eq!(a.get_or("addr", "z"), "y");
+        assert!(a.all("missing").is_empty());
+    }
+
+    #[test]
+    fn artifact_specs_split_names_from_paths() {
+        assert_eq!(artifact_spec("model.qsnca"), ("default".into(), "model.qsnca".into()));
+        assert_eq!(artifact_spec("canary=b.qsnca"), ("canary".into(), "b.qsnca".into()));
+        // A path containing '=' after a '/' is a path, not a name.
+        assert_eq!(
+            artifact_spec("/tmp/run=3/m.qsnca"),
+            ("default".into(), "/tmp/run=3/m.qsnca".into())
+        );
+        assert_eq!(artifact_spec("=x.qsnca"), ("default".into(), "=x.qsnca".into()));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! | [`data`] | synthetic MNIST/CIFAR stand-ins, MNIST IDX loader |
 //! | [`quant`] | Neuron Convergence, Weight Clustering, baselines |
 //! | [`memristor`] | devices, crossbars, Eq. 1 mapping, spiking pipeline, hw model |
-//! | [`serve`] | batched TCP inference serving over compiled networks |
+//! | [`serve`] | batched multi-model TCP serving with hot artifact swap |
 //! | [`core`] | end-to-end train → quantize → deploy flows |
 //! | [`telemetry`] | spans, counters, histograms (`QSNC_TELEMETRY`) |
 //!

@@ -1,0 +1,104 @@
+//! Keeps `docs/env.md` honest: every `QSNC_*` environment variable the
+//! source actually reads must have a table row, and every table row must
+//! correspond to a real read. Run by the CI docs job, so an undocumented
+//! knob (or a stale row for a removed one) fails the build instead of
+//! rotting quietly.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// The three call shapes through which the codebase reads environment
+/// variables. Doc comments and error messages mentioning a variable do
+/// not count as reads.
+const READ_PATTERNS: [&str; 3] = ["var(\"QSNC_", "var_os(\"QSNC_", "env_parse(\"QSNC_"];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Recursively collects `.rs` files, skipping `tests/` directories (test
+/// helpers may set variables ad hoc) and build output.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "tests" || name == "target" || name == ".git" {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Every `QSNC_*` variable read anywhere in the non-test source tree.
+fn vars_read_in_source() -> BTreeSet<String> {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for dir in ["crates", "src", "examples", "vendor"] {
+        rust_sources(&root.join(dir), &mut files);
+    }
+    assert!(files.len() > 10, "source scan found suspiciously few files: {}", files.len());
+    let mut vars = BTreeSet::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file)
+            .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        for pattern in READ_PATTERNS {
+            for (at, _) in text.match_indices(pattern) {
+                let start = at + pattern.len() - "QSNC_".len();
+                let name: String = text[start..]
+                    .chars()
+                    .take_while(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || *c == '_')
+                    .collect();
+                assert!(name.len() > "QSNC_".len(), "odd env read in {}", file.display());
+                vars.insert(name);
+            }
+        }
+    }
+    vars
+}
+
+/// Every variable with a table row in docs/env.md. Only the first cell of
+/// a row counts — descriptions freely mention other variables.
+fn vars_documented() -> BTreeSet<String> {
+    let path = repo_root().join("docs/env.md");
+    let text = std::fs::read_to_string(&path).expect("read docs/env.md");
+    let mut vars = BTreeSet::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim_start().strip_prefix("| `QSNC_") else { continue };
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || *c == '_')
+            .collect();
+        vars.insert(format!("QSNC_{name}"));
+    }
+    vars
+}
+
+#[test]
+fn every_env_var_read_in_source_is_documented_and_vice_versa() {
+    let read = vars_read_in_source();
+    let documented = vars_documented();
+    assert!(
+        read.contains("QSNC_TELEMETRY") && read.contains("QSNC_SERVE_MAX_BATCH"),
+        "scanner self-check failed; known reads missing from {read:?}"
+    );
+
+    let undocumented: Vec<_> = read.difference(&documented).collect();
+    assert!(
+        undocumented.is_empty(),
+        "environment variables read in source but missing a docs/env.md table row: \
+         {undocumented:?} — add a row (name, default, resolved-by, meaning)"
+    );
+
+    let stale: Vec<_> = documented.difference(&read).collect();
+    assert!(
+        stale.is_empty(),
+        "docs/env.md documents variables nothing reads any more: {stale:?} — \
+         delete the rows or restore the reads"
+    );
+}
